@@ -1,0 +1,33 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Every benchmark in this directory regenerates one table or figure from
+the paper's evaluation (§6) — see DESIGN.md's experiment index.  Each
+prints its measured series next to the paper's anchors and asserts the
+qualitative *shape* (who wins, where the knee falls, how curves order);
+absolute TPS values are simulator-calibrated, not hardware-faithful.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): marks a benchmark as regenerating a paper figure"
+    )
+
+
+@pytest.fixture(scope="session")
+def print_header():
+    def _print(title: str) -> None:
+        print()
+        print("=" * 78)
+        print(title)
+        print("=" * 78)
+
+    return _print

@@ -1,0 +1,69 @@
+"""E3 — Figure 6: performance with uniform distribution.
+
+Paper: mixed workload (50% read-only / 50% complex), rows uniform on
+20M; clients 5 → 640.  Uniform access spreads load evenly, abort rate is
+near zero, the data servers saturate after 320 clients at ~391 TPS, and
+latency climbs from ~200 ms toward ~1600 ms purely from queueing.  SI
+and WSI overlap — this experiment isolates the *overhead* of the two
+conflict checks, which is "almost the same" (§6.4).
+"""
+
+import pytest
+
+from repro.bench import format_table, latency_throughput_chart, saturates, within_factor
+from repro.sim.cluster_sim import sweep_cluster
+
+CLIENTS = [5, 10, 20, 40, 80, 160, 320, 640]
+
+
+def run_both():
+    si = sweep_cluster("si", "uniform", client_counts=CLIENTS, measure=8.0)
+    wsi = sweep_cluster("wsi", "uniform", client_counts=CLIENTS, measure=8.0)
+    return si, wsi
+
+
+@pytest.mark.figure("fig6")
+def test_e3_fig6_uniform_performance(benchmark, print_header):
+    si, wsi = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print_header("E3 — Figure 6: performance with uniform distribution")
+    rows = [
+        (
+            a.num_clients,
+            f"{a.throughput_tps:.0f}",
+            f"{a.avg_latency_ms:.0f}",
+            f"{b.throughput_tps:.0f}",
+            f"{b.avg_latency_ms:.0f}",
+            f"{100 * b.abort_rate:.2f}%",
+        )
+        for a, b in zip(si, wsi)
+    ]
+    print(
+        format_table(
+            ["clients", "SI TPS", "SI ms", "WSI TPS", "WSI ms", "WSI aborts"],
+            rows,
+            title="mixed workload, uniform on 20M rows (paper: saturates ~391 TPS)",
+        )
+    )
+    print()
+    print(latency_throughput_chart(
+        "Figure 6 (reproduced): uniform distribution",
+        {
+            "WSI": [(r.throughput_tps, r.avg_latency_ms) for r in wsi],
+            "SI": [(r.throughput_tps, r.avg_latency_ms) for r in si],
+        },
+    ))
+    wsi_max = max(r.throughput_tps for r in wsi)
+    print(f"\nWSI saturation: {wsi_max:.0f} TPS (paper: 391 TPS after 320 clients)")
+
+    # Shape: saturation in the paper's range.
+    assert saturates([r.throughput_tps for r in wsi])
+    assert within_factor(wsi_max, 391, 1.5)
+    # Abort rate ~ zero under uniform (paper: "close to zero").
+    assert all(r.abort_rate < 0.01 for r in wsi)
+    assert all(r.abort_rate < 0.01 for r in si)
+    # SI and WSI have "almost the same performance": every point within
+    # 25% of each other on throughput.
+    for a, b in zip(si, wsi):
+        assert within_factor(b.throughput_tps, a.throughput_tps, 1.25)
+    # Latency rises steeply past saturation (queueing).
+    assert wsi[-1].avg_latency_ms > 3 * wsi[0].avg_latency_ms

@@ -1,0 +1,73 @@
+"""E4 — Figure 7: performance with zipfian distribution.
+
+Paper: mixed workload over zipfian-popular rows.  Popular items stay in
+the data servers' caches, so throughput is higher and latency lower than
+uniform; the servers saturate after 160 clients (WSI: 461 TPS at 172 ms),
+and beyond that "adding more clients largely increases the latency, with
+only marginal improvement on throughput".  WSI tracks SI closely.
+"""
+
+import pytest
+
+from repro.bench import format_table, knee_index, latency_throughput_chart, saturates, within_factor
+from repro.sim.cluster_sim import sweep_cluster
+
+CLIENTS = [5, 10, 20, 40, 80, 160, 320, 640]
+
+
+def run_all():
+    si = sweep_cluster("si", "zipfian", client_counts=CLIENTS, measure=8.0)
+    wsi = sweep_cluster("wsi", "zipfian", client_counts=CLIENTS, measure=8.0)
+    uniform = sweep_cluster("wsi", "uniform", client_counts=[160], measure=8.0)
+    return si, wsi, uniform
+
+
+@pytest.mark.figure("fig7")
+def test_e4_fig7_zipfian_performance(benchmark, print_header):
+    si, wsi, uniform = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_header("E4 — Figure 7: performance with zipfian distribution")
+    rows = [
+        (
+            a.num_clients,
+            f"{a.throughput_tps:.0f}",
+            f"{a.avg_latency_ms:.0f}",
+            f"{b.throughput_tps:.0f}",
+            f"{b.avg_latency_ms:.0f}",
+            f"{100 * b.cache_hit_rate:.0f}%",
+        )
+        for a, b in zip(si, wsi)
+    ]
+    print(
+        format_table(
+            ["clients", "SI TPS", "SI ms", "WSI TPS", "WSI ms", "WSI hit"],
+            rows,
+            title="mixed workload, zipfian (paper: WSI 461 TPS @ 172 ms at 160 clients)",
+        )
+    )
+    print()
+    print(latency_throughput_chart(
+        "Figure 7 (reproduced): zipfian distribution",
+        {
+            "WSI": [(r.throughput_tps, r.avg_latency_ms) for r in wsi],
+            "SI": [(r.throughput_tps, r.avg_latency_ms) for r in si],
+        },
+    ))
+    at_160 = next(r for r in wsi if r.num_clients == 160)
+    print(
+        f"\nWSI at 160 clients: {at_160.throughput_tps:.0f} TPS @ "
+        f"{at_160.avg_latency_ms:.0f} ms (paper: 461 TPS @ 172 ms)"
+    )
+
+    # Shape: zipfian beats uniform at equal load (cache effect).
+    uni_160 = uniform[0]
+    assert at_160.throughput_tps > uni_160.throughput_tps
+    assert at_160.avg_latency_ms < uni_160.avg_latency_ms
+    # Saturation knee around the 160-client mark: marginal gains after.
+    tputs = [r.throughput_tps for r in wsi]
+    assert knee_index(tputs) <= CLIENTS.index(320)
+    assert saturates(tputs)
+    # WSI's throughput at the paper's knee within 1.6x of 461 TPS.
+    assert within_factor(at_160.throughput_tps, 461, 1.6)
+    # WSI comparable to SI throughout.
+    for a, b in zip(si, wsi):
+        assert within_factor(b.throughput_tps, a.throughput_tps, 1.3)

@@ -1,0 +1,67 @@
+"""E5 — Figure 8: abort rate vs throughput, zipfian distribution.
+
+Paper: "The abort rate linearly increases with the increase of
+throughput, up to 20% in write-snapshot isolation.  Although the abort
+rate in write-snapshot isolation is slightly higher than in snapshot
+isolation, the difference is negligible."
+"""
+
+import pytest
+
+from repro.bench import abort_rate_chart, format_table, monotonic_increasing
+from repro.sim.cluster_sim import sweep_cluster
+
+CLIENTS = [5, 10, 20, 40, 80, 160, 320, 640]
+
+
+def run_both():
+    si = sweep_cluster("si", "zipfian", client_counts=CLIENTS, measure=8.0)
+    wsi = sweep_cluster("wsi", "zipfian", client_counts=CLIENTS, measure=8.0)
+    return si, wsi
+
+
+@pytest.mark.figure("fig8")
+def test_e5_fig8_zipfian_abort_rate(benchmark, print_header):
+    si, wsi = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print_header("E5 — Figure 8: abort rate with zipfian distribution")
+    rows = [
+        (
+            a.num_clients,
+            f"{a.throughput_tps:.0f}",
+            f"{100 * a.abort_rate:.1f}%",
+            f"{b.throughput_tps:.0f}",
+            f"{100 * b.abort_rate:.1f}%",
+        )
+        for a, b in zip(si, wsi)
+    ]
+    print(
+        format_table(
+            ["clients", "SI TPS", "SI aborts", "WSI TPS", "WSI aborts"],
+            rows,
+            title="abort rate vs throughput (paper: linear growth up to ~20% WSI)",
+        )
+    )
+    print()
+    print(abort_rate_chart(
+        "Figure 8 (reproduced): abort rate, zipfian",
+        {
+            "WSI": [(r.throughput_tps, 100 * r.abort_rate) for r in wsi],
+            "SI": [(r.throughput_tps, 100 * r.abort_rate) for r in si],
+        },
+    ))
+    wsi_max_abort = max(r.abort_rate for r in wsi)
+    si_max_abort = max(r.abort_rate for r in si)
+    print(
+        f"\nmax abort rate: WSI {100 * wsi_max_abort:.1f}% "
+        f"(paper ~20%), SI {100 * si_max_abort:.1f}%"
+    )
+
+    # Shape: abort rate grows with throughput for both levels.
+    assert monotonic_increasing([r.abort_rate for r in wsi], slack=0.10)
+    assert monotonic_increasing([r.abort_rate for r in si], slack=0.10)
+    # Peak abort rate in the paper's ballpark (up to ~20%, we allow 10-35%).
+    assert 0.10 < wsi_max_abort < 0.35
+    # WSI slightly higher than SI at saturation, but "negligible"
+    # difference: within 6 percentage points.
+    assert wsi[-1].abort_rate >= si[-1].abort_rate - 0.01
+    assert abs(wsi[-1].abort_rate - si[-1].abort_rate) < 0.06

@@ -1,0 +1,80 @@
+"""E6 — Figure 9: performance with zipfianLatest distribution.
+
+Paper: popular items are among the recently inserted data.  "The
+performance in this distribution is in general less than in zipfian
+distribution.  Both write-snapshot isolation and snapshot isolation
+saturate at 40 clients, where the throughput of write-snapshot isolation
+is 361 TPS and the latency is 110 ms.  Nevertheless, the two systems
+offer a very similar performance."
+
+Our model uses YCSB's default hashed key layout (orderedinserts=false),
+so the hot set scatters over regions but churns as the insertion
+frontier advances — the churn lowers cache effectiveness relative to the
+static zipfian hot set, which is what depresses this curve below Fig. 7.
+"""
+
+import pytest
+
+from repro.bench import format_table, knee_index, latency_throughput_chart, saturates, within_factor
+from repro.sim.cluster_sim import sweep_cluster
+
+CLIENTS = [5, 10, 20, 40, 80, 160, 320, 640]
+
+
+def run_all():
+    si = sweep_cluster("si", "zipfianLatest", client_counts=CLIENTS, measure=8.0)
+    wsi = sweep_cluster("wsi", "zipfianLatest", client_counts=CLIENTS, measure=8.0)
+    zipf = sweep_cluster("wsi", "zipfian", client_counts=CLIENTS, measure=8.0)
+    return si, wsi, zipf
+
+
+@pytest.mark.figure("fig9")
+def test_e6_fig9_latest_performance(benchmark, print_header):
+    si, wsi, zipf = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_header("E6 — Figure 9: performance with zipfianLatest distribution")
+    rows = [
+        (
+            a.num_clients,
+            f"{a.throughput_tps:.0f}",
+            f"{a.avg_latency_ms:.0f}",
+            f"{b.throughput_tps:.0f}",
+            f"{b.avg_latency_ms:.0f}",
+            f"{z.throughput_tps:.0f}",
+        )
+        for a, b, z in zip(si, wsi, zipf)
+    ]
+    print(
+        format_table(
+            ["clients", "SI TPS", "SI ms", "WSI TPS", "WSI ms", "zipf TPS"],
+            rows,
+            title="mixed workload, zipfianLatest (paper: WSI 361 TPS @ 110 ms at 40 clients)",
+        )
+    )
+
+    print()
+    print(latency_throughput_chart(
+        "Figure 9 (reproduced): zipfianLatest distribution",
+        {
+            "WSI": [(r.throughput_tps, r.avg_latency_ms) for r in wsi],
+            "SI": [(r.throughput_tps, r.avg_latency_ms) for r in si],
+        },
+    ))
+    # Shape: zipfianLatest throughput below plain zipfian at equal load
+    # ("performance ... in general less than in zipfian").
+    worse_points = sum(
+        1 for b, z in zip(wsi, zipf) if b.throughput_tps < z.throughput_tps
+    )
+    assert worse_points >= len(CLIENTS) - 2
+    # Saturation: the curve flattens, with the knee earlier than or equal
+    # to zipfian's.
+    assert saturates([r.throughput_tps for r in wsi])
+    assert knee_index([r.throughput_tps for r in wsi]) <= knee_index(
+        [r.throughput_tps for r in zipf]
+    ) + 1
+    # The two isolation levels remain similar.
+    for a, b in zip(si, wsi):
+        assert within_factor(b.throughput_tps, a.throughput_tps, 1.3)
+    # Peak throughput within 2x of the paper's 361-TPS anchor region
+    # (we document the wider tolerance in EXPERIMENTS.md).
+    wsi_max = max(r.throughput_tps for r in wsi)
+    assert within_factor(wsi_max, 361, 2.0)

@@ -1,0 +1,95 @@
+"""E6b (ablation) — zipfianLatest key layout: hashed vs ordered inserts.
+
+EXPERIMENTS.md notes that the paper's Figure 9 point (saturation at 40
+clients, 361 TPS) cannot be pinned to a single queueing bottleneck, and
+that our two implementable YCSB key layouts bracket it:
+
+* **hashed** (YCSB default, used in E6): the recent hot set scatters
+  over all region servers; saturation comes late, from aggregate disk.
+* **ordered** (orderedinserts=true): insertion order *is* key order, so
+  the recent hot set lives in one region — HBase's classic hot-tail
+  antipattern.  One server saturates at a handful of clients while the
+  other 24 idle.
+
+This ablation runs both and verifies the bracketing: ordered saturates
+at (or before) the paper's 40-client knee with far lower throughput and
+a pathological load imbalance; hashed saturates later and higher.
+"""
+
+import pytest
+
+from repro.bench import format_table, knee_index
+from repro.sim.cluster_sim import ClusterSim
+from repro.workload.distributions import LatestDistribution
+
+CLIENTS = [5, 10, 20, 40, 80, 160]
+
+
+def run_layout(layout: str):
+    results = []
+    for n in CLIENTS:
+        sim = ClusterSim(
+            level="wsi",
+            distribution="zipfianLatest",
+            num_clients=n,
+            measure=6.0,
+            warmup=1.0,
+            seed=42,
+        )
+        # swap the key distribution's layout in place (the generator owns
+        # a LatestDistribution when distribution == zipfianLatest)
+        keys = sim.workload._keys
+        assert isinstance(keys, LatestDistribution)
+        keys.layout = layout
+        results.append(sim.run())
+    return results
+
+
+@pytest.mark.figure("latest-layout")
+def test_e6b_hot_tail_vs_hashed_layout(benchmark, print_header):
+    hashed, ordered = benchmark.pedantic(
+        lambda: (run_layout("hashed"), run_layout("ordered")),
+        rounds=1,
+        iterations=1,
+    )
+    print_header("E6b — zipfianLatest layout ablation: hashed vs ordered inserts")
+    rows = [
+        (
+            h.num_clients,
+            f"{h.throughput_tps:.0f}",
+            f"{h.avg_latency_ms:.0f}",
+            f"{o.throughput_tps:.0f}",
+            f"{o.avg_latency_ms:.0f}",
+            f"{o.server_utilization_max:.2f}/{o.server_utilization_mean:.2f}",
+        )
+        for h, o in zip(hashed, ordered)
+    ]
+    print(
+        format_table(
+            [
+                "clients",
+                "hashed TPS",
+                "hashed ms",
+                "ordered TPS",
+                "ordered ms",
+                "ordered util max/mean",
+            ],
+            rows,
+            title="paper Fig. 9 anchor: 361 TPS @ 110 ms at 40 clients "
+            "(bracketed by the two layouts)",
+        )
+    )
+
+    hashed_tps = [r.throughput_tps for r in hashed]
+    ordered_tps = [r.throughput_tps for r in ordered]
+    # The hot-tail layout saturates no later than the 40-client knee...
+    assert knee_index(ordered_tps) <= CLIENTS.index(40)
+    # ...at much lower throughput than the hashed layout at scale.
+    assert ordered_tps[-1] < 0.5 * hashed_tps[-1]
+    # The bracketing: paper's 361 TPS lies between the two layouts' peaks.
+    assert max(ordered_tps) < 361 < max(hashed_tps) * 1.6
+    # The hotspot is visible as load imbalance: one server pinned while
+    # the mean stays low.
+    sat = ordered[-1]
+    assert sat.server_utilization_max > 0.95
+    assert sat.server_utilization_mean < 0.6 * sat.server_utilization_max

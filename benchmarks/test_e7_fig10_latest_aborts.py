@@ -1,0 +1,71 @@
+"""E7 — Figure 10: abort rate with zipfianLatest distribution.
+
+Paper: "The abort rate with zipfianLatest increases more quickly
+compared to zipfian.  Although the abort rates are similar in
+write-snapshot isolation and snapshot isolation, it is slightly larger
+in write-snapshot isolation: with throughput of 361 TPS the abort rate
+under write-snapshot isolation is 21%, which is 2% larger than that
+under snapshot isolation.  This is because in zipfianLatest the read set
+is selected mostly from the recent written data, which increases the
+chance of a read-write conflict in write-snapshot isolation.  This
+slight overhead is the cost that we pay to benefit from the
+serializability feature offered by write-snapshot isolation."
+"""
+
+import pytest
+
+from repro.bench import abort_rate_chart, format_table, monotonic_increasing
+from repro.sim.cluster_sim import sweep_cluster
+
+CLIENTS = [5, 10, 20, 40, 80, 160, 320, 640]
+
+
+def run_both():
+    si = sweep_cluster("si", "zipfianLatest", client_counts=CLIENTS, measure=10.0)
+    wsi = sweep_cluster("wsi", "zipfianLatest", client_counts=CLIENTS, measure=10.0)
+    return si, wsi
+
+
+@pytest.mark.figure("fig10")
+def test_e7_fig10_latest_abort_rate(benchmark, print_header):
+    si, wsi = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print_header("E7 — Figure 10: abort rate with zipfianLatest distribution")
+    rows = [
+        (
+            a.num_clients,
+            f"{a.throughput_tps:.0f}",
+            f"{100 * a.abort_rate:.1f}%",
+            f"{b.throughput_tps:.0f}",
+            f"{100 * b.abort_rate:.1f}%",
+            f"{100 * (b.abort_rate - a.abort_rate):+.1f}pp",
+        )
+        for a, b in zip(si, wsi)
+    ]
+    print(
+        format_table(
+            ["clients", "SI TPS", "SI aborts", "WSI TPS", "WSI aborts", "WSI-SI"],
+            rows,
+            title="abort rate vs throughput (paper: WSI 21% vs SI 19% at 361 TPS)",
+        )
+    )
+
+    print()
+    print(abort_rate_chart(
+        "Figure 10 (reproduced): abort rate, zipfianLatest",
+        {
+            "WSI": [(r.throughput_tps, 100 * r.abort_rate) for r in wsi],
+            "SI": [(r.throughput_tps, 100 * r.abort_rate) for r in si],
+        },
+    ))
+    # Shape: abort rate grows with load.
+    assert monotonic_increasing([r.abort_rate for r in wsi], slack=0.15)
+    # The serializability tax: WSI aborts at least as much as SI at high
+    # load (reads target recently-written rows -> rw-conflicts), and the
+    # gap stays "slight" (paper: 2 percentage points; we allow up to 6).
+    high_load = [(a, b) for a, b in zip(si, wsi) if b.num_clients >= 160]
+    gaps = [b.abort_rate - a.abort_rate for a, b in high_load]
+    assert sum(gaps) / len(gaps) > -0.01  # WSI >= SI on average
+    assert all(gap < 0.06 for gap in gaps)
+    # Both land in a plausible band (paper ~19-21% at saturation; our
+    # hashed-layout model yields lower absolute rates, see EXPERIMENTS.md).
+    assert 0.02 < max(r.abort_rate for r in wsi) < 0.35

@@ -1,0 +1,42 @@
+"""E8 — the §3-§4 history matrix: H1-H7 classification.
+
+Regenerates the paper's claims about which histories are serializable
+and which each isolation level admits — the analytical backbone of the
+paper, as a table.
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.history import ALL_HISTORIES, PAPER_CLAIMS, classification
+
+
+def classify_all():
+    return {name: classification(h) for name, h in ALL_HISTORIES.items()}
+
+
+@pytest.mark.figure("histories")
+def test_e8_history_admissibility_matrix(benchmark, print_header):
+    results = benchmark.pedantic(classify_all, rounds=1, iterations=1)
+    print_header("E8 — Histories H1-H7: serializability & admissibility matrix")
+    rows = []
+    for name in sorted(ALL_HISTORIES):
+        got = results[name]
+        want = PAPER_CLAIMS[name]
+        rows.append(
+            (
+                name,
+                str(ALL_HISTORIES[name]),
+                "yes" if got["serializable"] else "no",
+                "allow" if got["si"] else "abort",
+                "allow" if got["wsi"] else "abort",
+                "OK" if got == want else "MISMATCH",
+            )
+        )
+    print(
+        format_table(
+            ["id", "history", "serializable", "SI", "WSI", "vs paper"],
+            rows,
+        )
+    )
+    assert all(results[name] == PAPER_CLAIMS[name] for name in ALL_HISTORIES)

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Lock-based vs lock-free: what happens when a client dies mid-commit.
+
+§2.1's critique made concrete.  A Percolator-style client crashes
+between its two 2PC phases, leaving locks on the data; later
+transactions stall against those locks until the primary-lock protocol
+resolves them.  The lock-free status-oracle design has no such state: a
+dead client's writes simply never commit, and nobody else notices.
+
+Run:  python examples/percolator_outage.py
+"""
+
+from repro import create_system
+from repro.core.errors import ConflictAbort
+from repro.percolator import LockPolicy, PercolatorTransactionManager
+
+
+def percolator_story() -> None:
+    print("=== Percolator (lock-based snapshot isolation) ===")
+    manager = PercolatorTransactionManager()
+
+    victim = manager.begin()
+    victim.write("inventory:widget", 10)
+    victim.write("ledger:widget", "restock")
+    rows = sorted(victim.write_set, key=repr)
+    victim.prewrite(rows[0], rows)
+    print("client acquired locks on", rows)
+    victim.crash()
+    print("client CRASHED between 2PC phases — locks remain\n")
+
+    # An impatient writer with abort-self policy gets hurt immediately.
+    impatient = manager.begin(lock_policy=LockPolicy.ABORT_SELF)
+    impatient.write("inventory:widget", 99)
+    try:
+        impatient.commit()
+    except ConflictAbort as exc:
+        print("impatient writer:", exc)
+
+    # A reader triggers the primary-lock resolution protocol.
+    reader = manager.begin()
+    value = reader.read("inventory:widget")
+    print(f"reader resolved the dangling lock, sees {value!r} "
+          f"(resolutions so far: {manager.resolution_count})")
+
+    # Now the row is unlocked and life goes on.
+    retry = manager.begin()
+    retry.write("inventory:widget", 99)
+    retry.commit()
+    print("retry committed after cleanup:", manager.begin().read("inventory:widget"))
+
+
+def lock_free_story() -> None:
+    print("\n=== Lock-free status oracle (the paper's design) ===")
+    system = create_system("si")
+
+    victim = system.manager.begin()
+    victim.write("inventory:widget", 10)
+    print("client wrote uncommitted data at its start timestamp")
+    # ... and dies without ever sending a commit request.  No locks exist.
+
+    writer = system.manager.begin()
+    writer.write("inventory:widget", 99)
+    writer.commit()
+    print("concurrent writer committed instantly — nothing to wait on")
+
+    reader = system.manager.begin()
+    print("reader sees", reader.read("inventory:widget"),
+          "(the dead client's version is skipped: never committed)")
+
+
+def main() -> None:
+    percolator_story()
+    lock_free_story()
+    print(
+        "\nThe lock-free design avoids both costs the paper identifies:"
+        "\nno progress-blocking dangling locks, and no resolution traffic"
+        "\nagainst the data servers (§2.1, §7.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

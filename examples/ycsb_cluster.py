@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The paper's evaluation in miniature: SI vs WSI over the cluster sim.
+
+Runs the mixed YCSB-style workload (§6.1) through the discrete-event
+cluster simulation at a few client counts for each key distribution, and
+prints the latency / throughput / abort-rate comparison — a fast version
+of Figures 6-10 (the full sweeps live in benchmarks/).
+
+Run:  python examples/ycsb_cluster.py            # quick (~30 s)
+      python examples/ycsb_cluster.py --full     # the paper's client sweep
+"""
+
+import sys
+
+from repro.bench import format_table
+from repro.sim import ClusterSim
+
+QUICK_CLIENTS = [20, 80, 320]
+FULL_CLIENTS = [5, 10, 20, 40, 80, 160, 320, 640]
+
+
+def run(distribution: str, clients, measure: float):
+    print(f"\n=== mixed workload, {distribution} distribution ===")
+    rows = []
+    for n in clients:
+        per_level = {}
+        for level in ("si", "wsi"):
+            result = ClusterSim(
+                level=level,
+                distribution=distribution,
+                num_clients=n,
+                measure=measure,
+                warmup=1.0,
+                seed=42,
+            ).run()
+            per_level[level] = result
+        si, wsi = per_level["si"], per_level["wsi"]
+        rows.append(
+            (
+                n,
+                f"{si.throughput_tps:.0f}",
+                f"{si.avg_latency_ms:.0f}",
+                f"{100 * si.abort_rate:.1f}%",
+                f"{wsi.throughput_tps:.0f}",
+                f"{wsi.avg_latency_ms:.0f}",
+                f"{100 * wsi.abort_rate:.1f}%",
+            )
+        )
+    print(
+        format_table(
+            ["clients", "SI TPS", "SI ms", "SI ab", "WSI TPS", "WSI ms", "WSI ab"],
+            rows,
+        )
+    )
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    clients = FULL_CLIENTS if full else QUICK_CLIENTS
+    measure = 8.0 if full else 4.0
+    for distribution in ("uniform", "zipfian", "zipfianLatest"):
+        run(distribution, clients, measure)
+    print(
+        "\nTakeaways (matching §6.4-6.5): WSI tracks SI closely everywhere;"
+        "\nuniform aborts ~0; zipfian conflicts grow with throughput; and the"
+        "\nzipfianLatest read sets drawn from fresh writes cost WSI a slightly"
+        "\nhigher abort rate — the price of serializability."
+    )
+
+
+if __name__ == "__main__":
+    main()

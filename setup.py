@@ -1,0 +1,11 @@
+"""Legacy setup shim: lets ``pip install -e .`` work offline.
+
+The environment has no network access and no ``wheel`` package, so the
+PEP 660 editable path (which shells out to ``bdist_wheel``) is
+unavailable; pip falls back to ``setup.py develop`` when invoked with
+``--no-use-pep517``.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

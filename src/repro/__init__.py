@@ -1,0 +1,45 @@
+"""repro — reproduction of "A Critique of Snapshot Isolation" (EuroSys'12).
+
+The paper introduces **write-snapshot isolation** (WSI): an MVCC isolation
+level that detects read-write conflicts instead of snapshot isolation's
+write-write conflicts, and thereby provides serializability at comparable
+cost.  Its reference implementation became Apache Omid.
+
+Quick start::
+
+    from repro import create_system
+
+    system = create_system("wsi")
+    txn = system.manager.begin()
+    txn.write("account:1", 100)
+    txn.commit()
+
+Subpackages:
+
+* :mod:`repro.core` — isolation levels, status oracle, transactions.
+* :mod:`repro.mvcc` — multi-version store, snapshot reads, regions.
+* :mod:`repro.hbase` — region-sharded cluster simulator.
+* :mod:`repro.percolator` — lock-based SI baseline (§2.1).
+* :mod:`repro.wal` — BookKeeper-style batching write-ahead log.
+* :mod:`repro.history` — history algebra, serializability & anomaly checks.
+* :mod:`repro.workload` — YCSB-style workload generators (§6.1).
+* :mod:`repro.sim` — discrete-event cluster simulation (§6 testbed).
+* :mod:`repro.bench` — measurement harness used by benchmarks/.
+"""
+
+from repro.core import (
+    IsolationLevel,
+    Transaction,
+    TransactionManager,
+    create_system,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "create_system",
+    "IsolationLevel",
+    "TransactionManager",
+    "Transaction",
+    "__version__",
+]

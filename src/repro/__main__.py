@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``      — run the write-skew demonstration (SI vs WSI).
+* ``classify``  — classify a history given in Berenson notation.
+* ``figures``   — regenerate the paper's figures quickly as ASCII charts.
+* ``micro``     — the §6.2 operation-latency table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_demo(_args) -> int:
+    from repro import create_system
+    from repro.core.errors import ConflictAbort
+
+    for level in ("si", "wsi"):
+        system = create_system(level)
+        init = system.manager.begin()
+        init.write("x", 1)
+        init.write("y", 1)
+        init.commit()
+        t1, t2 = system.manager.begin(), system.manager.begin()
+        for txn, target in ((t1, "x"), (t2, "y")):
+            x, y = txn.read("x"), txn.read("y")
+            txn.write(target, (x if target == "x" else y) - 1)
+        t1.commit()
+        try:
+            t2.commit()
+            verdict = "both committed -> write skew admitted"
+        except ConflictAbort:
+            verdict = "second txn aborted -> serializable"
+        check = system.manager.begin()
+        total = check.read("x") + check.read("y")
+        print(f"{level.upper():>4}: {verdict}; x+y = {total}")
+    return 0
+
+
+def cmd_classify(args) -> int:
+    from repro.history import (
+        allowed_under_si,
+        allowed_under_wsi,
+        is_serializable,
+        parse_history,
+    )
+
+    history = parse_history(" ".join(args.history))
+    print(f"history:       {history}")
+    print(f"serializable:  {is_serializable(history)}")
+    print(f"SI allows:     {allowed_under_si(history).allowed}")
+    print(f"WSI allows:    {allowed_under_wsi(history).allowed}")
+    return 0
+
+
+def cmd_micro(_args) -> int:
+    from repro.sim.microbench import run_microbench
+
+    print(run_microbench(samples=2000).as_table())
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.bench.plots import abort_rate_chart, latency_throughput_chart
+    from repro.sim.cluster_sim import sweep_cluster
+    from repro.sim.oracle_bench import sweep_clients
+
+    measure = 4.0 if args.quick else 10.0
+    clients = [5, 20, 80, 320] if args.quick else [5, 10, 20, 40, 80, 160, 320, 640]
+
+    print("Figure 5 (status oracle)...", file=sys.stderr)
+    fig5 = {
+        level.upper(): [
+            (r.throughput_tps, r.avg_latency_ms)
+            for r in sweep_clients(level, client_counts=[1, 4, 8, 16], measure=0.2)
+        ]
+        for level in ("wsi", "si")
+    }
+    print(latency_throughput_chart("Figure 5. Overhead on the status oracle.", fig5))
+
+    for fig, dist in (("6", "uniform"), ("7", "zipfian"), ("9", "zipfianLatest")):
+        print(f"Figure {fig} ({dist})...", file=sys.stderr)
+        series = {
+            level.upper(): [
+                (r.throughput_tps, r.avg_latency_ms)
+                for r in sweep_cluster(
+                    level, dist, client_counts=clients, measure=measure
+                )
+            ]
+            for level in ("wsi", "si")
+        }
+        print()
+        print(
+            latency_throughput_chart(
+                f"Figure {fig}. Performance with {dist} distribution.", series
+            )
+        )
+
+    for fig, dist in (("8", "zipfian"), ("10", "zipfianLatest")):
+        print(f"Figure {fig} aborts ({dist})...", file=sys.stderr)
+        series = {
+            level.upper(): [
+                (r.throughput_tps, 100 * r.abort_rate)
+                for r in sweep_cluster(
+                    level, dist, client_counts=clients, measure=measure
+                )
+            ]
+            for level in ("wsi", "si")
+        }
+        print()
+        print(abort_rate_chart(f"Figure {fig}. Abort rate with {dist} distribution.", series))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of 'A Critique of Snapshot Isolation' (EuroSys'12)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("demo", help="write-skew demo: SI vs WSI")
+    p_classify = sub.add_parser("classify", help="classify a history")
+    p_classify.add_argument("history", nargs="+", help="e.g. 'r1[x] w2[x] c2 c1'")
+    sub.add_parser("micro", help="§6.2 operation-latency table")
+    p_fig = sub.add_parser("figures", help="regenerate figures as ASCII charts")
+    p_fig.add_argument("--quick", action="store_true", help="fewer points, shorter runs")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "demo": cmd_demo,
+        "classify": cmd_classify,
+        "micro": cmd_micro,
+        "figures": cmd_figures,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""Benchmark support: execution harness and reporting helpers.
+
+Public surface:
+
+* :func:`run_interleaved` / :func:`run_sequential` — execute workload
+  specs against a real transaction manager with logical concurrency.
+* :class:`HarnessResult` — commit/abort accounting.
+* :func:`format_table`, :class:`PaperAnchor`, shape predicates
+  (:func:`saturates`, :func:`knee_index`, :func:`within_factor`) — used
+  by every figure benchmark.
+"""
+
+from repro.bench.harness import HarnessResult, run_interleaved, run_sequential
+from repro.bench.plots import AsciiChart, abort_rate_chart, latency_throughput_chart
+from repro.bench.reporting import (
+    PaperAnchor,
+    format_table,
+    knee_index,
+    monotonic_increasing,
+    saturates,
+    within_factor,
+)
+
+__all__ = [
+    "run_interleaved",
+    "run_sequential",
+    "HarnessResult",
+    "AsciiChart",
+    "latency_throughput_chart",
+    "abort_rate_chart",
+    "PaperAnchor",
+    "format_table",
+    "saturates",
+    "knee_index",
+    "monotonic_increasing",
+    "within_factor",
+]

@@ -1,0 +1,150 @@
+"""ASCII scatter/line charts for the figure benchmarks.
+
+The paper's evaluation is figures; our benchmarks print tables plus,
+via this module, terminal-renderable charts of the same series — enough
+to *see* the latency hockey stick or the abort-rate slope without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: glyphs assigned to series, in order of addition.
+SERIES_GLYPHS = "*o+x#@%&"
+
+
+@dataclass
+class Series:
+    name: str
+    points: List[Tuple[float, float]]
+    glyph: str
+
+
+class AsciiChart:
+    """An x/y scatter chart rendered with unicode-free ASCII.
+
+    Usage::
+
+        chart = AsciiChart(title="Figure 5", xlabel="TPS", ylabel="ms")
+        chart.add_series("WSI", [(24e3, 4.1), (92e3, 8.7), ...])
+        chart.add_series("SI", [...])
+        print(chart.render())
+    """
+
+    def __init__(
+        self,
+        title: str = "",
+        xlabel: str = "",
+        ylabel: str = "",
+        width: int = 64,
+        height: int = 18,
+    ) -> None:
+        if width < 16 or height < 6:
+            raise ValueError("chart too small to render")
+        self.title = title
+        self.xlabel = xlabel
+        self.ylabel = ylabel
+        self.width = width
+        self.height = height
+        self._series: List[Series] = []
+
+    def add_series(self, name: str, points: Sequence[Tuple[float, float]]) -> None:
+        if not points:
+            raise ValueError(f"series {name!r} has no points")
+        glyph = SERIES_GLYPHS[len(self._series) % len(SERIES_GLYPHS)]
+        self._series.append(Series(name, sorted(points), glyph))
+
+    # ------------------------------------------------------------------
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        xs = [x for s in self._series for x, _ in s.points]
+        ys = [y for s in self._series for _, y in s.points]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        # anchor at zero when the data is non-negative and nearby
+        if 0 <= x_lo < 0.5 * x_hi:
+            x_lo = 0.0
+        if 0 <= y_lo < 0.5 * y_hi:
+            y_lo = 0.0
+        return x_lo, x_hi, y_lo, y_hi
+
+    def render(self) -> str:
+        if not self._series:
+            raise ValueError("no series to render")
+        x_lo, x_hi, y_lo, y_hi = self._bounds()
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for series in self._series:
+            for x, y in series.points:
+                col = int((x - x_lo) / (x_hi - x_lo) * (self.width - 1))
+                row = int((y - y_lo) / (y_hi - y_lo) * (self.height - 1))
+                grid[self.height - 1 - row][col] = series.glyph
+
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        legend = "   ".join(f"{s.glyph} {s.name}" for s in self._series)
+        lines.append(legend)
+        y_hi_label = f"{y_hi:g}"
+        y_lo_label = f"{y_lo:g}"
+        margin = max(len(y_hi_label), len(y_lo_label), len(self.ylabel)) + 1
+        for i, row_chars in enumerate(grid):
+            if i == 0:
+                label = y_hi_label
+            elif i == self.height - 1:
+                label = y_lo_label
+            elif i == self.height // 2 and self.ylabel:
+                label = self.ylabel
+            else:
+                label = ""
+            lines.append(f"{label:>{margin}} |" + "".join(row_chars))
+        lines.append(" " * margin + " +" + "-" * self.width)
+        x_axis = f"{x_lo:g}"
+        x_end = f"{x_hi:g}"
+        pad = self.width - len(x_axis) - len(x_end)
+        xlabel = f" {self.xlabel} " if self.xlabel else ""
+        middle = xlabel.center(max(pad, len(xlabel)))
+        lines.append(" " * margin + "  " + x_axis + middle + x_end)
+        return "\n".join(lines)
+
+
+def latency_throughput_chart(
+    title: str,
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Convenience wrapper for the paper's standard axes."""
+    chart = AsciiChart(
+        title=title,
+        xlabel="Throughput in TPS",
+        ylabel="ms",
+        width=width,
+        height=height,
+    )
+    for name, points in series.items():
+        chart.add_series(name, points)
+    return chart.render()
+
+
+def abort_rate_chart(
+    title: str,
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 14,
+) -> str:
+    """Abort-rate-vs-throughput axes (Figures 8 and 10)."""
+    chart = AsciiChart(
+        title=title,
+        xlabel="Throughput in TPS",
+        ylabel="ab%",
+        width=width,
+        height=height,
+    )
+    for name, points in series.items():
+        chart.add_series(name, points)
+    return chart.render()

@@ -1,0 +1,91 @@
+"""Result tables and shape checks shared by the benchmark suite.
+
+Each figure-reproducing benchmark prints a table of its measured series
+next to the paper's reported anchors, then asserts the *shape* criteria
+recorded in DESIGN.md (who wins, where the knee falls, how curves order).
+The helpers here keep that uniform across benchmarks/.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PaperAnchor:
+    """A number the paper reports, for side-by-side display."""
+
+    description: str
+    paper_value: float
+    measured_value: float
+    unit: str = ""
+
+    def as_row(self) -> str:
+        ratio = (
+            self.measured_value / self.paper_value if self.paper_value else float("nan")
+        )
+        return (
+            f"{self.description:<52} paper={self.paper_value:>10.2f}{self.unit:<4} "
+            f"measured={self.measured_value:>10.2f}{self.unit:<4} (x{ratio:.2f})"
+        )
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Plain-text table with column auto-sizing."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# shape assertions
+# ----------------------------------------------------------------------
+def saturates(throughputs: Sequence[float], tail_gain_limit: float = 0.35) -> bool:
+    """True if the curve flattens: the last step gains less than
+    ``tail_gain_limit`` relative throughput despite more load."""
+    if len(throughputs) < 3:
+        return False
+    prev, last = throughputs[-2], throughputs[-1]
+    if prev <= 0:
+        return False
+    return (last - prev) / prev < tail_gain_limit
+
+
+def knee_index(throughputs: Sequence[float], gain_threshold: float = 0.25) -> int:
+    """Index of the first point where marginal throughput gain drops
+    below ``gain_threshold`` (the saturation knee)."""
+    for i in range(1, len(throughputs)):
+        prev, cur = throughputs[i - 1], throughputs[i]
+        if prev > 0 and (cur - prev) / prev < gain_threshold:
+            return i
+    return len(throughputs) - 1
+
+
+def monotonic_increasing(values: Sequence[float], slack: float = 0.0) -> bool:
+    """True if values never drop by more than ``slack`` relative."""
+    for a, b in zip(values, values[1:]):
+        if a > 0 and (a - b) / a > slack:
+            return False
+    return True
+
+
+def within_factor(measured: float, paper: float, factor: float) -> bool:
+    """True if measured is within [paper/factor, paper*factor]."""
+    if paper <= 0 or measured <= 0:
+        return False
+    return paper / factor <= measured <= paper * factor

@@ -1,0 +1,41 @@
+"""Coordination substrate: ZooKeeper-style service + oracle failover.
+
+Public surface:
+
+* :class:`ZooKeeper` / :class:`Session` — znodes, ephemerals,
+  sequentials, one-shot watches.
+* :class:`LeaderElection` — the standard recipe (predecessor watching).
+* :class:`OracleReplicaSet` / :class:`OracleHost` — replicated status
+  oracle with election-driven WAL-recovery failover (Appendix A).
+"""
+
+from repro.coord.failover import OracleHost, OracleReplicaSet
+from repro.coord.zookeeper import (
+    BadVersionError,
+    EventType,
+    LeaderElection,
+    NodeExistsError,
+    NoNodeError,
+    NotEmptyError,
+    Session,
+    SessionExpiredError,
+    WatchEvent,
+    ZKError,
+    ZooKeeper,
+)
+
+__all__ = [
+    "ZooKeeper",
+    "Session",
+    "LeaderElection",
+    "WatchEvent",
+    "EventType",
+    "ZKError",
+    "NoNodeError",
+    "NodeExistsError",
+    "NotEmptyError",
+    "BadVersionError",
+    "SessionExpiredError",
+    "OracleReplicaSet",
+    "OracleHost",
+]

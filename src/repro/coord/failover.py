@@ -1,0 +1,122 @@
+"""Status-oracle failover: leader election + WAL recovery, composed.
+
+Appendix A: "if the status oracle server fails, the same status oracle
+after recovery, or another fresh instance of the status oracle could
+still recreate the memory state from the write-ahead log and continue
+servicing the commit requests."  In the deployment this requires an
+arbiter so exactly one instance serves at a time — that is the
+ZooKeeper leader election.
+
+:class:`OracleReplicaSet` wires the pieces: N candidate oracle hosts, a
+shared (replicated) WAL, and an election.  Killing the active host
+expires its session; the next candidate wins the election, replays the
+WAL, and starts serving — with all pre-failure conflict state intact.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.errors import OracleClosed
+from repro.core.status_oracle import CommitRequest, CommitResult, StatusOracle, make_oracle
+from repro.coord.zookeeper import LeaderElection, Session, ZooKeeper
+from repro.wal.bookkeeper import BookKeeperWAL
+
+
+class OracleHost:
+    """One candidate machine that can run the status oracle."""
+
+    def __init__(
+        self,
+        host_id: int,
+        zookeeper: ZooKeeper,
+        wal: BookKeeperWAL,
+        level: str = "wsi",
+    ) -> None:
+        self.host_id = host_id
+        self.level = level
+        self._wal = wal
+        self.session: Session = zookeeper.connect()
+        self.oracle: Optional[StatusOracle] = None
+        self.recovered_records = 0
+        self.election = LeaderElection(
+            self.session,
+            election_path="/status-oracle",
+            on_elected=self._become_active,
+        )
+
+    def _become_active(self) -> None:
+        """Leader callback: recover from the WAL and start serving."""
+        oracle = make_oracle(self.level, wal=self._wal)
+        # Replay everything durable so pre-failure conflicts are detected.
+        self.recovered_records = sum(1 for _ in self._wal.replay())
+        oracle.recover_from(self._wal)
+        self.oracle = oracle
+
+    @property
+    def is_active(self) -> bool:
+        return self.election.is_leader and self.oracle is not None
+
+    def crash(self) -> None:
+        """The host dies: session expires, ephemeral node vanishes."""
+        if self.oracle is not None:
+            self.oracle = None
+        self.session.close()
+
+
+class OracleReplicaSet:
+    """A replicated status-oracle deployment with automatic failover.
+
+    Client traffic goes through :meth:`begin` / :meth:`commit`, which
+    route to whichever host currently holds the leadership.  The WAL is
+    shared (in the real system: BookKeeper ledgers on separate bookies),
+    so any host can reconstruct the full oracle state.
+    """
+
+    def __init__(self, num_hosts: int = 3, level: str = "wsi") -> None:
+        if num_hosts < 1:
+            raise ValueError("num_hosts must be >= 1")
+        self.zookeeper = ZooKeeper()
+        self.wal = BookKeeperWAL()
+        self.hosts: List[OracleHost] = [
+            OracleHost(i, self.zookeeper, self.wal, level=level)
+            for i in range(num_hosts)
+        ]
+        self.failovers = 0
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def active_host(self) -> OracleHost:
+        for host in self.hosts:
+            if host.is_active:
+                return host
+        raise OracleClosed("no active status oracle (all hosts down?)")
+
+    def begin(self) -> int:
+        return self.active_host().oracle.begin()
+
+    def commit(self, request: CommitRequest) -> CommitResult:
+        return self.active_host().oracle.commit(request)
+
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+    def kill_active(self) -> OracleHost:
+        """Crash the current leader; election promotes the next host.
+
+        Any commits still buffered (not yet flushed to the replicated
+        ledger) die with the host — the durability contract — so we
+        flush first only what the host itself had already acknowledged
+        through the WAL path.
+        """
+        victim = self.active_host()
+        # The batch buffer was in the victim's memory: unacknowledged
+        # records die with it.
+        self.wal.drop_pending()
+        victim.crash()
+        self.failovers += 1
+        return victim
+
+    def alive_count(self) -> int:
+        return sum(1 for host in self.hosts if host.session.alive)

@@ -1,0 +1,304 @@
+"""A ZooKeeper-flavoured coordination service.
+
+The paper's testbed dedicates a machine to ZooKeeper, "a coordination
+service that is used by both HBase and BookKeeper" (§6), and Appendix A
+relies on a fresh status-oracle instance taking over after a failure —
+which in the real deployment is arbitrated through ZooKeeper leader
+election.  This module provides the minimum faithful substrate for that:
+
+* a hierarchical znode tree with versioned writes;
+* **ephemeral** znodes tied to client sessions (session expiry deletes
+  them — the failure-detection primitive);
+* **sequential** znodes (monotonic per-parent counters);
+* one-shot **watches** on data changes and children changes;
+* the standard leader-election recipe built from the above.
+
+Time/liveness is logical: a session dies when :meth:`ZooKeeper.expire_session`
+is called (the test/simulator decides when), not via wall-clock
+heartbeats.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+
+class ZKError(Exception):
+    """Base class for coordination-service errors."""
+
+
+class NoNodeError(ZKError):
+    pass
+
+
+class NodeExistsError(ZKError):
+    pass
+
+
+class NotEmptyError(ZKError):
+    pass
+
+
+class BadVersionError(ZKError):
+    pass
+
+
+class SessionExpiredError(ZKError):
+    pass
+
+
+class EventType(enum.Enum):
+    CREATED = "created"
+    DELETED = "deleted"
+    DATA_CHANGED = "data-changed"
+    CHILDREN_CHANGED = "children-changed"
+
+
+@dataclass(frozen=True)
+class WatchEvent:
+    type: EventType
+    path: str
+
+
+@dataclass
+class _Znode:
+    data: bytes
+    version: int = 0
+    ephemeral_owner: Optional[int] = None  # session id, None = persistent
+    sequential_counter: int = 0  # for children created with sequence=True
+
+
+class Session:
+    """A client session; ephemeral nodes die with it."""
+
+    def __init__(self, zk: "ZooKeeper", session_id: int) -> None:
+        self._zk = zk
+        self.session_id = session_id
+        self.alive = True
+
+    def _check(self) -> None:
+        if not self.alive:
+            raise SessionExpiredError(f"session {self.session_id} expired")
+
+    # convenience proxies -------------------------------------------------
+    def create(self, path: str, data: bytes = b"", ephemeral: bool = False,
+               sequence: bool = False) -> str:
+        self._check()
+        return self._zk._create(self, path, data, ephemeral, sequence)
+
+    def delete(self, path: str, version: int = -1) -> None:
+        self._check()
+        self._zk._delete(path, version)
+
+    def get(self, path: str, watch: Optional[Callable[[WatchEvent], None]] = None
+            ) -> Tuple[bytes, int]:
+        self._check()
+        return self._zk._get(path, watch)
+
+    def set(self, path: str, data: bytes, version: int = -1) -> int:
+        self._check()
+        return self._zk._set(path, data, version)
+
+    def exists(self, path: str,
+               watch: Optional[Callable[[WatchEvent], None]] = None) -> bool:
+        self._check()
+        return self._zk._exists(path, watch)
+
+    def get_children(self, path: str,
+                     watch: Optional[Callable[[WatchEvent], None]] = None
+                     ) -> List[str]:
+        self._check()
+        return self._zk._get_children(path, watch)
+
+    def close(self) -> None:
+        if self.alive:
+            self._zk.expire_session(self.session_id)
+
+
+class ZooKeeper:
+    """The coordination server: znode tree + sessions + watches."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, _Znode] = {"/": _Znode(b"")}
+        self._sessions: Dict[int, Session] = {}
+        self._next_session = 1
+        self._data_watches: Dict[str, List[Callable[[WatchEvent], None]]] = {}
+        self._child_watches: Dict[str, List[Callable[[WatchEvent], None]]] = {}
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+    def connect(self) -> Session:
+        session = Session(self, self._next_session)
+        self._sessions[self._next_session] = session
+        self._next_session += 1
+        return session
+
+    def expire_session(self, session_id: int) -> None:
+        """Kill a session: its ephemeral nodes vanish (failure detection)."""
+        session = self._sessions.pop(session_id, None)
+        if session is None:
+            return
+        session.alive = False
+        doomed = [
+            path for path, node in self._nodes.items()
+            if node.ephemeral_owner == session_id
+        ]
+        # delete deepest-first so parents empty out correctly
+        for path in sorted(doomed, key=len, reverse=True):
+            self._delete(path, -1)
+
+    @property
+    def session_count(self) -> int:
+        return len(self._sessions)
+
+    # ------------------------------------------------------------------
+    # znode operations
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parent_of(path: str) -> str:
+        parent = path.rsplit("/", 1)[0]
+        return parent or "/"
+
+    @staticmethod
+    def _validate(path: str) -> None:
+        if not path.startswith("/") or (path != "/" and path.endswith("/")):
+            raise ZKError(f"invalid path {path!r}")
+
+    def _create(self, session: Session, path: str, data: bytes,
+                ephemeral: bool, sequence: bool) -> str:
+        self._validate(path)
+        parent_path = self._parent_of(path)
+        parent = self._nodes.get(parent_path)
+        if parent is None:
+            raise NoNodeError(f"parent {parent_path} does not exist")
+        if parent.ephemeral_owner is not None:
+            raise ZKError("ephemeral nodes cannot have children")
+        if sequence:
+            path = f"{path}{parent.sequential_counter:010d}"
+            parent.sequential_counter += 1
+        if path in self._nodes:
+            raise NodeExistsError(path)
+        self._nodes[path] = _Znode(
+            data, ephemeral_owner=session.session_id if ephemeral else None
+        )
+        self._fire_child_watches(parent_path)
+        self._fire_data_watches(path, EventType.CREATED)
+        return path
+
+    def _delete(self, path: str, version: int) -> None:
+        node = self._nodes.get(path)
+        if node is None:
+            raise NoNodeError(path)
+        if any(self._parent_of(p) == path for p in self._nodes if p != "/"):
+            raise NotEmptyError(path)
+        if version != -1 and node.version != version:
+            raise BadVersionError(f"{path}: {node.version} != {version}")
+        del self._nodes[path]
+        self._fire_data_watches(path, EventType.DELETED)
+        self._fire_child_watches(self._parent_of(path))
+
+    def _get(self, path: str, watch) -> Tuple[bytes, int]:
+        node = self._nodes.get(path)
+        if node is None:
+            raise NoNodeError(path)
+        if watch is not None:
+            self._data_watches.setdefault(path, []).append(watch)
+        return node.data, node.version
+
+    def _set(self, path: str, data: bytes, version: int) -> int:
+        node = self._nodes.get(path)
+        if node is None:
+            raise NoNodeError(path)
+        if version != -1 and node.version != version:
+            raise BadVersionError(f"{path}: {node.version} != {version}")
+        node.data = data
+        node.version += 1
+        self._fire_data_watches(path, EventType.DATA_CHANGED)
+        return node.version
+
+    def _exists(self, path: str, watch) -> bool:
+        if watch is not None:
+            self._data_watches.setdefault(path, []).append(watch)
+        return path in self._nodes
+
+    def _get_children(self, path: str, watch) -> List[str]:
+        if path not in self._nodes:
+            raise NoNodeError(path)
+        if watch is not None:
+            self._child_watches.setdefault(path, []).append(watch)
+        prefix = path if path != "/" else ""
+        children = [
+            p[len(prefix) + 1:]
+            for p in self._nodes
+            if p != "/" and self._parent_of(p) == path
+        ]
+        return sorted(children)
+
+    # ------------------------------------------------------------------
+    # watches (one-shot, like real ZK)
+    # ------------------------------------------------------------------
+    def _fire_data_watches(self, path: str, event_type: EventType) -> None:
+        for watch in self._data_watches.pop(path, []):
+            watch(WatchEvent(event_type, path))
+
+    def _fire_child_watches(self, path: str) -> None:
+        for watch in self._child_watches.pop(path, []):
+            watch(WatchEvent(EventType.CHILDREN_CHANGED, path))
+
+
+class LeaderElection:
+    """The standard ZooKeeper leader-election recipe.
+
+    Each candidate creates an ephemeral-sequential node under the
+    election path; the lowest sequence number is the leader.  Followers
+    watch their immediate predecessor (not the leader) to avoid herd
+    effects; when a session dies its node vanishes and the next candidate
+    steps up.  This is how a standby status oracle learns it must recover
+    from the WAL and take over (Appendix A).
+    """
+
+    def __init__(self, session: Session, election_path: str = "/election",
+                 on_elected: Optional[Callable[[], None]] = None) -> None:
+        self._session = session
+        self._path = election_path
+        self._on_elected = on_elected
+        if not session.exists(election_path):
+            try:
+                session.create(election_path)
+            except NodeExistsError:
+                pass
+        self.my_node = session.create(
+            f"{election_path}/candidate-", ephemeral=True, sequence=True
+        )
+        self.is_leader = False
+        self._check()
+
+    def _my_name(self) -> str:
+        return self.my_node.rsplit("/", 1)[1]
+
+    def _check(self) -> None:
+        if not self._session.alive:
+            return  # our own session died; we are out of the election
+        children = self._session.get_children(self._path)
+        me = self._my_name()
+        if not children or children[0] == me:
+            if not self.is_leader:
+                self.is_leader = True
+                if self._on_elected is not None:
+                    self._on_elected()
+            return
+        predecessor = max(c for c in children if c < me)
+        self._session.exists(
+            f"{self._path}/{predecessor}", watch=lambda event: self._check()
+        )
+
+    def resign(self) -> None:
+        """Step out of the election (delete our candidate node)."""
+        try:
+            self._session.delete(self.my_node)
+        except NoNodeError:
+            pass
+        self.is_leader = False

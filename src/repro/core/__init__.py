@@ -1,0 +1,97 @@
+"""Core contribution: write-snapshot isolation and the lock-free oracle.
+
+Public surface:
+
+* :class:`IsolationLevel`, :func:`create_system` — one-call assembly.
+* :class:`TransactionManager`, :class:`Transaction` — the client API.
+* :class:`SnapshotIsolationOracle` (Alg. 1),
+  :class:`WriteSnapshotIsolationOracle` (Alg. 2),
+  :class:`BoundedStatusOracle` (Alg. 3), :func:`make_oracle`.
+* :class:`TimestampOracle` — batched-durability timestamp server.
+* :class:`CommitTable`, :class:`ClientCommitView` — commit-state replicas.
+* conflict predicates — the paper's §2/§4 definitions as functions.
+* the exception hierarchy in :mod:`repro.core.errors`.
+"""
+
+from repro.core.analytics import (
+    AnalyticalCommitRequest,
+    AnalyticalOracle,
+    RangeReadSet,
+    RowRange,
+)
+from repro.core.commit_table import ClientCommitView, CommitTable
+from repro.core.conflicts import (
+    TxnFootprint,
+    conflicts_under,
+    rw_conflict,
+    rw_spatial_overlap,
+    rw_temporal_overlap,
+    spatial_overlap,
+    temporal_overlap,
+    ww_conflict,
+)
+from repro.core.errors import (
+    AbortException,
+    ConflictAbort,
+    InvalidTransactionState,
+    LockConflict,
+    OracleClosed,
+    RecoveryError,
+    TmaxAbort,
+    TransactionError,
+    WALError,
+)
+from repro.core.isolation import IsolationLevel, TransactionalSystem, create_system
+from repro.core.status_oracle import (
+    BoundedStatusOracle,
+    CommitRequest,
+    CommitResult,
+    OracleStats,
+    SnapshotIsolationOracle,
+    StatusOracle,
+    WriteSnapshotIsolationOracle,
+    make_oracle,
+)
+from repro.core.timestamps import TimestampOracle
+from repro.core.transaction import Transaction, TransactionManager, TxnState
+
+__all__ = [
+    "AnalyticalOracle",
+    "AnalyticalCommitRequest",
+    "RangeReadSet",
+    "RowRange",
+    "IsolationLevel",
+    "TransactionalSystem",
+    "create_system",
+    "TransactionManager",
+    "Transaction",
+    "TxnState",
+    "StatusOracle",
+    "SnapshotIsolationOracle",
+    "WriteSnapshotIsolationOracle",
+    "BoundedStatusOracle",
+    "make_oracle",
+    "CommitRequest",
+    "CommitResult",
+    "OracleStats",
+    "TimestampOracle",
+    "CommitTable",
+    "ClientCommitView",
+    "TxnFootprint",
+    "ww_conflict",
+    "rw_conflict",
+    "spatial_overlap",
+    "temporal_overlap",
+    "rw_spatial_overlap",
+    "rw_temporal_overlap",
+    "conflicts_under",
+    "TransactionError",
+    "AbortException",
+    "ConflictAbort",
+    "TmaxAbort",
+    "LockConflict",
+    "InvalidTransactionState",
+    "OracleClosed",
+    "RecoveryError",
+    "WALError",
+]

@@ -1,0 +1,135 @@
+"""Conflict predicates: the paper's definitions, executable.
+
+Section 2 defines the *snapshot isolation* conflict between transactions
+``txn_i`` and ``txn_j``:
+
+1. **Spatial overlap** — both write into some row ``r``;
+2. **Temporal overlap** — ``Ts(txn_i) < Tc(txn_j)`` and
+   ``Ts(txn_j) < Tc(txn_i)`` (their lifetimes intersect).
+
+Section 4.1 defines the *write-snapshot isolation* conflict:
+
+1. **RW-spatial overlap** — ``txn_j`` writes into a row ``r`` that
+   ``txn_i`` reads;
+2. **RW-temporal overlap** — ``Ts(txn_i) < Tc(txn_j) < Tc(txn_i)``
+   (``txn_j`` commits *during the lifetime* of ``txn_i``);
+3. **Not read-only** — neither transaction is read-only (the
+   optimization of Section 4.1 that lets read-only transactions never
+   abort).
+
+These predicates operate on :class:`TxnFootprint` records — the minimal
+description of a finished transaction — and are shared by the history
+checkers, the tests, and the documentation examples.  The *oracles* in
+:mod:`repro.core.status_oracle` implement the same logic incrementally
+(via ``lastCommit``) for performance; a property-based test asserts the
+two formulations agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, Optional
+
+RowKey = Hashable
+
+
+@dataclass(frozen=True)
+class TxnFootprint:
+    """What conflict detection needs to know about a transaction.
+
+    Attributes:
+        txn_id: identifier (conventionally the start timestamp).
+        start_ts: start timestamp ``Ts``.
+        commit_ts: commit timestamp ``Tc`` (``None`` if not committed).
+        read_set: rows read.
+        write_set: rows written.
+    """
+
+    txn_id: int
+    start_ts: int
+    commit_ts: Optional[int]
+    read_set: FrozenSet[RowKey] = frozenset()
+    write_set: FrozenSet[RowKey] = frozenset()
+
+    @property
+    def is_read_only(self) -> bool:
+        """A transaction is read-only iff its write set is empty (§4.1)."""
+        return not self.write_set
+
+    @property
+    def committed(self) -> bool:
+        return self.commit_ts is not None
+
+
+def spatial_overlap(a: TxnFootprint, b: TxnFootprint) -> bool:
+    """SI spatial overlap: both transactions write a common row."""
+    return bool(a.write_set & b.write_set)
+
+
+def temporal_overlap(a: TxnFootprint, b: TxnFootprint) -> bool:
+    """SI temporal overlap: Ts(a) < Tc(b) and Ts(b) < Tc(a).
+
+    Requires both commit timestamps; an uncommitted transaction has no
+    temporal extent to overlap with (the oracle only ever compares
+    against *committed* transactions).
+    """
+    if a.commit_ts is None or b.commit_ts is None:
+        return False
+    return a.start_ts < b.commit_ts and b.start_ts < a.commit_ts
+
+
+def ww_conflict(a: TxnFootprint, b: TxnFootprint) -> bool:
+    """Write-write conflict under snapshot isolation (§2)."""
+    return spatial_overlap(a, b) and temporal_overlap(a, b)
+
+
+def rw_spatial_overlap(reader: TxnFootprint, writer: TxnFootprint) -> bool:
+    """WSI rw-spatial overlap: ``writer`` writes a row ``reader`` reads.
+
+    Note the asymmetry — this is directional, unlike SI's spatial overlap.
+    """
+    return bool(reader.read_set & writer.write_set)
+
+
+def rw_temporal_overlap(reader: TxnFootprint, writer: TxnFootprint) -> bool:
+    """WSI rw-temporal overlap: Ts(reader) < Tc(writer) < Tc(reader).
+
+    ``writer`` must commit strictly inside ``reader``'s lifetime.  This is
+    *narrower* than SI temporal overlap: a writer that commits after the
+    reader commits does not conflict (txn_c'' in Figure 2).
+    """
+    if reader.commit_ts is None or writer.commit_ts is None:
+        return False
+    return reader.start_ts < writer.commit_ts < reader.commit_ts
+
+
+def rw_conflict(a: TxnFootprint, b: TxnFootprint) -> bool:
+    """Read-write conflict under write-snapshot isolation (§4.1).
+
+    Symmetric wrapper: a and b conflict if either ordering makes one of
+    them a conflicting (reader, writer) pair, and neither is read-only
+    (condition 3, the read-only optimization).
+    """
+    if a.is_read_only or b.is_read_only:
+        return False
+    return _directional_rw(a, b) or _directional_rw(b, a)
+
+
+def _directional_rw(reader: TxnFootprint, writer: TxnFootprint) -> bool:
+    return rw_spatial_overlap(reader, writer) and rw_temporal_overlap(
+        reader, writer
+    )
+
+
+def conflicts_under(
+    level: str, a: TxnFootprint, b: TxnFootprint
+) -> bool:
+    """Dispatch: does (a, b) conflict under isolation level ``level``?
+
+    ``level`` is ``"si"`` or ``"wsi"`` (see :mod:`repro.core.isolation`).
+    """
+    if level == "si":
+        return ww_conflict(a, b)
+    if level == "wsi":
+        return rw_conflict(a, b)
+    raise ValueError(f"unknown isolation level {level!r}")

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the transactional stack.
+
+Every failure mode in the paper's protocol maps to one exception type so
+that callers can distinguish, e.g., a conflict abort (expected, retryable)
+from a protocol misuse (a bug in the caller).
+"""
+
+from __future__ import annotations
+
+
+class TransactionError(Exception):
+    """Base class for every error raised by the transactional stack."""
+
+
+class AbortException(TransactionError):
+    """A transaction was aborted and its writes must be discarded.
+
+    Attributes:
+        txn_id: identifier (start timestamp) of the aborted transaction.
+        reason: short machine-readable reason tag (e.g. ``"ww-conflict"``,
+            ``"rw-conflict"``, ``"tmax"``, ``"lock-held"``, ``"client"``).
+    """
+
+    def __init__(self, txn_id: int, reason: str = "conflict") -> None:
+        super().__init__(f"transaction {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class ConflictAbort(AbortException):
+    """Abort due to a detected conflict (write-write or read-write)."""
+
+    def __init__(self, txn_id: int, reason: str, row: object = None) -> None:
+        super().__init__(txn_id, reason)
+        self.row = row
+
+
+class TmaxAbort(AbortException):
+    """Pessimistic abort by the bounded oracle (Algorithm 3, line 8).
+
+    Raised when a row is absent from the in-memory ``lastCommit`` map and
+    the transaction's start timestamp is older than ``Tmax``, so the oracle
+    cannot prove the absence of a conflict.
+    """
+
+    def __init__(self, txn_id: int, tmax: int) -> None:
+        super().__init__(txn_id, "tmax")
+        self.tmax = tmax
+
+
+class LockConflict(TransactionError):
+    """Percolator-style lock acquisition failure (lock already held)."""
+
+    def __init__(self, row: object, holder: int) -> None:
+        super().__init__(f"row {row!r} locked by transaction {holder}")
+        self.row = row
+        self.holder = holder
+
+
+class InvalidTransactionState(TransactionError):
+    """Operation attempted on a transaction in the wrong state.
+
+    For example reading after commit, or committing twice.
+    """
+
+
+class OracleClosed(TransactionError):
+    """The status oracle has been shut down and rejects new requests."""
+
+
+class RecoveryError(TransactionError):
+    """WAL replay failed or produced an inconsistent oracle state."""
+
+
+class WALError(TransactionError):
+    """Base class for write-ahead-log failures."""
+
+
+class LedgerClosedError(WALError):
+    """Append attempted on a closed BookKeeper ledger."""
+
+
+class NotEnoughBookiesError(WALError):
+    """Replication constraint cannot be met by the available bookies."""

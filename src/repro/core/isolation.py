@@ -1,0 +1,104 @@
+"""Isolation-level registry and one-call system assembly.
+
+The paper contrasts two isolation levels; this module gives them stable
+names and a convenience constructor that wires a complete single-process
+transactional system (store + oracle + manager) for examples and tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.status_oracle import StatusOracle, make_oracle
+from repro.core.timestamps import TimestampOracle
+from repro.core.transaction import TransactionManager
+from repro.mvcc.store import MVCCStore
+from repro.wal.bookkeeper import BookKeeperWAL
+
+
+class IsolationLevel(enum.Enum):
+    """The two isolation levels the paper compares.
+
+    * ``SNAPSHOT`` — snapshot isolation ("read-snapshot isolation" in the
+      paper's terminology, §4): write-write conflict detection; not
+      serializable (allows write skew, H2).
+    * ``WRITE_SNAPSHOT`` — write-snapshot isolation: read-write conflict
+      detection; serializable (Theorem 1).
+    """
+
+    SNAPSHOT = "si"
+    WRITE_SNAPSHOT = "wsi"
+
+    @property
+    def is_serializable(self) -> bool:
+        """§4.2: WSI is serializable; SI is not (§3.1)."""
+        return self is IsolationLevel.WRITE_SNAPSHOT
+
+    @classmethod
+    def parse(cls, name: str) -> "IsolationLevel":
+        """Accept 'si'/'wsi' and common aliases."""
+        normalized = name.strip().lower().replace("-", "_")
+        aliases = {
+            "si": cls.SNAPSHOT,
+            "snapshot": cls.SNAPSHOT,
+            "snapshot_isolation": cls.SNAPSHOT,
+            "read_snapshot": cls.SNAPSHOT,
+            "wsi": cls.WRITE_SNAPSHOT,
+            "write_snapshot": cls.WRITE_SNAPSHOT,
+            "write_snapshot_isolation": cls.WRITE_SNAPSHOT,
+            "serializable": cls.WRITE_SNAPSHOT,
+        }
+        try:
+            return aliases[normalized]
+        except KeyError:
+            raise ValueError(f"unknown isolation level {name!r}") from None
+
+
+@dataclass
+class TransactionalSystem:
+    """A fully wired single-process stack: store, oracle, manager."""
+
+    level: IsolationLevel
+    store: MVCCStore
+    oracle: StatusOracle
+    manager: TransactionManager
+    wal: Optional[BookKeeperWAL] = None
+
+
+def create_system(
+    level: IsolationLevel | str = IsolationLevel.WRITE_SNAPSHOT,
+    bounded: bool = False,
+    max_rows: int = 1_000_000,
+    durable: bool = False,
+) -> TransactionalSystem:
+    """Assemble a transactional system in one call.
+
+    Args:
+        level: isolation level (enum or 'si'/'wsi' string).
+        bounded: use the Appendix-A bounded-memory oracle (Algorithm 3).
+        max_rows: lastCommit capacity when ``bounded``.
+        durable: attach a BookKeeper-style WAL to the oracle.
+
+    Example::
+
+        system = create_system("wsi")
+        with system.manager.begin() as txn:
+            txn.write("row1", "hello")
+    """
+    if isinstance(level, str):
+        level = IsolationLevel.parse(level)
+    wal = BookKeeperWAL() if durable else None
+    oracle = make_oracle(
+        level.value,
+        bounded=bounded,
+        max_rows=max_rows,
+        timestamp_oracle=TimestampOracle(),
+        wal=wal,
+    )
+    store = MVCCStore()
+    manager = TransactionManager(oracle, store)
+    return TransactionalSystem(
+        level=level, store=store, oracle=oracle, manager=manager, wal=wal
+    )

@@ -1,0 +1,434 @@
+"""The status oracle: centralized, lock-free conflict detection.
+
+This module implements the paper's three commit algorithms:
+
+* **Algorithm 1** (§2.2) — snapshot isolation.  The commit request carries
+  the *write set* ``R``; the oracle aborts if any written row has
+  ``lastCommit(r) > Ts(txn)``, else assigns ``Tc`` and updates
+  ``lastCommit`` for every written row.
+* **Algorithm 2** (§5) — write-snapshot isolation.  The commit request
+  carries both the write set ``Rw`` and the read set ``Rr``; the oracle
+  checks ``lastCommit`` over the **read** rows and, on commit, updates it
+  over the **write** rows.
+* **Algorithm 3** (Appendix A) — the bounded-memory refinement used by the
+  real Omid deployment: ``lastCommit`` keeps only the most recent rows
+  that fit in memory plus ``Tmax``, the maximum timestamp evicted; a row
+  missing from memory with ``Tmax > Ts(txn)`` aborts *pessimistically*.
+
+The diff between Algorithms 1 and 2 is deliberately tiny — which rows are
+checked, and nothing else — making the paper's claim that "the changes
+into the implementation of snapshot isolation ... are a few" (§5) literal
+in this code: compare :meth:`SnapshotIsolationOracle.rows_to_check`
+against :meth:`WriteSnapshotIsolationOracle.rows_to_check`.
+
+The oracle is single-threaded by construction ("the current implementation
+of status oracle executes the conflict detection algorithm in a critical
+section", §6.3); callers that want concurrency model it *around* the
+oracle (see :mod:`repro.sim`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
+
+from repro.core.commit_table import CommitTable
+from repro.core.errors import OracleClosed, RecoveryError
+from repro.core.timestamps import TimestampOracle
+from repro.wal.bookkeeper import BookKeeperWAL
+
+RowKey = Hashable
+
+# Appendix A sizing: row id + start ts + commit ts at 8 bytes each, plus
+# bookkeeping, is estimated at 32 bytes per lastCommit entry.
+BYTES_PER_LASTCOMMIT_ENTRY = 32
+
+
+@dataclass(frozen=True)
+class CommitRequest:
+    """A client's commit request.
+
+    Under SI only ``write_set`` matters; under WSI the oracle checks
+    ``read_set`` and installs ``write_set``.  A read-only transaction
+    submits both sets empty (§5.1) so the oracle commits it without any
+    conflict computation or WAL write.
+    """
+
+    start_ts: int
+    write_set: FrozenSet[RowKey] = frozenset()
+    read_set: FrozenSet[RowKey] = frozenset()
+
+    @property
+    def is_read_only(self) -> bool:
+        return not self.write_set
+
+
+@dataclass(frozen=True)
+class CommitResult:
+    """Outcome of a commit request."""
+
+    committed: bool
+    start_ts: int
+    commit_ts: Optional[int] = None
+    reason: str = ""  # "" on commit; "ww-conflict"/"rw-conflict"/"tmax"
+    conflict_row: Optional[RowKey] = None
+
+
+@dataclass
+class OracleStats:
+    """Counters the benchmarks read off the oracle."""
+
+    commits: int = 0
+    aborts: int = 0
+    read_only_commits: int = 0
+    conflict_aborts: int = 0
+    tmax_aborts: int = 0
+    rows_checked: int = 0
+    rows_updated: int = 0
+
+    @property
+    def total_requests(self) -> int:
+        return self.commits + self.aborts
+
+    @property
+    def abort_rate(self) -> float:
+        total = self.total_requests
+        return self.aborts / total if total else 0.0
+
+
+class StatusOracle:
+    """Base class: timestamp allocation, lastCommit state, WAL, stats.
+
+    Subclasses choose which rows are *checked* against ``lastCommit`` and
+    which rows *update* it — that single decision is the entire difference
+    between snapshot isolation and write-snapshot isolation.
+    """
+
+    #: isolation level tag ("si" or "wsi"); set by subclasses.
+    level: str = "base"
+
+    def __init__(
+        self,
+        timestamp_oracle: Optional[TimestampOracle] = None,
+        wal: Optional[BookKeeperWAL] = None,
+    ) -> None:
+        self._wal = wal
+        if timestamp_oracle is None:
+            # With a WAL attached, persist timestamp reservations so a
+            # recovered instance never reissues a start timestamp
+            # (Appendix A's batched-reservation protocol).
+            wal_hook = self._log_ts_reservation if wal is not None else None
+            timestamp_oracle = TimestampOracle(wal_append=wal_hook)
+        self._tso = timestamp_oracle
+        self._last_commit: Dict[RowKey, int] = {}
+        self.commit_table = CommitTable()
+        self.stats = OracleStats()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # policy hooks
+    # ------------------------------------------------------------------
+    def rows_to_check(self, request: CommitRequest) -> FrozenSet[RowKey]:
+        """Rows whose ``lastCommit`` is compared against ``Ts`` (line 1)."""
+        raise NotImplementedError
+
+    def rows_to_update(self, request: CommitRequest) -> FrozenSet[RowKey]:
+        """Rows whose ``lastCommit`` is set to ``Tc`` on commit (line 7).
+
+        Both algorithms update the *write* set: committed writes are what
+        future transactions can conflict with.
+        """
+        return request.write_set
+
+    # ------------------------------------------------------------------
+    # the commit protocol
+    # ------------------------------------------------------------------
+    def begin(self) -> int:
+        """Serve a start timestamp (the only oracle cost a read-only
+        transaction ever pays, §5.1)."""
+        if self._closed:
+            raise OracleClosed("status oracle is closed")
+        return self._tso.next()
+
+    def commit(self, request: CommitRequest) -> CommitResult:
+        """Process a commit request (Algorithms 1 and 2).
+
+        Returns a :class:`CommitResult`; never raises for conflicts — an
+        abort is a normal protocol outcome, and the *client* turns it into
+        an exception if it wants one.
+        """
+        if self._closed:
+            raise OracleClosed("status oracle is closed")
+
+        # §5.1 read-only fast path: empty sets, no check, no WAL cost.
+        if request.is_read_only and not request.read_set:
+            self.stats.commits += 1
+            self.stats.read_only_commits += 1
+            return CommitResult(True, request.start_ts, commit_ts=None)
+
+        # Lines 1-5: conflict check against lastCommit.
+        conflict = self._check(request)
+        if conflict is not None:
+            reason, row = conflict
+            self.stats.aborts += 1
+            self.stats.conflict_aborts += 1
+            if reason == "tmax":
+                self.stats.tmax_aborts += 1
+                self.stats.conflict_aborts -= 1
+            self.commit_table.record_abort(request.start_ts)
+            self._log("abort", (request.start_ts,))
+            return CommitResult(
+                False, request.start_ts, reason=reason, conflict_row=row
+            )
+
+        # Line 6: assign the commit timestamp (inside the critical section,
+        # which is why checking only lastCommit(r) > Ts suffices — no
+        # later-committing transaction can slip between check and assign).
+        commit_ts = self._tso.next()
+
+        # Lines 7-9: install the write set.
+        rows = self.rows_to_update(request)
+        self._install(rows, commit_ts)
+        self.stats.rows_updated += len(rows)
+
+        self.commit_table.record_commit(request.start_ts, commit_ts)
+        self.stats.commits += 1
+        self._log("commit", (request.start_ts, commit_ts, tuple(rows)))
+        return CommitResult(True, request.start_ts, commit_ts=commit_ts)
+
+    def abort(self, start_ts: int) -> None:
+        """Record a client-initiated abort (e.g. application rollback)."""
+        if self._closed:
+            raise OracleClosed("status oracle is closed")
+        self.commit_table.record_abort(start_ts)
+        self.stats.aborts += 1
+        self._log("abort", (start_ts,))
+
+    # ------------------------------------------------------------------
+    # lastCommit plumbing (overridden by the bounded oracle)
+    # ------------------------------------------------------------------
+    def _check(self, request: CommitRequest) -> Optional[Tuple[str, RowKey]]:
+        # The lastCommit comparison is identical for every policy; only
+        # the *rows* differ, and the reason tag follows from which rows
+        # are checked (SI and SSI check writes, WSI checks reads).
+        reason = "rw-conflict" if self.level == "wsi" else "ww-conflict"
+        for row in self.rows_to_check(request):
+            self.stats.rows_checked += 1
+            last = self._last_commit.get(row)
+            if last is not None and last > request.start_ts:
+                return reason, row
+        return None
+
+    def _install(self, rows: Iterable[RowKey], commit_ts: int) -> None:
+        for row in rows:
+            self._last_commit[row] = commit_ts
+
+    def last_commit(self, row: RowKey) -> Optional[int]:
+        """Expose lastCommit(r) for tests and checkers."""
+        return self._last_commit.get(row)
+
+    # ------------------------------------------------------------------
+    # durability / recovery
+    # ------------------------------------------------------------------
+    def _log(self, kind: str, payload) -> None:
+        if self._wal is not None:
+            self._wal.append(kind, payload, size=BYTES_PER_LASTCOMMIT_ENTRY)
+
+    def _log_ts_reservation(self, high_water: int) -> None:
+        """Persist a timestamp-reservation high-water mark.
+
+        The reservation must be durable *before* any timestamp from the
+        batch is served, so it is flushed immediately rather than
+        batched with commit records.
+        """
+        if self._wal is not None:
+            self._wal.append("ts-reserve", high_water, size=8)
+            self._wal.flush()
+
+    def recover_from(self, wal: BookKeeperWAL) -> None:
+        """Rebuild lastCommit and the commit table by WAL replay.
+
+        "if the status oracle server fails ... another fresh instance of
+        the status oracle could still recreate the memory state from the
+        write-ahead log and continue servicing the commit requests"
+        (Appendix A).
+        """
+        max_ts = 0
+        for record in wal.replay():
+            if record.kind == "commit":
+                start_ts, commit_ts, rows = record.payload
+                self.commit_table.record_commit(start_ts, commit_ts)
+                for row in rows:
+                    prev = self._last_commit.get(row, 0)
+                    self._last_commit[row] = max(prev, commit_ts)
+                max_ts = max(max_ts, commit_ts)
+            elif record.kind == "abort":
+                (start_ts,) = record.payload
+                if not self.commit_table.is_aborted(start_ts):
+                    self.commit_table.record_abort(start_ts)
+                max_ts = max(max_ts, start_ts)
+            elif record.kind == "ts-reserve":
+                max_ts = max(max_ts, record.payload)
+            else:
+                raise RecoveryError(f"unknown WAL record kind {record.kind!r}")
+        # Resume timestamps strictly above anything recovered — including
+        # persisted reservation marks — so no timestamp is ever reused,
+        # and keep persisting reservations if this instance has a WAL.
+        self._tso = TimestampOracle.recover(
+            max(max_ts, self._tso.peek() - 1),
+            reservation_batch=self._tso.reservation_batch,
+            wal_append=self._log_ts_reservation if self._wal is not None else None,
+        )
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.flush()
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def timestamp_oracle(self) -> TimestampOracle:
+        return self._tso
+
+    @property
+    def lastcommit_size(self) -> int:
+        return len(self._last_commit)
+
+    def memory_bytes(self) -> int:
+        """Estimated lastCommit footprint (Appendix A: 32 B per row)."""
+        return len(self._last_commit) * BYTES_PER_LASTCOMMIT_ENTRY
+
+
+class SnapshotIsolationOracle(StatusOracle):
+    """Algorithm 1: write-write conflict detection (snapshot isolation).
+
+    Checks the **write set** against ``lastCommit``.
+    """
+
+    level = "si"
+
+    def rows_to_check(self, request: CommitRequest) -> FrozenSet[RowKey]:
+        return request.write_set
+
+
+class WriteSnapshotIsolationOracle(StatusOracle):
+    """Algorithm 2: read-write conflict detection (write-snapshot isolation).
+
+    Checks the **read set** against ``lastCommit``.  This is the entire
+    change relative to Algorithm 1 — and it buys serializability
+    (Theorem 1 of the paper; verified by property tests in this repo).
+    """
+
+    level = "wsi"
+
+    def rows_to_check(self, request: CommitRequest) -> FrozenSet[RowKey]:
+        return request.read_set
+
+
+class BoundedStatusOracle(StatusOracle):
+    """Algorithm 3: lastCommit bounded to ``max_rows`` entries plus Tmax.
+
+    The production concern (Appendix A): the full ``lastCommit`` map over
+    a 100M-row table does not fit in RAM.  Omid keeps only the most
+    recently written rows and tracks ``Tmax``, the maximum commit
+    timestamp ever evicted.  A commit request touching a row that is *not*
+    in memory must be aborted pessimistically if its start timestamp is
+    below ``Tmax`` — the oracle can no longer prove the row wasn't
+    overwritten after the transaction started.
+
+    Safety is one-sided: eviction can only *add* aborts (false positives),
+    never admit a conflicting commit.  Appendix A argues false positives
+    are negligible when ``Tmax - Ts >> MaxCommitTime`` — e.g. 1 GB of
+    entries covers ~50 s of history at 80K TPS, far above typical commit
+    latencies.  Benchmark E10 sweeps ``max_rows`` to expose the trade-off.
+
+    Args:
+        policy: ``"si"`` (check write set) or ``"wsi"`` (check read set).
+        max_rows: lastCommit capacity in rows (LRU-evicted).
+    """
+
+    def __init__(
+        self,
+        policy: str = "wsi",
+        max_rows: int = 1_000_000,
+        timestamp_oracle: Optional[TimestampOracle] = None,
+        wal: Optional[BookKeeperWAL] = None,
+    ) -> None:
+        if policy not in ("si", "wsi"):
+            raise ValueError(f"policy must be 'si' or 'wsi', not {policy!r}")
+        if max_rows < 1:
+            raise ValueError("max_rows must be >= 1")
+        super().__init__(timestamp_oracle=timestamp_oracle, wal=wal)
+        self.level = policy
+        self._max_rows = max_rows
+        self._last_commit = OrderedDict()  # LRU order: oldest first
+        self.tmax = 0
+
+    def rows_to_check(self, request: CommitRequest) -> FrozenSet[RowKey]:
+        if self.level == "si":
+            return request.write_set
+        return request.read_set
+
+    # Algorithm 3, lines 1-11.
+    def _check(self, request: CommitRequest) -> Optional[Tuple[str, RowKey]]:
+        reason = "ww-conflict" if self.level == "si" else "rw-conflict"
+        for row in self.rows_to_check(request):
+            self.stats.rows_checked += 1
+            last = self._last_commit.get(row)
+            if last is not None:
+                if last > request.start_ts:  # line 3
+                    return reason, row
+            elif self.tmax > request.start_ts:  # line 7
+                return "tmax", row
+        return None
+
+    def _install(self, rows: Iterable[RowKey], commit_ts: int) -> None:
+        lc = self._last_commit
+        for row in rows:
+            if row in lc:
+                lc.pop(row)
+            lc[row] = commit_ts
+            if len(lc) > self._max_rows:
+                _, evicted_ts = lc.popitem(last=False)
+                if evicted_ts > self.tmax:
+                    self.tmax = evicted_ts
+
+    @property
+    def max_rows(self) -> int:
+        return self._max_rows
+
+    def memory_budget_rows(self) -> int:
+        """Rows representable per Appendix A's 32 B/entry estimate."""
+        return self._max_rows
+
+    @staticmethod
+    def rows_for_memory(memory_bytes: int) -> int:
+        """Appendix A sizing: 1 GB -> 32M rows at 32 B per entry."""
+        return max(1, memory_bytes // BYTES_PER_LASTCOMMIT_ENTRY)
+
+
+def make_oracle(
+    level: str,
+    bounded: bool = False,
+    max_rows: int = 1_000_000,
+    timestamp_oracle: Optional[TimestampOracle] = None,
+    wal: Optional[BookKeeperWAL] = None,
+) -> StatusOracle:
+    """Factory: build a status oracle for ``level`` in {"si", "wsi"}."""
+    if bounded:
+        return BoundedStatusOracle(
+            policy=level,
+            max_rows=max_rows,
+            timestamp_oracle=timestamp_oracle,
+            wal=wal,
+        )
+    if level == "si":
+        return SnapshotIsolationOracle(timestamp_oracle=timestamp_oracle, wal=wal)
+    if level == "wsi":
+        return WriteSnapshotIsolationOracle(
+            timestamp_oracle=timestamp_oracle, wal=wal
+        )
+    raise ValueError(f"unknown isolation level {level!r}")

@@ -1,0 +1,143 @@
+"""Timestamp oracle: the centralized source of transaction timestamps.
+
+In both the lock-based and lock-free designs of the paper (Section 2) every
+transaction obtains its start and commit timestamps from a single
+*timestamp oracle* so that timestamps double as a global commit order.
+
+The paper's Appendix A notes the key efficiency trick: although assigned
+timestamps must be durable (a restarted oracle must never hand out a
+timestamp twice), the oracle *reserves* a large batch of timestamps with a
+single write-ahead-log record and then serves that batch from memory, so
+the per-timestamp persistence cost is amortized to almost nothing ("the
+timestamp oracle could reserve thousands of timestamps per each write into
+the write-ahead log").  ``TimestampOracle`` models exactly that protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.errors import OracleClosed, RecoveryError
+
+# The paper says "thousands of timestamps" are reserved per WAL write; Omid
+# used batches in the tens of thousands.  The exact value only affects how
+# often the (simulated) WAL is touched.
+DEFAULT_RESERVATION_BATCH = 10_000
+
+
+class TimestampOracle:
+    """Monotonic timestamp allocator with batched durability.
+
+    Args:
+        reservation_batch: how many timestamps are reserved per WAL record.
+        wal_append: optional callback invoked with the new reservation
+            high-water mark whenever a batch is reserved.  In the full
+            system this is a :class:`repro.wal.BookKeeperWAL` append; unit
+            tests may pass a list-appender; ``None`` keeps the oracle purely
+            in-memory.
+        first_timestamp: the first timestamp that will be handed out.
+
+    The oracle is deliberately simple: ``next()`` returns a strictly
+    increasing integer.  All concurrency control in this repository runs
+    the oracle inside a single-threaded critical section, mirroring the
+    paper's centralized status oracle.
+    """
+
+    def __init__(
+        self,
+        reservation_batch: int = DEFAULT_RESERVATION_BATCH,
+        wal_append: Optional[Callable[[int], None]] = None,
+        first_timestamp: int = 1,
+    ) -> None:
+        if reservation_batch < 1:
+            raise ValueError("reservation_batch must be >= 1")
+        if first_timestamp < 0:
+            raise ValueError("first_timestamp must be >= 0")
+        self._batch = reservation_batch
+        self._wal_append = wal_append
+        self._next = first_timestamp
+        self._reserved_until = first_timestamp - 1  # nothing reserved yet
+        self._closed = False
+        self._wal_writes = 0
+        self._issued = 0
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def next(self) -> int:
+        """Return the next timestamp, reserving a new batch if needed."""
+        if self._closed:
+            raise OracleClosed("timestamp oracle is closed")
+        if self._next > self._reserved_until:
+            self._reserve()
+        ts = self._next
+        self._next += 1
+        self._issued += 1
+        return ts
+
+    def peek(self) -> int:
+        """Return the timestamp ``next()`` would hand out, without advancing."""
+        return self._next
+
+    def _reserve(self) -> None:
+        new_high = self._next + self._batch - 1
+        if self._wal_append is not None:
+            # Persist the *high-water mark* before serving any timestamp
+            # from the batch; recovery resumes from above it.
+            self._wal_append(new_high)
+        self._wal_writes += 1
+        self._reserved_until = new_high
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        persisted_high_water: int,
+        reservation_batch: int = DEFAULT_RESERVATION_BATCH,
+        wal_append: Optional[Callable[[int], None]] = None,
+    ) -> "TimestampOracle":
+        """Rebuild an oracle after a crash.
+
+        The restarted oracle must never reissue a timestamp, so it resumes
+        strictly above the last persisted reservation high-water mark, even
+        though some of those reserved timestamps were never handed out
+        (gaps are harmless; reuse is not).
+        """
+        if persisted_high_water < 0:
+            raise RecoveryError(
+                f"invalid persisted high-water mark {persisted_high_water}"
+            )
+        return cls(
+            reservation_batch=reservation_batch,
+            wal_append=wal_append,
+            first_timestamp=persisted_high_water + 1,
+        )
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def issued_count(self) -> int:
+        """How many timestamps have been handed out."""
+        return self._issued
+
+    @property
+    def wal_write_count(self) -> int:
+        """How many reservation records were written (amortization metric)."""
+        return self._wal_writes
+
+    @property
+    def reservation_batch(self) -> int:
+        return self._batch
+
+    def close(self) -> None:
+        """Stop serving timestamps (simulates oracle shutdown)."""
+        self._closed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TimestampOracle(next={self._next}, "
+            f"reserved_until={self._reserved_until}, issued={self._issued})"
+        )

@@ -1,0 +1,13 @@
+"""HBase-like distributed store simulator (the paper's data substrate).
+
+Public surface:
+
+* :class:`HBaseCluster` — region-sharded storage, StorageBackend-compatible.
+* :class:`RegionServer` — one data server with block-cache accounting.
+* :class:`BlockCache` — LRU block cache (hot/cold read classification).
+"""
+
+from repro.hbase.cluster import HBaseCluster
+from repro.hbase.region_server import BlockCache, RegionServer
+
+__all__ = ["HBaseCluster", "RegionServer", "BlockCache"]

@@ -1,0 +1,99 @@
+"""History algebra and serializability theory (paper §3–4, executable).
+
+Public surface:
+
+* :func:`parse_history`, :class:`History`, :class:`Operation` and the
+  ``read``/``write``/``commit``/``abort`` shorthand constructors.
+* :func:`is_serializable` (multiversion, the paper's notion),
+  :func:`is_conflict_serializable` (single-version, for contrast),
+  :func:`serialize_by_commit_order` (the constructive Lemma 1–2 mapping),
+  :func:`equivalent` (output equivalence).
+* :func:`allowed_under_si` / :func:`allowed_under_wsi` — which histories
+  each oracle admits.
+* anomaly detectors: write skew, lost update, dirty/fuzzy read, phantom.
+* the paper's seven histories: ``H1`` … ``H7`` and ``PAPER_CLAIMS``.
+"""
+
+from repro.history.anomalies import (
+    AnomalyWitness,
+    check_constraint_violation,
+    find_dirty_reads,
+    find_fuzzy_reads,
+    find_lost_updates,
+    find_write_skew,
+    has_phantom,
+)
+from repro.history.checkers import (
+    AdmissibilityResult,
+    allowed_under,
+    allowed_under_si,
+    allowed_under_wsi,
+    classification,
+)
+from repro.history.history import (
+    History,
+    Operation,
+    abort,
+    commit,
+    parse_history,
+    read,
+    write,
+)
+from repro.history.paper_histories import (
+    ALL_HISTORIES,
+    H1,
+    H2,
+    H3,
+    H4,
+    H5,
+    H6,
+    H7,
+    PAPER_CLAIMS,
+)
+from repro.history.serializability import (
+    equivalent,
+    equivalent_serial_order,
+    is_conflict_serializable,
+    is_serializable,
+    mvsg,
+    precedence_graph,
+    serialize_by_commit_order,
+)
+
+__all__ = [
+    "History",
+    "Operation",
+    "parse_history",
+    "read",
+    "write",
+    "commit",
+    "abort",
+    "is_serializable",
+    "is_conflict_serializable",
+    "mvsg",
+    "precedence_graph",
+    "equivalent",
+    "equivalent_serial_order",
+    "serialize_by_commit_order",
+    "allowed_under",
+    "allowed_under_si",
+    "allowed_under_wsi",
+    "classification",
+    "AdmissibilityResult",
+    "AnomalyWitness",
+    "find_write_skew",
+    "find_lost_updates",
+    "find_dirty_reads",
+    "find_fuzzy_reads",
+    "has_phantom",
+    "check_constraint_violation",
+    "H1",
+    "H2",
+    "H3",
+    "H4",
+    "H5",
+    "H6",
+    "H7",
+    "ALL_HISTORIES",
+    "PAPER_CLAIMS",
+]

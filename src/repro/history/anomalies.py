@@ -1,0 +1,229 @@
+"""Anomaly detectors: the named phenomena of §3.
+
+The ANSI anomalies the paper lists (dirty read, fuzzy read, phantom) plus
+the two central to its argument — **lost update** (prevented by SI's
+write-write check, H3) and **write skew** (allowed by SI, H2).  Each
+detector takes a :class:`~repro.history.history.History` and reports
+whether the anomaly manifests, with the witnessing transactions.
+
+Phantoms concern predicate reads; at the paper's row granularity a
+history has no predicates, so :func:`has_phantom` operates on an optional
+predicate map supplied by the caller (item -> predicate membership) and
+is primarily exercised by the tests documenting the limitation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.history.history import History
+
+
+@dataclass(frozen=True)
+class AnomalyWitness:
+    """Evidence that an anomaly manifests."""
+
+    anomaly: str
+    transactions: Tuple[int, ...]
+    item: Optional[str] = None
+
+    def __str__(self) -> str:
+        txns = ", ".join(f"txn{t}" for t in self.transactions)
+        where = f" on {self.item}" if self.item else ""
+        return f"{self.anomaly}({txns}){where}"
+
+
+# ----------------------------------------------------------------------
+# ANSI anomalies (all prevented by *any* snapshot-reading system)
+# ----------------------------------------------------------------------
+def find_dirty_reads(history: History) -> List[AnomalyWitness]:
+    """Dirty read: reading a value whose writer had not committed at the
+    time of the read (and is not the reader itself).
+
+    Uses *physical* read semantics: an MVCC snapshot reader can never
+    exhibit this, which is the point of §3.2 — "these anomalies do not
+    manifest even if we do not prevent any kind of conflicts".
+    """
+    witnesses = []
+    for idx, op in enumerate(history.operations):
+        if op.kind != "r":
+            continue
+        writer = history._physical_writer(op.item, idx)  # noqa: SLF001 - deliberate
+        if writer is None or writer == op.txn:
+            continue
+        commit_pos = history.commit_position(writer)
+        if commit_pos is None or commit_pos > idx:
+            witnesses.append(
+                AnomalyWitness("dirty-read", (op.txn, writer), op.item)
+            )
+    return witnesses
+
+
+def find_fuzzy_reads(history: History) -> List[AnomalyWitness]:
+    """Fuzzy (non-repeatable) read: txn reads an item, a concurrent txn
+    commits a new version of it, and the first txn reads it again seeing
+    a different version — only possible without snapshot reads.
+
+    Detected under physical semantics: two reads of the same item by one
+    transaction that would observe different writers.
+    """
+    witnesses = []
+    seen: Dict[Tuple[int, str], Optional[int]] = {}
+    for idx, op in enumerate(history.operations):
+        if op.kind != "r":
+            continue
+        writer = history._physical_writer(op.item, idx)  # noqa: SLF001
+        key = (op.txn, op.item)
+        if key in seen and seen[key] != writer:
+            assert op.item is not None
+            witnesses.append(
+                AnomalyWitness(
+                    "fuzzy-read",
+                    (op.txn,) + ((writer,) if writer is not None else ()),
+                    op.item,
+                )
+            )
+        seen.setdefault(key, writer)
+    return witnesses
+
+
+def has_phantom(
+    history: History, predicate_items: Optional[FrozenSet[str]] = None
+) -> bool:
+    """Phantom: the membership of a search predicate changes between two
+    evaluations inside one transaction.
+
+    With snapshot reads the predicate is evaluated against a fixed
+    snapshot, so this returns False whenever every reader re-evaluates on
+    its own snapshot — the caller supplies ``predicate_items`` (the items
+    the predicate covers) to model a predicate read over them.
+    """
+    if predicate_items is None:
+        return False
+    # Under snapshot semantics the same snapshot serves both evaluations.
+    # A phantom would need physical semantics: check if any txn reads a
+    # predicate item twice with different physical writers in between.
+    for witness in find_fuzzy_reads(history):
+        if witness.item in predicate_items:
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# lost update (H3) — prevented by SI and by WSI
+# ----------------------------------------------------------------------
+def find_lost_updates(history: History) -> List[AnomalyWitness]:
+    """Lost update (§3.2, H3): committed txn A reads item x, concurrent
+    committed txn B also reads x and commits a write to x *between A's
+    read and A's commit of its own write to x* — so A's update is based
+    on a stale value and B's committed update is effectively lost.
+
+    Precisely (per Berenson et al. / the paper's H3): A and B both read
+    x and write x; their lifetimes overlap; both commit.  A blind write
+    (no read of x, H4) is *not* a lost update — the paper stresses this.
+    """
+    witnesses = []
+    committed = history.committed_transactions()
+    for i, a in enumerate(committed):
+        for b in committed[i + 1:]:
+            if not history.are_concurrent(a, b):
+                continue
+            shared = (
+                history.read_set(a) & history.write_set(a)
+                & history.read_set(b) & history.write_set(b)
+            )
+            for item in sorted(shared):
+                witnesses.append(AnomalyWitness("lost-update", (a, b), item))
+    return witnesses
+
+
+# ----------------------------------------------------------------------
+# write skew (H2) — allowed by SI, prevented by WSI
+# ----------------------------------------------------------------------
+def find_write_skew(history: History) -> List[AnomalyWitness]:
+    """Write skew (§3.1, H2): concurrent committed txns A and B where A
+    reads an item B writes, B reads an item A writes, and their write
+    sets are disjoint (so SI's write-write check cannot see it).
+    """
+    witnesses = []
+    committed = history.committed_transactions()
+    for i, a in enumerate(committed):
+        for b in committed[i + 1:]:
+            if not history.are_concurrent(a, b):
+                continue
+            if history.write_set(a) & history.write_set(b):
+                continue  # SI would catch this pair
+            a_reads_b = history.read_set(a) & history.write_set(b)
+            b_reads_a = history.read_set(b) & history.write_set(a)
+            if a_reads_b and b_reads_a:
+                witnesses.append(
+                    AnomalyWitness(
+                        "write-skew",
+                        (a, b),
+                        item=sorted(a_reads_b)[0],
+                    )
+                )
+    return witnesses
+
+
+def check_constraint_violation(
+    history: History,
+    initial: Dict[str, int],
+    apply_write: "WriteSemantics",
+    constraint,
+) -> bool:
+    """Execute the history's dataflow and test a database constraint.
+
+    This makes §3.1's motivating scenario executable: "the write set of
+    the interleaving transactions could be related by a constraint in the
+    database.  Even if each transaction validates the constraint before
+    its commit, two concurrent transactions could still violate it."
+
+    Args:
+        history: the interleaving.
+        initial: item -> initial integer value.
+        apply_write: callable(txn, item, snapshot_values) -> new value,
+            defining what each write computes from the values the writer
+            *observed in its snapshot*.
+        constraint: callable(final_values: Dict[str, int]) -> bool.
+
+    Returns True if the constraint HOLDS in the final state.
+    """
+    reads = history.reads_from(snapshot_reads=True)
+    committed = set(history.committed_transactions())
+    # Resolve each committed transaction's observed values, then each
+    # item's final value from its final writer.
+    values_written: Dict[Tuple[int, str], int] = {}
+
+    def observed(txn: int, item: str) -> int:
+        writer = reads.get((txn, item))
+        if writer is None or writer not in committed:
+            return initial[item]
+        if (writer, item) in values_written:
+            return values_written[(writer, item)]
+        # Writer wrote item but its value not yet computed -> compute.
+        return compute_write(writer, item)
+
+    def compute_write(txn: int, item: str) -> int:
+        snapshot = {
+            it: observed(txn, it)
+            for it in sorted(history.read_set(txn) | {item})
+            if it in initial
+        }
+        value = apply_write(txn, item, snapshot)
+        values_written[(txn, item)] = value
+        return value
+
+    final: Dict[str, int] = dict(initial)
+    for item in sorted(history.items()):
+        if item not in initial:
+            continue
+        writer = history.final_writer(item)
+        if writer is not None:
+            final[item] = compute_write(writer, item)
+    return bool(constraint(final))
+
+
+# Protocol alias for documentation purposes.
+WriteSemantics = object

@@ -1,0 +1,110 @@
+"""Isolation-level admissibility: which histories can SI / WSI produce?
+
+Section 3–4 of the paper reasons about which histories each isolation
+level *allows*.  This module decides that mechanically, by replaying a
+history against the corresponding status-oracle algorithm:
+
+* each transaction's **start timestamp** is assigned at its first
+  operation (position in the interleaving);
+* at its ``c`` operation the transaction submits a commit request —
+  Algorithm 1's check for SI (write set vs ``lastCommit``), Algorithm 2's
+  for WSI (read set vs ``lastCommit``);
+* a history is *allowed* if every transaction that commits in the history
+  passes its check (the oracle never has to abort anything the history
+  says committed).
+
+This is exactly the sense in which the paper says, e.g., "Snapshot
+isolation allows the following history" (H2) or "Write-snapshot isolation
+prevents History 6".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.history.history import History
+
+
+@dataclass
+class AdmissibilityResult:
+    """Outcome of replaying a history against an isolation level.
+
+    Attributes:
+        allowed: True if every committing transaction passes its check.
+        first_rejected: the first transaction whose commit check fails.
+        conflict_row: the row that triggered the rejection.
+        conflicting_with: the committed transaction it conflicted with.
+    """
+
+    allowed: bool
+    first_rejected: Optional[int] = None
+    conflict_row: Optional[str] = None
+    conflicting_with: Optional[int] = None
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+
+def _replay(history: History, level: str) -> AdmissibilityResult:
+    """Run the lastCommit algorithm over the history's interleaving."""
+    start_pos: Dict[int, int] = {
+        t: history.start_position(t) for t in history.transactions
+    }
+    # lastCommit: row -> (commit position, writer) — positions double as
+    # timestamps since the interleaving is the timestamp order.
+    last_commit: Dict[str, Tuple[int, int]] = {}
+    for pos, op in enumerate(history.operations):
+        if op.kind != "c":
+            continue
+        txn = op.txn
+        write_set = history.write_set(txn)
+        read_set = history.read_set(txn)
+        if level == "si":
+            check_rows = write_set
+        elif level == "wsi":
+            # §4.1 read-only optimization: empty write set -> no check.
+            check_rows = read_set if write_set else frozenset()
+        else:
+            raise ValueError(f"unknown isolation level {level!r}")
+        for row in sorted(check_rows):
+            entry = last_commit.get(row)
+            if entry is not None and entry[0] > start_pos[txn]:
+                return AdmissibilityResult(
+                    allowed=False,
+                    first_rejected=txn,
+                    conflict_row=row,
+                    conflicting_with=entry[1],
+                )
+        for row in write_set:
+            last_commit[row] = (pos, txn)
+    return AdmissibilityResult(allowed=True)
+
+
+def allowed_under_si(history: History) -> AdmissibilityResult:
+    """Would a snapshot-isolation oracle accept this exact history?"""
+    return _replay(history, "si")
+
+
+def allowed_under_wsi(history: History) -> AdmissibilityResult:
+    """Would a write-snapshot-isolation oracle accept this history?"""
+    return _replay(history, "wsi")
+
+
+def allowed_under(history: History, level: str) -> AdmissibilityResult:
+    """Dispatch on 'si' / 'wsi'."""
+    return _replay(history, level)
+
+
+def classification(history: History) -> Dict[str, bool]:
+    """Full classification of a history, used by the E8 experiment table.
+
+    Returns {'serializable', 'si', 'wsi'} -> bool.
+    """
+    from repro.history.serializability import is_serializable
+
+    return {
+        "serializable": is_serializable(history),
+        "si": allowed_under_si(history).allowed,
+        "wsi": allowed_under_wsi(history).allowed,
+    }

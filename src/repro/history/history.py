@@ -1,0 +1,286 @@
+"""Histories: interleaved transaction executions in Berenson notation.
+
+Section 3: "A history represents the interleaved execution of transactions
+as a linear ordering of their operations [5]"; the paper writes histories
+in the notation of the ANSI-critique paper — ``w1[x]`` / ``r1[x]`` for a
+write/read by txn 1 on item x, ``c1`` / ``a1`` for its commit/abort.
+
+:func:`parse_history` accepts exactly that syntax, so the paper's
+histories paste straight into code::
+
+    H2 = parse_history("r1[x] r1[y] r2[x] r2[y] w1[x] w2[y] c1 c2")
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One step of a history.
+
+    Attributes:
+        kind: 'r' (read), 'w' (write), 'c' (commit), 'a' (abort).
+        txn: transaction number.
+        item: data item for r/w; None for c/a.
+    """
+
+    kind: str
+    txn: int
+    item: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("r", "w", "c", "a"):
+            raise ValueError(f"unknown operation kind {self.kind!r}")
+        if self.kind in ("r", "w") and self.item is None:
+            raise ValueError(f"{self.kind}-operation requires an item")
+        if self.kind in ("c", "a") and self.item is not None:
+            raise ValueError(f"{self.kind}-operation takes no item")
+
+    def __str__(self) -> str:
+        if self.item is not None:
+            return f"{self.kind}{self.txn}[{self.item}]"
+        return f"{self.kind}{self.txn}"
+
+
+def read(txn: int, item: str) -> Operation:
+    """Shorthand constructor: ``read(1, 'x')`` == ``r1[x]``."""
+    return Operation("r", txn, item)
+
+
+def write(txn: int, item: str) -> Operation:
+    """Shorthand constructor: ``write(1, 'x')`` == ``w1[x]``."""
+    return Operation("w", txn, item)
+
+
+def commit(txn: int) -> Operation:
+    """Shorthand constructor: ``commit(1)`` == ``c1``."""
+    return Operation("c", txn)
+
+
+def abort(txn: int) -> Operation:
+    """Shorthand constructor: ``abort(1)`` == ``a1``."""
+    return Operation("a", txn)
+
+
+_TOKEN = re.compile(r"([rw])(\d+)\[([^\]]+)\]|([ca])(\d+)")
+
+
+def parse_history(text: str) -> "History":
+    """Parse Berenson notation: ``"r1[x] w2[y] c1 c2"`` -> History."""
+    ops: List[Operation] = []
+    pos = 0
+    for match in _TOKEN.finditer(text):
+        between = text[pos:match.start()]
+        if between.strip():
+            raise ValueError(f"unparseable history fragment {between!r}")
+        pos = match.end()
+        if match.group(1):
+            ops.append(Operation(match.group(1), int(match.group(2)), match.group(3)))
+        else:
+            ops.append(Operation(match.group(4), int(match.group(5))))
+    rest = text[pos:]
+    if rest.strip():
+        raise ValueError(f"unparseable history fragment {rest!r}")
+    if not ops:
+        raise ValueError("empty history")
+    return History(ops)
+
+
+class History:
+    """An ordered sequence of operations plus derived per-txn views."""
+
+    def __init__(self, operations: Sequence[Operation]) -> None:
+        self.operations: Tuple[Operation, ...] = tuple(operations)
+        self._validate()
+
+    def _validate(self) -> None:
+        terminated: Set[int] = set()
+        seen: Set[int] = set()
+        for op in self.operations:
+            if op.txn in terminated:
+                raise ValueError(
+                    f"operation {op} after txn {op.txn} already terminated"
+                )
+            seen.add(op.txn)
+            if op.kind in ("c", "a"):
+                terminated.add(op.txn)
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    @property
+    def transactions(self) -> List[int]:
+        """Transaction numbers in order of first appearance."""
+        seen: List[int] = []
+        for op in self.operations:
+            if op.txn not in seen:
+                seen.append(op.txn)
+        return seen
+
+    def operations_of(self, txn: int) -> List[Operation]:
+        return [op for op in self.operations if op.txn == txn]
+
+    def read_set(self, txn: int) -> FrozenSet[str]:
+        return frozenset(
+            op.item for op in self.operations
+            if op.txn == txn and op.kind == "r" and op.item is not None
+        )
+
+    def write_set(self, txn: int) -> FrozenSet[str]:
+        return frozenset(
+            op.item for op in self.operations
+            if op.txn == txn and op.kind == "w" and op.item is not None
+        )
+
+    def is_committed(self, txn: int) -> bool:
+        return any(op.kind == "c" and op.txn == txn for op in self.operations)
+
+    def is_aborted(self, txn: int) -> bool:
+        return any(op.kind == "a" and op.txn == txn for op in self.operations)
+
+    def committed_transactions(self) -> List[int]:
+        return [t for t in self.transactions if self.is_committed(t)]
+
+    def items(self) -> FrozenSet[str]:
+        return frozenset(
+            op.item for op in self.operations if op.item is not None
+        )
+
+    def commit_order(self) -> List[int]:
+        """Committed transactions in commit order."""
+        return [op.txn for op in self.operations if op.kind == "c"]
+
+    def index_of(self, op: Operation) -> int:
+        return self.operations.index(op)
+
+    # positions --------------------------------------------------------
+    def start_position(self, txn: int) -> int:
+        """Index of the txn's first operation (its start point)."""
+        for i, op in enumerate(self.operations):
+            if op.txn == txn:
+                return i
+        raise KeyError(f"txn {txn} not in history")
+
+    def commit_position(self, txn: int) -> Optional[int]:
+        for i, op in enumerate(self.operations):
+            if op.txn == txn and op.kind == "c":
+                return i
+        return None
+
+    def are_concurrent(self, a: int, b: int) -> bool:
+        """Two transactions are concurrent if their [start, end] spans
+        intersect in the interleaving."""
+        spans = []
+        for t in (a, b):
+            start = self.start_position(t)
+            end_ops = [
+                i for i, op in enumerate(self.operations)
+                if op.txn == t and op.kind in ("c", "a")
+            ]
+            end = end_ops[0] if end_ops else len(self.operations)
+            spans.append((start, end))
+        (s1, e1), (s2, e2) = spans
+        return s1 < e2 and s2 < e1
+
+    def is_serial(self) -> bool:
+        """Serial = no two transactions are concurrent (§3)."""
+        txns = self.transactions
+        return not any(
+            self.are_concurrent(a, b)
+            for i, a in enumerate(txns)
+            for b in txns[i + 1:]
+        )
+
+    # ------------------------------------------------------------------
+    # reads-from semantics (multiversion, commit-time version order)
+    # ------------------------------------------------------------------
+    def reads_from(self, snapshot_reads: bool = True) -> Dict[Tuple[int, str], Optional[int]]:
+        """For every (reader txn, item) first-read, which txn wrote the
+        version it observes; ``None`` means the initial version.
+
+        With ``snapshot_reads=True`` (the paper's MVCC systems) a read by
+        txn ``t`` observes the newest version committed *before t's start
+        point*, or t's own earlier write.  With ``False`` reads observe
+        the latest physical write preceding them (single-version
+        semantics, for contrast).
+        """
+        result: Dict[Tuple[int, str], Optional[int]] = {}
+        commit_pos = {t: self.commit_position(t) for t in self.transactions}
+        for i, op in enumerate(self.operations):
+            if op.kind != "r":
+                continue
+            key = (op.txn, op.item)
+            if key in result:
+                continue  # snapshot: repeated reads observe the same version
+            assert op.item is not None
+            if snapshot_reads:
+                result[key] = self._snapshot_writer(op.txn, op.item, i)
+            else:
+                result[key] = self._physical_writer(op.item, i)
+        return result
+
+    def _snapshot_writer(self, reader: int, item: str, read_idx: int) -> Optional[int]:
+        # Own write first (a transaction observes its own changes).
+        for j in range(read_idx - 1, -1, -1):
+            prev = self.operations[j]
+            if prev.txn == reader and prev.kind == "w" and prev.item == item:
+                return reader
+        start = self.start_position(reader)
+        # Newest writer of `item` that committed before `start`.
+        best: Optional[int] = None
+        best_commit = -1
+        for writer in self.transactions:
+            if writer == reader or item not in self.write_set(writer):
+                continue
+            cpos = self.commit_position(writer)
+            if cpos is not None and cpos < start and cpos > best_commit:
+                best, best_commit = writer, cpos
+        return best
+
+    def _physical_writer(self, item: str, read_idx: int) -> Optional[int]:
+        for j in range(read_idx - 1, -1, -1):
+            prev = self.operations[j]
+            if prev.kind == "w" and prev.item == item and not self.is_aborted(prev.txn):
+                return prev.txn
+        return None
+
+    def final_writer(self, item: str) -> Optional[int]:
+        """Which committed txn installs the final version of ``item``.
+
+        Multiversion semantics: the committed writer with the greatest
+        commit timestamp (= latest commit position).
+        """
+        best: Optional[int] = None
+        best_commit = -1
+        for writer in self.committed_transactions():
+            if item in self.write_set(writer):
+                cpos = self.commit_position(writer)
+                assert cpos is not None
+                if cpos > best_commit:
+                    best, best_commit = writer, cpos
+        return best
+
+    # ------------------------------------------------------------------
+    # dunder / display
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        return " ".join(str(op) for op in self.operations)
+
+    def __repr__(self) -> str:
+        return f"History({self})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, History) and self.operations == other.operations
+
+    def __hash__(self) -> int:
+        return hash(self.operations)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)

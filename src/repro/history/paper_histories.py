@@ -1,0 +1,67 @@
+"""The seven histories of the paper, as named constants.
+
+Each constant is the exact history from §3–4 with the paper's claims
+recorded in :data:`PAPER_CLAIMS`; the test suite and experiment E8 verify
+every claim mechanically.
+
+* **H1** — SI's non-serializable history (r/w crossover).
+* **H2** — write skew violating the ``x + y > 0`` constraint.
+* **H3** — lost update (prevented by SI and by WSI).
+* **H4** — blind write: *not* a lost update, serializable, yet prevented
+  by SI's write-write check (SI's unnecessary abort).
+* **H5** — the serial equivalent of H4.
+* **H6** — serializable history unnecessarily prevented by WSI
+  (WSI's unnecessary abort).
+* **H7** — the serial equivalent of H6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.history.history import History, parse_history
+
+H1: History = parse_history("r1[x] r2[y] w1[y] w2[x] c1 c2")
+"""§3.1: allowed under SI (no spatial overlap) but not serializable."""
+
+H2: History = parse_history("r1[x] r1[y] r2[x] r2[y] w1[x] w2[y] c1 c2")
+"""§3.1: write skew — violates x + y > 0 from x = y = 1."""
+
+H3: History = parse_history("r1[x] r2[x] w2[x] w1[x] c1 c2")
+"""§3.2: lost update — txn2's committed update to x is lost."""
+
+H4: History = parse_history("r1[x] w2[x] w1[x] c1 c2")
+"""§3.2: blind write by txn2 — serializable, but SI aborts it anyway."""
+
+H5: History = parse_history("r1[x] w1[x] c1 w2[x] c2")
+"""§3.2: the serial history H4 is equivalent to."""
+
+H6: History = parse_history("r1[x] r2[z] w2[x] w1[y] c2 c1")
+"""§4.3: serializable, but WSI aborts it (txn2 commits during txn1's
+lifetime and writes into x, which txn1 read)."""
+
+H7: History = parse_history("r1[x] w1[y] c1 r2[z] w2[x] c2")
+"""§4.3: the serial history H6 is equivalent to."""
+
+ALL_HISTORIES: Dict[str, History] = {
+    "H1": H1,
+    "H2": H2,
+    "H3": H3,
+    "H4": H4,
+    "H5": H5,
+    "H6": H6,
+    "H7": H7,
+}
+
+#: The paper's claims per history: is it serializable, does the SI oracle
+#: allow it, does the WSI oracle allow it.  (H5/H7 are serial, so every
+#: level allows them.)
+PAPER_CLAIMS: Dict[str, Dict[str, bool]] = {
+    "H1": {"serializable": False, "si": True, "wsi": False},
+    "H2": {"serializable": False, "si": True, "wsi": False},
+    "H3": {"serializable": False, "si": False, "wsi": False},
+    "H4": {"serializable": True, "si": False, "wsi": True},
+    "H5": {"serializable": True, "si": True, "wsi": True},
+    "H6": {"serializable": True, "si": True, "wsi": False},
+    "H7": {"serializable": True, "si": True, "wsi": True},
+}

@@ -1,0 +1,256 @@
+"""Serializability checkers for (multiversion) histories.
+
+Two formalisms, both standard:
+
+* **Conflict serializability** (single-version): precedence graph over
+  r/w conflicts in physical order; acyclic <=> conflict-serializable.
+  Included for contrast — it is *too strict* for the paper's MVCC
+  histories (it rejects H4, which the paper shows is serializable).
+* **Multiversion serializability** (Bernstein–Goodman MVSG; what the
+  paper means by "serializable"): with versions ordered by commit
+  timestamp, build the multiversion serialization graph and test
+  acyclicity.  This accepts exactly the histories that are equivalent to
+  a serial execution under MVCC semantics — it accepts H4 and H6 and
+  rejects H1/H2/H3, matching §3–4 of the paper.
+
+Also provided: :func:`serialize_by_commit_order`, the constructive
+transformation from the paper's Lemmas 1–2 (move read-only transactions
+to their start, write transactions to their commit), and
+:func:`equivalent`, the output-equivalence test used to validate it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.history.history import History, Operation
+
+
+# ----------------------------------------------------------------------
+# graph utilities
+# ----------------------------------------------------------------------
+def find_cycle(edges: Dict[int, Set[int]]) -> Optional[List[int]]:
+    """Return one cycle as a node list, or None if the digraph is acyclic."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[int, int] = {node: WHITE for node in edges}
+    for nbrs in edges.values():
+        for n in nbrs:
+            color.setdefault(n, WHITE)
+    stack_path: List[int] = []
+
+    def dfs(node: int) -> Optional[List[int]]:
+        color[node] = GRAY
+        stack_path.append(node)
+        for nbr in edges.get(node, ()):  # deterministic: sets of ints
+            if color[nbr] == GRAY:
+                idx = stack_path.index(nbr)
+                return stack_path[idx:] + [nbr]
+            if color[nbr] == WHITE:
+                cycle = dfs(nbr)
+                if cycle is not None:
+                    return cycle
+        stack_path.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(color):
+        if color[node] == WHITE:
+            cycle = dfs(node)
+            if cycle is not None:
+                return cycle
+    return None
+
+
+def topological_order(edges: Dict[int, Set[int]]) -> Optional[List[int]]:
+    """Topological sort; None if cyclic.  Ties broken by node number."""
+    nodes: Set[int] = set(edges)
+    for nbrs in edges.values():
+        nodes |= nbrs
+    indegree = {n: 0 for n in nodes}
+    for nbrs in edges.values():
+        for n in nbrs:
+            indegree[n] += 1
+    ready = sorted(n for n, d in indegree.items() if d == 0)
+    order: List[int] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for nbr in sorted(edges.get(node, ())):
+            indegree[nbr] -= 1
+            if indegree[nbr] == 0:
+                # insert keeping `ready` sorted
+                lo, hi = 0, len(ready)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if ready[mid] < nbr:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                ready.insert(lo, nbr)
+    if len(order) != len(nodes):
+        return None
+    return order
+
+
+# ----------------------------------------------------------------------
+# single-version conflict serializability (for contrast)
+# ----------------------------------------------------------------------
+def precedence_graph(history: History) -> Dict[int, Set[int]]:
+    """Classic conflict graph: edge Ti -> Tj for each pair of conflicting
+    operations with Ti's op first (rw, wr, ww on the same item)."""
+    committed = set(history.committed_transactions())
+    edges: Dict[int, Set[int]] = {t: set() for t in committed}
+    ops = [
+        (i, op) for i, op in enumerate(history.operations)
+        if op.kind in ("r", "w") and op.txn in committed
+    ]
+    for a_idx in range(len(ops)):
+        _, a = ops[a_idx]
+        for b_idx in range(a_idx + 1, len(ops)):
+            _, b = ops[b_idx]
+            if a.txn == b.txn or a.item != b.item:
+                continue
+            if a.kind == "w" or b.kind == "w":
+                edges[a.txn].add(b.txn)
+    return edges
+
+
+def is_conflict_serializable(history: History) -> bool:
+    """Single-version conflict serializability (acyclic precedence graph)."""
+    return find_cycle(precedence_graph(history)) is None
+
+
+# ----------------------------------------------------------------------
+# multiversion serializability (the paper's notion)
+# ----------------------------------------------------------------------
+def mvsg(history: History) -> Dict[int, Set[int]]:
+    """Multiversion serialization graph with commit-order versions.
+
+    Nodes are committed transactions plus a virtual initializer ``0``
+    (writer of every item's initial version).  Edges:
+
+    1. reads-from: writer -> reader;
+    2. for reader ``Tk`` reading version ``x_i`` and another committed
+       writer ``Tj`` of x: if ``x_j`` precedes ``x_i`` in version order,
+       add ``Tj -> Ti``, else add ``Tk -> Tj``.
+
+    Version order is commit order (the paper's systems install versions
+    at commit timestamps), with the initial version first.
+    """
+    committed = history.committed_transactions()
+    commit_pos: Dict[int, int] = {}
+    for t in committed:
+        pos = history.commit_position(t)
+        assert pos is not None
+        commit_pos[t] = pos
+    # virtual initial txn 0 commits before everything
+    INIT = 0
+    if INIT in commit_pos:
+        raise ValueError("history must not use transaction number 0")
+    commit_pos[INIT] = -1
+
+    edges: Dict[int, Set[int]] = {t: set() for t in committed}
+    edges[INIT] = set()
+
+    reads = history.reads_from(snapshot_reads=True)
+    committed_set = set(committed)
+
+    for (reader, item), writer in reads.items():
+        if reader not in committed_set:
+            continue
+        src = INIT if writer is None else writer
+        if src != reader and src in commit_pos:
+            edges[src].add(reader)
+        # rule 2: compare against every other committed writer of `item`
+        for other in committed:
+            if other in (reader, src) or item not in history.write_set(other):
+                continue
+            if commit_pos[other] < commit_pos[src]:
+                edges[other].add(src)
+            else:
+                if reader != other:
+                    edges[reader].add(other)
+    return edges
+
+
+def is_serializable(history: History) -> bool:
+    """The paper's serializability: MVSG (commit-order versions) acyclic.
+
+    Matches §3–4: H1, H2, H3 are not serializable; H4, H5, H6, H7 are.
+    """
+    return find_cycle(mvsg(history)) is None
+
+
+def equivalent_serial_order(history: History) -> Optional[List[int]]:
+    """A serial order witnessing serializability, or None."""
+    return topological_order(mvsg(history))
+
+
+# ----------------------------------------------------------------------
+# output equivalence & the paper's constructive serialization
+# ----------------------------------------------------------------------
+def observed_state(history: History) -> Dict[str, Optional[int]]:
+    """Final database state, abstracted: item -> committed final writer."""
+    return {item: history.final_writer(item) for item in sorted(history.items())}
+
+
+def observed_reads(history: History) -> Dict[Tuple[int, str], Optional[int]]:
+    """reads-from relation restricted to committed readers."""
+    committed = set(history.committed_transactions())
+    return {
+        key: writer
+        for key, writer in history.reads_from(snapshot_reads=True).items()
+        if key[0] in committed
+    }
+
+
+def equivalent(h1: History, h2: History) -> bool:
+    """Paper §3: 'Two histories are equivalent if they include the same
+    transactions and produce the same output.'
+
+    Operationalized as: same committed transactions, every committed
+    transaction reads from the same writers (hence computes the same
+    values), and every item ends with the same final writer.
+    """
+    if set(h1.committed_transactions()) != set(h2.committed_transactions()):
+        return False
+    return (
+        observed_reads(h1) == observed_reads(h2)
+        and observed_state(h1) == observed_state(h2)
+    )
+
+
+def serialize_by_commit_order(history: History) -> History:
+    """The constructive transformation of §4.2 (Lemmas 1 & 2).
+
+    Build ``serial(h)``:
+
+    1. keep the commit order of write transactions;
+    2. keep the order of operations inside each transaction;
+    3. move a read-only transaction's operations to right after its start;
+    4. move a write transaction's operations to right before its commit.
+
+    Aborted transactions are dropped ("their modifications are not read
+    by other transactions").
+
+    For histories produced under WSI the result is serial *and*
+    equivalent (the paper's Theorem 1); property-based tests verify both.
+    """
+    committed = history.committed_transactions()
+    read_only = {
+        t for t in committed if not history.write_set(t)
+    }
+    # Anchor point of each transaction in the original interleaving:
+    anchors: List[Tuple[int, int]] = []  # (anchor position, txn)
+    for t in committed:
+        if t in read_only:
+            anchors.append((history.start_position(t), t))
+        else:
+            pos = history.commit_position(t)
+            assert pos is not None
+            anchors.append((pos, t))
+    anchors.sort()
+    ops: List[Operation] = []
+    for _, t in anchors:
+        ops.extend(op for op in history.operations_of(t) if op.kind != "a")
+    return History(ops)

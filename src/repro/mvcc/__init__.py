@@ -1,0 +1,24 @@
+"""Multi-version storage substrate (the paper's HBase data model).
+
+Public surface:
+
+* :class:`MVCCStore` — versioned key-value map.
+* :class:`Version` / :data:`TOMBSTONE` — timestamped cell values.
+* :class:`SnapshotReader` — the paper's snapshot-read skip rule.
+* :class:`Region` / :class:`RegionMap` — key-range sharding.
+"""
+
+from repro.mvcc.region import Region, RegionMap
+from repro.mvcc.snapshot import CommitStatusSource, SnapshotReader
+from repro.mvcc.store import MVCCStore
+from repro.mvcc.version import TOMBSTONE, Version
+
+__all__ = [
+    "MVCCStore",
+    "Version",
+    "TOMBSTONE",
+    "SnapshotReader",
+    "CommitStatusSource",
+    "Region",
+    "RegionMap",
+]

@@ -1,0 +1,157 @@
+"""Region model: contiguous key ranges served by one data server.
+
+HBase "splits groups of consecutive rows of a table into multiple regions,
+and each region is maintained by a single data server (RegionServer)"
+(Section 6).  For the simulator we need just enough of that model to
+(a) route a row to its region/server, and (b) split regions so load can
+spread — the mechanism that lets the paper's 25 RegionServers share a
+100M-row table.
+
+Keys are assumed orderable (the benchmarks use integers; YCSB uses
+zero-padded strings — both work).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Generic, Iterator, List, Optional, Sequence, TypeVar
+
+K = TypeVar("K")
+
+# Sentinels for the open ends of the keyspace.
+_NEG_INF = object()
+_POS_INF = object()
+
+
+@dataclass
+class Region(Generic[K]):
+    """A half-open key range ``[start, end)``.
+
+    ``start is None`` means unbounded below; ``end is None`` unbounded
+    above (the first/last region of a table).
+    """
+
+    region_id: int
+    start: Optional[K]
+    end: Optional[K]
+    server_id: int = 0
+    row_count: int = 0  # maintained by the hosting table for split decisions
+
+    def contains(self, key: K) -> bool:
+        if self.start is not None and key < self.start:  # type: ignore[operator]
+            return False
+        if self.end is not None and key >= self.end:  # type: ignore[operator]
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        lo = "-inf" if self.start is None else repr(self.start)
+        hi = "+inf" if self.end is None else repr(self.end)
+        return f"Region(#{self.region_id} [{lo}, {hi}) @server{self.server_id})"
+
+
+class RegionMap(Generic[K]):
+    """Routing table from key to region, with splitting and rebalancing.
+
+    Maintains regions sorted by start key.  Routing is O(log R).
+    """
+
+    def __init__(self, num_servers: int = 1) -> None:
+        if num_servers < 1:
+            raise ValueError("num_servers must be >= 1")
+        self._num_servers = num_servers
+        self._next_id = 0
+        first = Region(self._alloc_id(), None, None, server_id=0)
+        self._regions: List[Region[K]] = [first]
+        # start keys of regions[1:] for bisect routing; regions[0].start is None
+        self._starts: List[K] = []
+
+    def _alloc_id(self) -> int:
+        rid = self._next_id
+        self._next_id += 1
+        return rid
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def region_for(self, key: K) -> Region[K]:
+        """Return the region containing ``key``."""
+        idx = bisect.bisect_right(self._starts, key)
+        return self._regions[idx]
+
+    def server_for(self, key: K) -> int:
+        """Return the server id hosting ``key``."""
+        return self.region_for(key).server_id
+
+    # ------------------------------------------------------------------
+    # topology changes
+    # ------------------------------------------------------------------
+    def split(self, key: K) -> Region[K]:
+        """Split the region containing ``key`` at ``key``.
+
+        The new right-hand region ``[key, old_end)`` is created and
+        assigned round-robin to a server.  Returns the new region.
+        Splitting at a region's exact start key is a no-op that returns
+        the existing region (already split there).
+        """
+        idx = bisect.bisect_right(self._starts, key)
+        region = self._regions[idx]
+        if region.start is not None and not (region.start < key):  # key == start
+            return region
+        right = Region(
+            self._alloc_id(),
+            start=key,
+            end=region.end,
+            server_id=self._next_id % self._num_servers,
+        )
+        region.end = key
+        self._regions.insert(idx + 1, right)
+        self._starts.insert(idx, key)
+        return right
+
+    def presplit_uniform(self, keys: Sequence[K]) -> None:
+        """Split at every key in ``keys`` (sorted ascending).
+
+        The standard way to pre-split a table for a known keyspace before
+        a bulk load, e.g. 100 split points for 100M integer rows.
+        """
+        for key in keys:
+            self.split(key)
+
+    def rebalance_round_robin(self) -> None:
+        """Reassign regions to servers round-robin (HBase balancer)."""
+        for i, region in enumerate(self._regions):
+            region.server_id = i % self._num_servers
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def regions(self) -> Iterator[Region[K]]:
+        return iter(self._regions)
+
+    def regions_on(self, server_id: int) -> List[Region[K]]:
+        return [r for r in self._regions if r.server_id == server_id]
+
+    @property
+    def region_count(self) -> int:
+        return len(self._regions)
+
+    @property
+    def num_servers(self) -> int:
+        return self._num_servers
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if the region map is not a partition.
+
+        Used by property-based tests: regions must tile the keyspace with
+        no gaps or overlaps, first start and last end unbounded.
+        """
+        assert self._regions, "region map must never be empty"
+        assert self._regions[0].start is None
+        assert self._regions[-1].end is None
+        for left, right in zip(self._regions, self._regions[1:]):
+            assert left.end == right.start, f"gap/overlap at {left} | {right}"
+        assert len(self._starts) == len(self._regions) - 1
+        for region, start in zip(self._regions[1:], self._starts):
+            assert region.start == start

@@ -1,0 +1,45 @@
+"""Versioned cell values for the multi-version store.
+
+HBase (and Bigtable) keep multiple timestamped versions per cell; the
+transactional layer of the paper writes each value at the *start timestamp*
+of the writing transaction and later learns, via the status oracle /
+commit table, whether and when that transaction committed.  A version in
+this store therefore carries the writer's start timestamp; its *commit*
+timestamp lives in the commit table, not in the store (the paper's clients
+replicate the commit timestamps, Section 2.2 / Appendix A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+# Sentinel stored as the value of a deleted cell.  HBase models deletes as
+# tombstone markers rather than physical removal so that snapshot reads at
+# older timestamps still see the pre-delete value.
+TOMBSTONE = object()
+
+
+@dataclass(frozen=True, order=True)
+class Version:
+    """One timestamped version of a cell.
+
+    Ordering is by ``timestamp`` (then value identity), so a sorted list of
+    versions is a time-ordered history of the cell.
+
+    Attributes:
+        timestamp: start timestamp of the transaction that wrote the value.
+        value: the written payload, or :data:`TOMBSTONE` for a delete.
+    """
+
+    timestamp: int
+    value: Any = None
+
+    @property
+    def is_tombstone(self) -> bool:
+        """True if this version marks a deletion."""
+        return self.value is TOMBSTONE
+
+    def __repr__(self) -> str:
+        val = "<tombstone>" if self.is_tombstone else repr(self.value)
+        return f"Version(ts={self.timestamp}, value={val})"

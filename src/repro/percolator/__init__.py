@@ -1,0 +1,27 @@
+"""Lock-based snapshot isolation baseline (Percolator, paper §2.1).
+
+Public surface:
+
+* :class:`PercolatorTransactionManager` / :class:`PercolatorTransaction`
+  — client-run 2PC over lock and write columns.
+* :class:`PercolatorStore` — data + lock + write columns.
+* :class:`LockPolicy` — wait / abort-self / force-abort-holder.
+"""
+
+from repro.percolator.percolator import (
+    Lock,
+    LockPolicy,
+    PercolatorStore,
+    PercolatorTransaction,
+    PercolatorTransactionManager,
+    WriteRecord,
+)
+
+__all__ = [
+    "PercolatorTransactionManager",
+    "PercolatorTransaction",
+    "PercolatorStore",
+    "LockPolicy",
+    "Lock",
+    "WriteRecord",
+]

@@ -1,0 +1,45 @@
+"""Discrete-event simulation of the paper's testbed (§6).
+
+Public surface:
+
+* :class:`Engine`, :class:`Resource`, :class:`Event` — the simulation core.
+* :class:`LatencyModel` / :func:`paper_latency_model` — §6.2-calibrated
+  timing constants.
+* :class:`OracleBenchSim` / :func:`sweep_clients` — Figure 5.
+* :class:`ClusterSim` / :func:`sweep_cluster` — Figures 6–10.
+* :func:`run_microbench` — the §6.2 latency-breakdown table.
+"""
+
+from repro.sim.cluster_sim import (
+    PAPER_CLIENT_SWEEP,
+    ClusterSim,
+    ClusterSimResult,
+    sweep_cluster,
+)
+from repro.sim.engine import Engine, Event, Resource
+from repro.sim.latency import LatencyModel, paper_latency_model
+from repro.sim.microbench import MicrobenchResult, run_microbench
+from repro.sim.oracle_bench import (
+    OUTSTANDING_PER_CLIENT,
+    OracleBenchResult,
+    OracleBenchSim,
+    sweep_clients,
+)
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Resource",
+    "LatencyModel",
+    "paper_latency_model",
+    "OracleBenchSim",
+    "OracleBenchResult",
+    "sweep_clients",
+    "OUTSTANDING_PER_CLIENT",
+    "ClusterSim",
+    "ClusterSimResult",
+    "sweep_cluster",
+    "PAPER_CLIENT_SWEEP",
+    "MicrobenchResult",
+    "run_microbench",
+]

@@ -1,0 +1,215 @@
+"""A small discrete-event simulation engine (SimPy-flavoured).
+
+The paper's evaluation ran on 34 machines; we reproduce the *shape* of
+its curves with a deterministic discrete-event simulation.  This engine
+provides the three primitives the cluster model needs:
+
+* **events** scheduled at simulated times;
+* **processes** — Python generators that ``yield`` events and resume when
+  they fire (client loops, server loops);
+* **resources** — FIFO servers with finite capacity (oracle critical
+  section, region-server CPUs and disks), which is where queueing delay,
+  and hence every latency-vs-throughput knee in Figs. 5–10, comes from.
+
+Determinism: the event heap breaks time ties by insertion sequence, and
+all randomness lives in explicitly seeded RNGs owned by the callers, so
+a simulation is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Iterator, List, Optional, Tuple
+
+#: A process is a generator yielding Events.
+Process = Generator["Event", Any, None]
+
+
+class Event:
+    """Something that will happen; processes wait on it by yielding it."""
+
+    __slots__ = ("engine", "triggered", "value", "_callbacks")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.triggered:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event immediately (at the current simulated time)."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+        return self
+
+
+class Engine:
+    """The event loop: a heap of (time, sequence, action)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def call_at(self, when: float, action: Callable[[], None]) -> None:
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
+        heapq.heappush(self._heap, (when, self._seq, action))
+        self._seq += 1
+
+    def call_in(self, delay: float, action: Callable[[], None]) -> None:
+        self.call_at(self.now + delay, action)
+
+    def timeout(self, delay: float) -> Event:
+        """An event that fires ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        event = Event(self)
+        self.call_in(delay, lambda: event.succeed())
+        return event
+
+    def event(self) -> Event:
+        """A bare event, triggered manually via ``succeed``."""
+        return Event(self)
+
+    # ------------------------------------------------------------------
+    # processes
+    # ------------------------------------------------------------------
+    def process(self, generator: Process) -> Event:
+        """Run a generator as a process; returns its completion event."""
+        done = Event(self)
+
+        def step(fired: Optional[Event]) -> None:
+            try:
+                target = generator.send(fired.value if fired is not None else None)
+            except StopIteration as stop:
+                if not done.triggered:
+                    done.succeed(stop.value)
+                return
+            target.add_callback(step)
+
+        # Start on the next tick so the caller can finish wiring up.
+        self.call_in(0.0, lambda: step(None))
+        return done
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events until the heap drains or ``until`` is reached."""
+        while self._heap:
+            when, _, action = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            self.now = when
+            action()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._heap)
+
+
+class Resource:
+    """A FIFO multi-server queue: ``capacity`` requests in service at once.
+
+    Usage inside a process::
+
+        grant = resource.acquire()
+        yield grant
+        yield engine.timeout(service_time)
+        resource.release()
+
+    or the one-shot helper ``yield from resource.serve(service_time)``.
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_service = 0
+        self._waiting: Deque[Event] = deque()
+        # metrics
+        self.total_requests = 0
+        self.busy_time = 0.0
+        self._busy_since: Optional[float] = None
+        self.max_queue_len = 0
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> Event:
+        self.total_requests += 1
+        grant = Event(self.engine)
+        if self._in_service < self.capacity:
+            self._enter_service()
+            grant.succeed()
+        else:
+            self._waiting.append(grant)
+            self.max_queue_len = max(self.max_queue_len, len(self._waiting))
+        return grant
+
+    def release(self) -> None:
+        if self._in_service <= 0:
+            raise RuntimeError(f"release() without acquire() on {self.name!r}")
+        self._in_service -= 1
+        self._account_idle()
+        if self._waiting:
+            grant = self._waiting.popleft()
+            self._enter_service()
+            grant.succeed()
+
+    def serve(self, service_time: float) -> Iterator[Event]:
+        """acquire -> hold for service_time -> release, as a sub-process."""
+        yield self.acquire()
+        try:
+            yield self.engine.timeout(service_time)
+        finally:
+            self.release()
+
+    # ------------------------------------------------------------------
+    # utilization accounting
+    # ------------------------------------------------------------------
+    def _enter_service(self) -> None:
+        if self._in_service == 0:
+            self._busy_since = self.engine.now
+        self._in_service += 1
+
+    def _account_idle(self) -> None:
+        if self._in_service == 0 and self._busy_since is not None:
+            self.busy_time += self.engine.now - self._busy_since
+            self._busy_since = None
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of time at least one server was busy."""
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.engine.now - self._busy_since
+        total = elapsed if elapsed is not None else self.engine.now
+        return busy / total if total > 0 else 0.0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    @property
+    def in_service(self) -> int:
+        return self._in_service

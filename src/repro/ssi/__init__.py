@@ -1,0 +1,11 @@
+"""Serializable snapshot isolation (Cahill et al.), the §7.1 comparator.
+
+Public surface:
+
+* :class:`SerializableSIOracle` — SI's write-write check plus
+  commit-time dangerous-structure (pivot) detection.
+"""
+
+from repro.ssi.cahill import SerializableSIOracle
+
+__all__ = ["SerializableSIOracle"]

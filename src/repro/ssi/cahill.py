@@ -1,0 +1,193 @@
+"""Serializable snapshot isolation (Cahill et al. [8]), oracle-adapted.
+
+The paper's related work (§7.1) discusses Cahill, Röhm and Fekete's
+*Serializable Isolation for Snapshot Databases* (TODS 2009): keep
+snapshot isolation's write-write aborts, additionally track read-write
+**antidependencies** (``rw``-edges: reader → overwriting writer) between
+concurrent transactions, and abort when a transaction becomes a *pivot*
+— it has both an incoming and an outgoing rw-edge — since every
+SI anomaly contains such a structure.  The check is conservative:
+"It, however, allows for false positives, which further lowers the
+concurrency level due to unnecessary aborts."
+
+This module adapts the algorithm to the paper's centralized, lock-free
+setting so it can be compared head-to-head with SI and WSI: instead of
+SIREAD locks, the oracle retains the (read set, write set, interval) of
+recently committed transactions and evaluates rw-edges at commit time.
+
+At commit of ``T`` against each *concurrent* committed ``C``:
+
+* ``C.read_set ∩ T.write_set`` ≠ ∅  →  edge ``C → T`` (T has in-conflict,
+  C gains out-conflict);
+* ``T.read_set ∩ C.write_set`` ≠ ∅  →  edge ``T → C`` (T has
+  out-conflict, C gains in-conflict).
+
+``T`` aborts if committing it would give *any* transaction — itself or
+an already-committed neighbour — both flags (a committed transaction
+cannot be aborted retroactively, so the pivot must be prevented by
+aborting ``T``).
+
+The retained-footprint window is pruned below the oldest active start
+timestamp, mirroring how SIREAD locks are released once no concurrent
+transaction remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from repro.core.status_oracle import (
+    CommitRequest,
+    CommitResult,
+    StatusOracle,
+)
+
+RowKey = Hashable
+
+
+@dataclass
+class _CommittedTxn:
+    """Footprint of a committed transaction retained for edge detection."""
+
+    start_ts: int
+    commit_ts: int
+    read_set: FrozenSet[RowKey]
+    write_set: FrozenSet[RowKey]
+    in_conflict: bool = False   # some concurrent txn has an rw-edge INTO it
+    out_conflict: bool = False  # it has an rw-edge into a concurrent txn
+
+
+class SerializableSIOracle(StatusOracle):
+    """SI + commit-time dangerous-structure detection (Cahill-style).
+
+    Keeps Algorithm 1's write-write check (SSI retains SI's first-
+    committer-wins rule) and layers the pivot check on top.
+    """
+
+    level = "ssi"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._active_starts: Set[int] = set()
+        self._recent: List[_CommittedTxn] = []
+        self.pivot_aborts = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks
+    # ------------------------------------------------------------------
+    def begin(self) -> int:
+        ts = super().begin()
+        self._active_starts.add(ts)
+        return ts
+
+    def rows_to_check(self, request: CommitRequest) -> FrozenSet[RowKey]:
+        return request.write_set  # the SI ww-check is kept verbatim
+
+    def commit(self, request: CommitRequest) -> CommitResult:
+        self._active_starts.discard(request.start_ts)
+
+        # Read-only fast path: a read-only transaction can participate in
+        # a dangerous structure only as a pivot's *source*; Cahill's
+        # optimization (and ours): snapshot reads make it safe to commit
+        # read-only transactions that submit empty sets.
+        if request.is_read_only and not request.read_set:
+            return super().commit(request)
+
+        # Phase 1: SI's write-write check (inherited machinery).
+        conflict = self._check(request)
+        if conflict is not None:
+            reason, row = conflict
+            self.stats.aborts += 1
+            self.stats.conflict_aborts += 1
+            self.commit_table.record_abort(request.start_ts)
+            self._log("abort", (request.start_ts,))
+            return CommitResult(
+                False, request.start_ts, reason=reason, conflict_row=row
+            )
+
+        # Phase 2: dangerous-structure (pivot) check against concurrent
+        # committed transactions.
+        in_edge, out_edge, neighbours = self._edges(request)
+        if in_edge and out_edge:
+            self.pivot_aborts += 1
+            return self._abort_pivot(request, "ssi-pivot-self")
+        for neighbour, gains_in, gains_out in neighbours:
+            if (neighbour.in_conflict or gains_in) and (
+                neighbour.out_conflict or gains_out
+            ):
+                self.pivot_aborts += 1
+                return self._abort_pivot(request, "ssi-pivot-neighbour")
+
+        # Safe: commit, apply edge flags, retain the footprint.
+        commit_ts = self._tso.next()
+        rows = self.rows_to_update(request)
+        self._install(rows, commit_ts)
+        self.stats.rows_updated += len(rows)
+        self.commit_table.record_commit(request.start_ts, commit_ts)
+        self.stats.commits += 1
+        self._log("commit", (request.start_ts, commit_ts, tuple(rows)))
+        for neighbour, gains_in, gains_out in neighbours:
+            neighbour.in_conflict = neighbour.in_conflict or gains_in
+            neighbour.out_conflict = neighbour.out_conflict or gains_out
+        self._recent.append(
+            _CommittedTxn(
+                request.start_ts,
+                commit_ts,
+                request.read_set,
+                request.write_set,
+                in_conflict=in_edge,
+                out_conflict=out_edge,
+            )
+        )
+        self._prune()
+        return CommitResult(True, request.start_ts, commit_ts=commit_ts)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _edges(
+        self, request: CommitRequest
+    ) -> Tuple[bool, bool, List[Tuple[_CommittedTxn, bool, bool]]]:
+        """rw-edges between the committing txn and concurrent committed
+        txns.  Returns (T has in-edge, T has out-edge, per-neighbour
+        (txn, neighbour gains in, neighbour gains out))."""
+        t_in = t_out = False
+        neighbours: List[Tuple[_CommittedTxn, bool, bool]] = []
+        for committed in self._recent:
+            # concurrency: C committed after T started (T could not see
+            # C's writes; C could not have seen T's).
+            if committed.commit_ts <= request.start_ts:
+                continue
+            c_gains_in = c_gains_out = False
+            if committed.read_set & request.write_set:
+                t_in = True          # edge C -> T
+                c_gains_out = True
+            if request.read_set & committed.write_set:
+                t_out = True         # edge T -> C
+                c_gains_in = True
+            if c_gains_in or c_gains_out:
+                neighbours.append((committed, c_gains_in, c_gains_out))
+        return t_in, t_out, neighbours
+
+    def _abort_pivot(self, request: CommitRequest, reason: str) -> CommitResult:
+        self.stats.aborts += 1
+        self.stats.conflict_aborts += 1
+        self.commit_table.record_abort(request.start_ts)
+        self._log("abort", (request.start_ts,))
+        return CommitResult(False, request.start_ts, reason=reason)
+
+    def _prune(self) -> None:
+        """Drop footprints no active transaction can be concurrent with."""
+        if not self._active_starts:
+            horizon: Optional[int] = None
+        else:
+            horizon = min(self._active_starts)
+        if horizon is None:
+            self._recent.clear()
+            return
+        self._recent = [c for c in self._recent if c.commit_ts > horizon]
+
+    @property
+    def retained_footprints(self) -> int:
+        return len(self._recent)

@@ -1,0 +1,30 @@
+"""Write-ahead logging substrate (the paper's BookKeeper).
+
+Public surface:
+
+* :class:`BookKeeperWAL` — batching WAL (1 KB / 5 ms triggers, Appendix A).
+* :class:`LedgerManager` / :class:`Ledger` / :class:`Bookie` — replicated
+  ledger storage with quorum durability.
+* :class:`WALRecord` — the logical records the status oracle persists.
+"""
+
+from repro.wal.bookkeeper import (
+    BOOKKEEPER_MAX_WRITES_PER_SEC,
+    DEFAULT_BATCH_SIZE_BYTES,
+    DEFAULT_BATCH_TIMEOUT,
+    BookKeeperWAL,
+    WALRecord,
+)
+from repro.wal.ledger import Bookie, Ledger, LedgerEntry, LedgerManager
+
+__all__ = [
+    "BookKeeperWAL",
+    "WALRecord",
+    "LedgerManager",
+    "Ledger",
+    "LedgerEntry",
+    "Bookie",
+    "DEFAULT_BATCH_SIZE_BYTES",
+    "DEFAULT_BATCH_TIMEOUT",
+    "BOOKKEEPER_MAX_WRITES_PER_SEC",
+]

@@ -1,0 +1,194 @@
+"""Batching write-ahead log in front of the replicated ledgers.
+
+Appendix A gives the exact batching policy the status oracle uses:
+
+* BookKeeper sustains ~20,000 writes/s of 1028-byte entries;
+* multiple oracle records are batched into one ledger entry;
+* a batch is flushed when **1 KB of data has accumulated** or **5 ms have
+  elapsed since the last trigger**, whichever comes first;
+* with a batching factor of 10 this persists the commit records of
+  ~200K TPS.
+
+:class:`BookKeeperWAL` reproduces that policy.  Time is injected via a
+clock callable so the discrete-event simulator (and the unit tests) can
+drive the 5 ms trigger deterministically; in standalone use the default
+clock is a simple manual counter advanced by :meth:`advance_time`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from repro.wal.ledger import Ledger, LedgerManager
+
+# Appendix A constants.
+DEFAULT_BATCH_SIZE_BYTES = 1024  # flush after 1 KB accumulated
+DEFAULT_BATCH_TIMEOUT = 0.005  # or 5 ms since last trigger
+ENTRY_SIZE_BYTES = 1028  # BookKeeper's benchmarked entry size
+BOOKKEEPER_MAX_WRITES_PER_SEC = 20_000
+
+
+@dataclass
+class WALRecord:
+    """One logical record: a commit/abort/reservation from the oracle."""
+
+    kind: str  # "commit" | "abort" | "ts-reserve" | "snapshot"
+    payload: Any
+    size: int
+
+
+class BookKeeperWAL:
+    """Write-ahead log with size- and time-triggered batching.
+
+    Args:
+        ledger_manager: bookie ensemble to persist into (a fresh
+            3-bookie/2-quorum ensemble by default).
+        batch_bytes: size trigger (paper: 1 KB).
+        batch_timeout: time trigger in seconds (paper: 5 ms).
+        clock: callable returning current time in seconds.  Defaults to an
+            internal manual clock (see :meth:`advance_time`); pass the
+            simulator's ``now`` for integrated runs.
+        sync_callback: invoked with the list of records in each flushed
+            batch *after* the batch is durable — this is how the oracle
+            learns its commit acks can be released.
+    """
+
+    def __init__(
+        self,
+        ledger_manager: Optional[LedgerManager] = None,
+        batch_bytes: int = DEFAULT_BATCH_SIZE_BYTES,
+        batch_timeout: float = DEFAULT_BATCH_TIMEOUT,
+        clock: Optional[Callable[[], float]] = None,
+        sync_callback: Optional[Callable[[List[WALRecord]], None]] = None,
+    ) -> None:
+        if batch_bytes < 1:
+            raise ValueError("batch_bytes must be >= 1")
+        if batch_timeout <= 0:
+            raise ValueError("batch_timeout must be > 0")
+        self._manager = ledger_manager or LedgerManager()
+        self._ledger: Ledger = self._manager.create_ledger()
+        self._batch_bytes = batch_bytes
+        self._batch_timeout = batch_timeout
+        self._manual_time = 0.0
+        self._clock = clock or (lambda: self._manual_time)
+        self._sync_callback = sync_callback
+
+        self._pending: List[WALRecord] = []
+        self._pending_bytes = 0
+        self._last_trigger = self._clock()
+
+        self.flush_count = 0
+        self.record_count = 0
+        self.flushed_record_count = 0
+        self._batch_sizes: List[int] = []
+
+    # ------------------------------------------------------------------
+    # append path
+    # ------------------------------------------------------------------
+    def append(self, kind: str, payload: Any, size: int = 32) -> bool:
+        """Queue a record; flush if the size trigger fires.
+
+        Returns True if this append caused a flush (the record is durable
+        on return), False if it is still buffered awaiting a trigger.
+        """
+        self._pending.append(WALRecord(kind, payload, size))
+        self._pending_bytes += size
+        self.record_count += 1
+        if self._pending_bytes >= self._batch_bytes:
+            self.flush()
+            return True
+        return False
+
+    def tick(self) -> bool:
+        """Fire the time trigger if ``batch_timeout`` has elapsed.
+
+        The caller (simulator loop or oracle service loop) invokes this
+        periodically.  Returns True if a flush happened.
+        """
+        if not self._pending:
+            self._last_trigger = self._clock()
+            return False
+        if self._clock() - self._last_trigger >= self._batch_timeout:
+            self.flush()
+            return True
+        return False
+
+    def flush(self) -> int:
+        """Force the pending batch out; returns number of records flushed."""
+        if not self._pending:
+            self._last_trigger = self._clock()
+            return 0
+        batch = self._pending
+        self._pending = []
+        self._pending_bytes = 0
+        self._last_trigger = self._clock()
+        self._ledger.append(batch, size=sum(r.size for r in batch))
+        self.flush_count += 1
+        self.flushed_record_count += len(batch)
+        self._batch_sizes.append(len(batch))
+        if self._sync_callback is not None:
+            self._sync_callback(batch)
+        return len(batch)
+
+    def drop_pending(self) -> int:
+        """Discard the unflushed batch buffer (host crash).
+
+        The batch buffer lives in the oracle host's memory; when that
+        host dies, records that never reached a ledger are simply gone —
+        they were never acknowledged, so losing them is correct.
+        Returns the number of records dropped.
+        """
+        dropped = len(self._pending)
+        self._pending = []
+        self._pending_bytes = 0
+        self._last_trigger = self._clock()
+        return dropped
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def replay(self) -> Iterator[WALRecord]:
+        """Yield every durable record in order (crash recovery).
+
+        Buffered-but-unflushed records are *not* replayed: they were never
+        acknowledged, matching the durability contract.
+        """
+        for batch in self._ledger.replay():
+            yield from batch
+
+    def roll_ledger(self) -> None:
+        """Close the current ledger and open a new one (log rotation)."""
+        self.flush()
+        self._ledger.close()
+        self._ledger = self._manager.create_ledger()
+
+    # ------------------------------------------------------------------
+    # clock / metrics
+    # ------------------------------------------------------------------
+    def advance_time(self, dt: float) -> None:
+        """Advance the internal manual clock (standalone mode only)."""
+        self._manual_time += dt
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def ledger_manager(self) -> LedgerManager:
+        return self._manager
+
+    def batching_factor(self) -> float:
+        """Average records per flushed batch (paper reports ~10)."""
+        if not self._batch_sizes:
+            return 0.0
+        return sum(self._batch_sizes) / len(self._batch_sizes)
+
+    def effective_tps_capacity(self) -> float:
+        """Commit records/s this WAL can persist at the observed batching.
+
+        BookKeeper does ~20K entry-writes/s; batching multiplies that by
+        the records-per-batch factor (paper: factor 10 -> 200K TPS).
+        """
+        factor = self.batching_factor() or 1.0
+        return BOOKKEEPER_MAX_WRITES_PER_SEC * factor

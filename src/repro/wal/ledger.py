@@ -1,0 +1,182 @@
+"""Replicated ledgers: the BookKeeper storage model.
+
+BookKeeper stores a write-ahead log as a sequence of *ledgers*; each
+ledger entry is replicated across several storage nodes (*bookies*).  An
+append is acknowledged once a write quorum of bookies has the entry; a
+read succeeds as long as one replica of every acknowledged entry is
+reachable.  The paper uses 2 BookKeeper machines and notes that "every
+change into the memory of the status oracle that is related to a
+transaction commit/abort is persisted in multiple remote storages via
+BookKeeper" (Section 6).
+
+This module models exactly the durability semantics the oracle needs:
+
+* entries are immutable and totally ordered within a ledger;
+* an entry is durable iff it reached ``ack_quorum`` bookies;
+* bookie crashes lose that bookie's copies; recovery reads survive while
+  at least one replica of each acked entry remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.core.errors import LedgerClosedError, NotEnoughBookiesError
+
+
+@dataclass
+class LedgerEntry:
+    """One durable record: (entry_id, payload, size in bytes)."""
+
+    entry_id: int
+    payload: Any
+    size: int
+
+
+class Bookie:
+    """One storage node holding replicas of ledger entries."""
+
+    def __init__(self, bookie_id: int) -> None:
+        self.bookie_id = bookie_id
+        self._entries: Dict[int, Dict[int, LedgerEntry]] = {}  # ledger -> id -> entry
+        self.alive = True
+        self.write_count = 0
+
+    def store(self, ledger_id: int, entry: LedgerEntry) -> None:
+        if not self.alive:
+            raise NotEnoughBookiesError(f"bookie {self.bookie_id} is down")
+        self._entries.setdefault(ledger_id, {})[entry.entry_id] = entry
+        self.write_count += 1
+
+    def fetch(self, ledger_id: int, entry_id: int) -> Optional[LedgerEntry]:
+        if not self.alive:
+            return None
+        return self._entries.get(ledger_id, {}).get(entry_id)
+
+    def crash(self) -> None:
+        """Lose this bookie (its replicas become unreadable)."""
+        self.alive = False
+        self._entries.clear()
+
+    def restart(self) -> None:
+        """Bring the bookie back empty (data was lost at crash)."""
+        self.alive = True
+
+
+class LedgerManager:
+    """Creates ledgers and appends entries across an ensemble of bookies."""
+
+    def __init__(
+        self,
+        num_bookies: int = 3,
+        write_quorum: int = 2,
+        ack_quorum: int = 2,
+    ) -> None:
+        if not 1 <= ack_quorum <= write_quorum <= num_bookies:
+            raise ValueError(
+                "need 1 <= ack_quorum <= write_quorum <= num_bookies, got "
+                f"{ack_quorum}/{write_quorum}/{num_bookies}"
+            )
+        self.bookies = [Bookie(i) for i in range(num_bookies)]
+        self.write_quorum = write_quorum
+        self.ack_quorum = ack_quorum
+        self._ledgers: Dict[int, "Ledger"] = {}
+        self._next_ledger_id = 0
+
+    def create_ledger(self) -> "Ledger":
+        ledger = Ledger(self._next_ledger_id, self)
+        self._ledgers[ledger.ledger_id] = ledger
+        self._next_ledger_id += 1
+        return ledger
+
+    def get_ledger(self, ledger_id: int) -> "Ledger":
+        return self._ledgers[ledger_id]
+
+    def ledgers(self) -> Iterator["Ledger"]:
+        return iter(self._ledgers.values())
+
+    def alive_bookies(self) -> List[Bookie]:
+        return [b for b in self.bookies if b.alive]
+
+
+class Ledger:
+    """An append-only, replicated sequence of entries."""
+
+    def __init__(self, ledger_id: int, manager: LedgerManager) -> None:
+        self.ledger_id = ledger_id
+        self._manager = manager
+        self._next_entry_id = 0
+        self._acked: List[int] = []  # entry ids acknowledged durable
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def append(self, payload: Any, size: int = 0) -> int:
+        """Replicate ``payload`` to a write quorum; return its entry id.
+
+        Raises :class:`NotEnoughBookiesError` when fewer than
+        ``ack_quorum`` bookies are alive — the oracle must then stall
+        rather than acknowledge unreplicated commits.
+        """
+        if self._closed:
+            raise LedgerClosedError(f"ledger {self.ledger_id} is closed")
+        alive = self._manager.alive_bookies()
+        if len(alive) < self._manager.ack_quorum:
+            raise NotEnoughBookiesError(
+                f"{len(alive)} bookies alive, need {self._manager.ack_quorum}"
+            )
+        entry = LedgerEntry(self._next_entry_id, payload, size)
+        # Round-robin the write set over alive bookies, like BK ensembles.
+        targets = self._pick_targets(alive, entry.entry_id)
+        for bookie in targets:
+            bookie.store(self.ledger_id, entry)
+        self._acked.append(entry.entry_id)
+        self._next_entry_id += 1
+        return entry.entry_id
+
+    def _pick_targets(self, alive: Sequence[Bookie], entry_id: int) -> List[Bookie]:
+        quorum = min(self._manager.write_quorum, len(alive))
+        start = entry_id % len(alive)
+        return [alive[(start + i) % len(alive)] for i in range(quorum)]
+
+    def close(self) -> None:
+        """Seal the ledger; further appends fail (BK close semantics)."""
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    # reads / recovery
+    # ------------------------------------------------------------------
+    def read(self, entry_id: int) -> LedgerEntry:
+        """Read an acknowledged entry from any live replica."""
+        for bookie in self._manager.bookies:
+            entry = bookie.fetch(self.ledger_id, entry_id)
+            if entry is not None:
+                return entry
+        raise NotEnoughBookiesError(
+            f"no live replica of ledger {self.ledger_id} entry {entry_id}"
+        )
+
+    def replay(self) -> Iterator[Any]:
+        """Yield every acknowledged payload in append order.
+
+        This is the oracle's recovery path: replaying the commit records
+        reconstructs the in-memory ``lastCommit`` state.
+        """
+        for entry_id in self._acked:
+            yield self.read(entry_id).payload
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def entry_count(self) -> int:
+        return len(self._acked)
+
+    @property
+    def is_closed(self) -> bool:
+        return self._closed
+
+    def last_entry_id(self) -> Optional[int]:
+        return self._acked[-1] if self._acked else None

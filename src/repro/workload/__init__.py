@@ -1,0 +1,54 @@
+"""YCSB-style transactional workloads (paper §6.1).
+
+Public surface:
+
+* :class:`WorkloadGenerator`, :func:`complex_workload`,
+  :func:`mixed_workload` — transaction-spec streams.
+* :class:`TransactionSpec` / :class:`OperationSpec` — pure descriptions.
+* key distributions: :class:`UniformDistribution`,
+  :class:`ZipfianDistribution` (+ scrambled), :class:`LatestDistribution`,
+  :func:`make_distribution`.
+"""
+
+from repro.workload.distributions import (
+    ZIPFIAN_THETA,
+    KeyDistribution,
+    LatestDistribution,
+    ScrambledZipfianDistribution,
+    UniformDistribution,
+    ZipfianDistribution,
+    fnv1a_64,
+    make_distribution,
+)
+from repro.workload.ycsb import CORE_WORKLOADS, YCSBMix, YCSBWorkload, ycsb
+from repro.workload.generator import (
+    DEFAULT_KEYSPACE,
+    DEFAULT_MAX_ROWS_PER_TXN,
+    OperationSpec,
+    TransactionSpec,
+    WorkloadGenerator,
+    complex_workload,
+    mixed_workload,
+)
+
+__all__ = [
+    "WorkloadGenerator",
+    "YCSBWorkload",
+    "YCSBMix",
+    "CORE_WORKLOADS",
+    "ycsb",
+    "TransactionSpec",
+    "OperationSpec",
+    "complex_workload",
+    "mixed_workload",
+    "UniformDistribution",
+    "ZipfianDistribution",
+    "ScrambledZipfianDistribution",
+    "LatestDistribution",
+    "KeyDistribution",
+    "make_distribution",
+    "fnv1a_64",
+    "ZIPFIAN_THETA",
+    "DEFAULT_KEYSPACE",
+    "DEFAULT_MAX_ROWS_PER_TXN",
+]

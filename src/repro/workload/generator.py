@@ -1,0 +1,171 @@
+"""Transactional YCSB: the paper's benchmark workloads (§6.1).
+
+The paper modified YCSB to issue multi-row transactions and defined:
+
+* **Read-only** transactions — all operations are reads;
+* **Complex** transactions — 50 % reads, 50 % writes;
+* each transaction touches ``n`` rows, ``n`` uniform in ``[0, 20]``;
+* the **complex workload** is 100 % complex transactions (used to stress
+  the status oracle, Fig. 5);
+* the **mixed workload** is 50 % read-only / 50 % complex (used for the
+  HBase experiments, Figs. 6–10).
+
+:class:`WorkloadGenerator` produces :class:`TransactionSpec` values — the
+pure *description* of a transaction (which rows to read/write) — which
+the executors in :mod:`repro.bench` and :mod:`repro.sim` then run against
+a real transaction manager or the simulated cluster.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.workload.distributions import (
+    KeyDistribution,
+    LatestDistribution,
+    make_distribution,
+)
+
+# §6.1: "Each transaction operates on n rows, where n is a uniform random
+# number between 0 and 20."
+DEFAULT_MAX_ROWS_PER_TXN = 20
+# §6: rows randomly selected out of 20M.
+DEFAULT_KEYSPACE = 20_000_000
+
+
+@dataclass(frozen=True)
+class OperationSpec:
+    """One operation within a transaction spec."""
+
+    kind: str  # 'r' or 'w'
+    row: int
+
+
+@dataclass(frozen=True)
+class TransactionSpec:
+    """A transaction to execute: ordered row operations.
+
+    ``read_only`` distinguishes the paper's two transaction types.
+    """
+
+    ops: Tuple[OperationSpec, ...]
+    read_only: bool
+
+    @property
+    def read_rows(self) -> Tuple[int, ...]:
+        return tuple(op.row for op in self.ops if op.kind == "r")
+
+    @property
+    def write_rows(self) -> Tuple[int, ...]:
+        return tuple(op.row for op in self.ops if op.kind == "w")
+
+    @property
+    def size(self) -> int:
+        return len(self.ops)
+
+
+class WorkloadGenerator:
+    """Generates the paper's read-only / complex / mixed workloads.
+
+    Args:
+        distribution: 'uniform' | 'zipfian' | 'zipfianLatest' (§6.4–6.5).
+        keyspace: number of rows (paper: 20M).
+        read_only_fraction: share of read-only transactions — 0.0 is the
+            *complex workload*, 0.5 the *mixed workload*.
+        max_rows: upper bound of the per-transaction row count (paper: 20).
+        seed: RNG seed; every stream derived from it is deterministic.
+    """
+
+    def __init__(
+        self,
+        distribution: str = "uniform",
+        keyspace: int = DEFAULT_KEYSPACE,
+        read_only_fraction: float = 0.0,
+        max_rows: int = DEFAULT_MAX_ROWS_PER_TXN,
+        seed: Optional[int] = None,
+        zetan: Optional[float] = None,
+    ) -> None:
+        if not 0.0 <= read_only_fraction <= 1.0:
+            raise ValueError("read_only_fraction must be within [0, 1]")
+        if max_rows < 0:
+            raise ValueError("max_rows must be >= 0")
+        self.distribution_name = distribution
+        self.keyspace = keyspace
+        self.read_only_fraction = read_only_fraction
+        self.max_rows = max_rows
+        self._rng = random.Random(seed)
+        key_seed = self._rng.randrange(2 ** 63)
+        self._keys: KeyDistribution = make_distribution(
+            distribution, keyspace, seed=key_seed, zetan=zetan
+        )
+
+    # ------------------------------------------------------------------
+    # generation
+    # ------------------------------------------------------------------
+    def next_transaction(self) -> TransactionSpec:
+        """Draw one transaction spec."""
+        read_only = self._rng.random() < self.read_only_fraction
+        n = self._rng.randint(0, self.max_rows)
+        ops: List[OperationSpec] = []
+        writes = 0
+        for i in range(n):
+            row = self._next_key()
+            if read_only:
+                kind = "r"
+            else:
+                # Complex transaction: 50% read / 50% write operations.
+                kind = "r" if self._rng.random() < 0.5 else "w"
+            if kind == "w":
+                writes += 1
+            ops.append(OperationSpec(kind, row))
+        spec = TransactionSpec(tuple(ops), read_only=read_only or writes == 0)
+        # zipfianLatest: writes move the insertion frontier forward, so
+        # popularity follows the freshest data (§6.5).
+        if isinstance(self._keys, LatestDistribution) and writes:
+            self._keys.advance(writes)
+        return spec
+
+    def _next_key(self) -> int:
+        return self._keys.next_key()
+
+    def stream(self, count: int) -> Iterator[TransactionSpec]:
+        """Yield ``count`` transaction specs."""
+        for _ in range(count):
+            yield self.next_transaction()
+
+    def batch(self, count: int) -> List[TransactionSpec]:
+        return list(self.stream(count))
+
+
+def complex_workload(
+    distribution: str = "uniform",
+    keyspace: int = DEFAULT_KEYSPACE,
+    seed: Optional[int] = None,
+    zetan: Optional[float] = None,
+) -> WorkloadGenerator:
+    """The paper's *complex workload*: 100 % complex transactions (Fig. 5)."""
+    return WorkloadGenerator(
+        distribution=distribution,
+        keyspace=keyspace,
+        read_only_fraction=0.0,
+        seed=seed,
+        zetan=zetan,
+    )
+
+
+def mixed_workload(
+    distribution: str = "uniform",
+    keyspace: int = DEFAULT_KEYSPACE,
+    seed: Optional[int] = None,
+    zetan: Optional[float] = None,
+) -> WorkloadGenerator:
+    """The paper's *mixed workload*: 50 % read-only, 50 % complex (Figs. 6-10)."""
+    return WorkloadGenerator(
+        distribution=distribution,
+        keyspace=keyspace,
+        read_only_fraction=0.5,
+        seed=seed,
+        zetan=zetan,
+    )

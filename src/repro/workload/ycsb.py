@@ -1,0 +1,161 @@
+"""The standard YCSB core workloads (A–F), transactionalized.
+
+The paper benchmarks with a modified YCSB [11]; §6.1 defines its own
+read-only / complex transaction types, which :mod:`repro.workload.generator`
+implements.  For downstream users, this module additionally provides the
+*standard* YCSB core workload presets, adapted the same way the paper
+adapted YCSB — each logical operation becomes part of a multi-row
+transaction of ``n ~ U[0, max_rows]`` operations:
+
+========  =========================  ======================  ============
+workload  operation mix              distribution            paper analog
+========  =========================  ======================  ============
+A         50 % read / 50 % update    zipfian                 "complex"
+B         95 % read / 5 % update     zipfian                 —
+C         100 % read                 zipfian                 "read-only"
+D         95 % read / 5 % insert     latest                  Fig. 9/10 mix
+E         95 % scan / 5 % insert     zipfian (scan starts)   §5.2 traffic
+F         50 % read / 50 % RMW       zipfian                 —
+========  =========================  ======================  ============
+
+A *scan* op is expanded into ``scan_length`` consecutive row reads
+(matching how the paper's status oracle sees search-condition reads:
+"the rows that are actually read", §5); an *insert* writes a fresh row
+above the load frontier; *read-modify-write* contributes the row to both
+the read and the write set.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.workload.distributions import KeyDistribution, LatestDistribution, make_distribution
+from repro.workload.generator import OperationSpec, TransactionSpec
+
+DEFAULT_SCAN_LENGTH = 16
+
+
+@dataclass(frozen=True)
+class YCSBMix:
+    """Operation-type probabilities for one core workload."""
+
+    name: str
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    scan: float = 0.0
+    rmw: float = 0.0
+    distribution: str = "zipfian"
+
+    def __post_init__(self) -> None:
+        total = self.read + self.update + self.insert + self.scan + self.rmw
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"workload {self.name}: mix sums to {total}, not 1")
+
+
+CORE_WORKLOADS: Dict[str, YCSBMix] = {
+    "A": YCSBMix("A", read=0.5, update=0.5),
+    "B": YCSBMix("B", read=0.95, update=0.05),
+    "C": YCSBMix("C", read=1.0),
+    "D": YCSBMix("D", read=0.95, insert=0.05, distribution="zipfianLatest"),
+    "E": YCSBMix("E", scan=0.95, insert=0.05),
+    "F": YCSBMix("F", read=0.5, rmw=0.5),
+}
+
+
+class YCSBWorkload:
+    """Transaction-spec stream for one core workload preset.
+
+    Args:
+        name: 'A' … 'F'.
+        keyspace: initially loaded row count (inserts go above it).
+        max_rows: transaction size bound, ``n ~ U[0, max_rows]`` (§6.1).
+        scan_length: rows per scan operation (workload E).
+        seed: RNG seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        keyspace: int = 1_000_000,
+        max_rows: int = 20,
+        scan_length: int = DEFAULT_SCAN_LENGTH,
+        seed: Optional[int] = None,
+    ) -> None:
+        key = name.strip().upper()
+        if key not in CORE_WORKLOADS:
+            raise ValueError(
+                f"unknown YCSB workload {name!r}; choose from "
+                f"{sorted(CORE_WORKLOADS)}"
+            )
+        self.mix = CORE_WORKLOADS[key]
+        self.keyspace = keyspace
+        self.max_rows = max_rows
+        self.scan_length = scan_length
+        self._rng = random.Random(seed)
+        self._keys: KeyDistribution = make_distribution(
+            self.mix.distribution, keyspace, seed=self._rng.randrange(2 ** 63)
+        )
+        self._insert_frontier = keyspace  # fresh rows start here
+
+    # ------------------------------------------------------------------
+    def _draw_kind(self) -> str:
+        u = self._rng.random()
+        mix = self.mix
+        for kind, p in (
+            ("read", mix.read),
+            ("update", mix.update),
+            ("insert", mix.insert),
+            ("scan", mix.scan),
+        ):
+            if u < p:
+                return kind
+            u -= p
+        return "rmw"
+
+    def next_transaction(self) -> TransactionSpec:
+        n = self._rng.randint(0, self.max_rows)
+        ops: List[OperationSpec] = []
+        inserts = 0
+        for _ in range(n):
+            kind = self._draw_kind()
+            if kind == "read":
+                ops.append(OperationSpec("r", self._keys.next_key()))
+            elif kind == "update":
+                ops.append(OperationSpec("w", self._keys.next_key()))
+            elif kind == "insert":
+                ops.append(OperationSpec("w", self._insert_frontier))
+                self._insert_frontier += 1
+                inserts += 1
+            elif kind == "scan":
+                start = self._keys.next_key()
+                for offset in range(self.scan_length):
+                    row = start + offset
+                    if row < self._insert_frontier:
+                        ops.append(OperationSpec("r", row))
+            else:  # rmw: the row enters both sets
+                row = self._keys.next_key()
+                ops.append(OperationSpec("r", row))
+                ops.append(OperationSpec("w", row))
+        if inserts and isinstance(self._keys, LatestDistribution):
+            self._keys.advance(inserts)
+        writes = any(op.kind == "w" for op in ops)
+        return TransactionSpec(tuple(ops), read_only=not writes)
+
+    def stream(self, count: int) -> Iterator[TransactionSpec]:
+        for _ in range(count):
+            yield self.next_transaction()
+
+    def batch(self, count: int) -> List[TransactionSpec]:
+        return list(self.stream(count))
+
+    @property
+    def name(self) -> str:
+        return self.mix.name
+
+
+def ycsb(name: str, **kwargs) -> YCSBWorkload:
+    """Shorthand constructor: ``ycsb('A', keyspace=10_000, seed=1)``."""
+    return YCSBWorkload(name, **kwargs)

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import create_system
+
+
+@pytest.fixture
+def wsi_system():
+    """A fresh write-snapshot-isolation system."""
+    return create_system("wsi")
+
+
+@pytest.fixture
+def si_system():
+    """A fresh snapshot-isolation system."""
+    return create_system("si")
+
+
+@pytest.fixture(params=["si", "wsi"])
+def any_system(request):
+    """Parametrized over both isolation levels."""
+    return create_system(request.param)

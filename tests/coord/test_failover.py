@@ -1,0 +1,123 @@
+"""Integration tests for status-oracle failover (Appendix A + election)."""
+
+import pytest
+
+from repro.coord import OracleReplicaSet
+from repro.core.errors import OracleClosed
+from repro.core.status_oracle import CommitRequest
+
+
+def req(start, writes=(), reads=()):
+    return CommitRequest(start, write_set=frozenset(writes), read_set=frozenset(reads))
+
+
+class TestSteadyState:
+    def test_first_host_serves(self):
+        rs = OracleReplicaSet(num_hosts=3)
+        assert rs.active_host().host_id == 0
+
+    def test_commits_flow_through_leader(self):
+        rs = OracleReplicaSet(num_hosts=2)
+        ts = rs.begin()
+        result = rs.commit(req(ts, writes={"x"}))
+        assert result.committed
+
+    def test_single_host_set(self):
+        rs = OracleReplicaSet(num_hosts=1)
+        assert rs.active_host().host_id == 0
+
+    def test_invalid_host_count(self):
+        with pytest.raises(ValueError):
+            OracleReplicaSet(num_hosts=0)
+
+
+class TestFailover:
+    def test_next_host_takes_over(self):
+        rs = OracleReplicaSet(num_hosts=3)
+        rs.kill_active()
+        assert rs.active_host().host_id == 1
+        rs.kill_active()
+        assert rs.active_host().host_id == 2
+
+    def test_all_hosts_down(self):
+        rs = OracleReplicaSet(num_hosts=1)
+        rs.kill_active()
+        with pytest.raises(OracleClosed):
+            rs.begin()
+
+    def test_conflict_state_survives_failover(self):
+        rs = OracleReplicaSet(num_hosts=2)
+        stale = rs.begin()
+        writer = rs.begin()
+        assert rs.commit(req(writer, writes={"x"})).committed
+        rs.wal.flush()
+        rs.kill_active()
+        result = rs.commit(req(stale, writes={"y"}, reads={"x"}))
+        assert not result.committed
+        assert result.reason == "rw-conflict"
+
+    def test_commit_table_survives_failover(self):
+        rs = OracleReplicaSet(num_hosts=2)
+        ts = rs.begin()
+        result = rs.commit(req(ts, writes={"a"}))
+        rs.wal.flush()
+        rs.kill_active()
+        table = rs.active_host().oracle.commit_table
+        assert table.commit_timestamp(ts) == result.commit_ts
+
+    def test_timestamps_never_reissued_across_failovers(self):
+        rs = OracleReplicaSet(num_hosts=3)
+        seen = set()
+        for round_no in range(3):
+            for _ in range(5):
+                ts = rs.begin()
+                assert ts not in seen
+                seen.add(ts)
+                result = rs.commit(req(ts, writes={f"r{ts}"}))
+                if result.commit_ts is not None:
+                    assert result.commit_ts not in seen
+                    seen.add(result.commit_ts)
+            if round_no < 2:
+                rs.kill_active()
+
+    def test_unflushed_commits_lost_consistently(self):
+        # Records still in the leader's batch buffer die with it: the new
+        # leader neither knows the commit nor the conflict it implied.
+        rs = OracleReplicaSet(num_hosts=2)
+        ts = rs.begin()
+        rs.commit(req(ts, writes={"x"}))  # buffered, never flushed
+        rs.kill_active()
+        new_oracle = rs.active_host().oracle
+        assert new_oracle.last_commit("x") is None
+
+    def test_failover_counter(self):
+        rs = OracleReplicaSet(num_hosts=3)
+        rs.kill_active()
+        rs.kill_active()
+        assert rs.failovers == 2
+        assert rs.alive_count() == 1
+
+
+class TestRecoveredServiceContinuity:
+    def test_traffic_continues_after_failover(self):
+        rs = OracleReplicaSet(num_hosts=2, level="wsi")
+        for i in range(10):
+            ts = rs.begin()
+            assert rs.commit(req(ts, writes={f"row{i}"})).committed
+        rs.wal.flush()
+        rs.kill_active()
+        for i in range(10, 20):
+            ts = rs.begin()
+            assert rs.commit(req(ts, writes={f"row{i}"})).committed
+        oracle = rs.active_host().oracle
+        # full lastCommit coverage: pre- and post-failover writes
+        assert oracle.last_commit("row0") is not None
+        assert oracle.last_commit("row19") is not None
+
+    def test_si_replica_set(self):
+        rs = OracleReplicaSet(num_hosts=2, level="si")
+        t1, t2 = rs.begin(), rs.begin()
+        assert rs.commit(req(t1, writes={"x"})).committed
+        rs.wal.flush()
+        rs.kill_active()
+        assert not rs.commit(req(t2, writes={"x"})).committed  # ww-conflict

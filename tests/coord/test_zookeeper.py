@@ -1,0 +1,212 @@
+"""Unit tests for the ZooKeeper-style coordination service."""
+
+import pytest
+
+from repro.coord.zookeeper import (
+    BadVersionError,
+    EventType,
+    LeaderElection,
+    NodeExistsError,
+    NoNodeError,
+    NotEmptyError,
+    SessionExpiredError,
+    ZKError,
+    ZooKeeper,
+)
+
+
+@pytest.fixture
+def zk():
+    return ZooKeeper()
+
+
+class TestZnodes:
+    def test_create_get(self, zk):
+        s = zk.connect()
+        s.create("/config", b"hello")
+        data, version = s.get("/config")
+        assert data == b"hello"
+        assert version == 0
+
+    def test_create_requires_parent(self, zk):
+        s = zk.connect()
+        with pytest.raises(NoNodeError):
+            s.create("/a/b", b"")
+
+    def test_duplicate_create_rejected(self, zk):
+        s = zk.connect()
+        s.create("/node")
+        with pytest.raises(NodeExistsError):
+            s.create("/node")
+
+    def test_set_bumps_version(self, zk):
+        s = zk.connect()
+        s.create("/n", b"v0")
+        assert s.set("/n", b"v1") == 1
+        assert s.get("/n") == (b"v1", 1)
+
+    def test_versioned_set_rejects_stale(self, zk):
+        s = zk.connect()
+        s.create("/n", b"v0")
+        s.set("/n", b"v1")
+        with pytest.raises(BadVersionError):
+            s.set("/n", b"v2", version=0)
+
+    def test_delete(self, zk):
+        s = zk.connect()
+        s.create("/n")
+        s.delete("/n")
+        assert not s.exists("/n")
+
+    def test_delete_nonempty_rejected(self, zk):
+        s = zk.connect()
+        s.create("/parent")
+        s.create("/parent/child")
+        with pytest.raises(NotEmptyError):
+            s.delete("/parent")
+
+    def test_get_children_sorted(self, zk):
+        s = zk.connect()
+        s.create("/dir")
+        for name in ("zeta", "alpha", "mid"):
+            s.create(f"/dir/{name}")
+        assert s.get_children("/dir") == ["alpha", "mid", "zeta"]
+
+    def test_invalid_paths(self, zk):
+        s = zk.connect()
+        with pytest.raises(ZKError):
+            s.create("no-slash")
+        with pytest.raises(ZKError):
+            s.create("/trailing/")
+
+
+class TestSequential:
+    def test_sequence_numbers_monotonic(self, zk):
+        s = zk.connect()
+        s.create("/queue")
+        paths = [s.create("/queue/item-", sequence=True) for _ in range(3)]
+        assert paths == [
+            "/queue/item-0000000000",
+            "/queue/item-0000000001",
+            "/queue/item-0000000002",
+        ]
+
+    def test_counter_survives_deletion(self, zk):
+        s = zk.connect()
+        s.create("/q")
+        first = s.create("/q/n-", sequence=True)
+        s.delete(first)
+        second = s.create("/q/n-", sequence=True)
+        assert second > first  # numbers never reused
+
+
+class TestEphemerals:
+    def test_ephemeral_dies_with_session(self, zk):
+        s1 = zk.connect()
+        s2 = zk.connect()
+        s1.create("/lock", ephemeral=True)
+        assert s2.exists("/lock")
+        s1.close()
+        assert not s2.exists("/lock")
+
+    def test_expired_session_rejected(self, zk):
+        s = zk.connect()
+        zk.expire_session(s.session_id)
+        with pytest.raises(SessionExpiredError):
+            s.create("/x")
+
+    def test_ephemeral_cannot_have_children(self, zk):
+        s = zk.connect()
+        s.create("/e", ephemeral=True)
+        with pytest.raises(ZKError):
+            s.create("/e/child")
+
+    def test_persistent_survives_session(self, zk):
+        s1 = zk.connect()
+        s1.create("/durable", b"stays")
+        s1.close()
+        s2 = zk.connect()
+        assert s2.get("/durable")[0] == b"stays"
+
+
+class TestWatches:
+    def test_data_watch_fires_once(self, zk):
+        s = zk.connect()
+        s.create("/n", b"v0")
+        events = []
+        s.get("/n", watch=events.append)
+        s.set("/n", b"v1")
+        s.set("/n", b"v2")  # watch already consumed
+        assert len(events) == 1
+        assert events[0].type is EventType.DATA_CHANGED
+
+    def test_exists_watch_sees_creation(self, zk):
+        s = zk.connect()
+        events = []
+        assert not s.exists("/future", watch=events.append)
+        s.create("/future")
+        assert [e.type for e in events] == [EventType.CREATED]
+
+    def test_children_watch(self, zk):
+        s = zk.connect()
+        s.create("/dir")
+        events = []
+        s.get_children("/dir", watch=events.append)
+        s.create("/dir/new")
+        assert [e.type for e in events] == [EventType.CHILDREN_CHANGED]
+
+    def test_delete_fires_data_watch(self, zk):
+        s = zk.connect()
+        s.create("/n")
+        events = []
+        s.get("/n", watch=events.append)
+        s.delete("/n")
+        assert [e.type for e in events] == [EventType.DELETED]
+
+
+class TestLeaderElection:
+    def test_first_candidate_wins(self, zk):
+        s = zk.connect()
+        election = LeaderElection(s)
+        assert election.is_leader
+
+    def test_second_candidate_waits(self, zk):
+        e1 = LeaderElection(zk.connect())
+        e2 = LeaderElection(zk.connect())
+        assert e1.is_leader
+        assert not e2.is_leader
+
+    def test_succession_on_session_death(self, zk):
+        s1, s2, s3 = zk.connect(), zk.connect(), zk.connect()
+        e1, e2, e3 = LeaderElection(s1), LeaderElection(s2), LeaderElection(s3)
+        s1.close()
+        assert e2.is_leader
+        assert not e3.is_leader
+        s2.close()
+        assert e3.is_leader
+
+    def test_middle_death_no_false_promotion(self, zk):
+        # killing a middle candidate must not elect the tail (no herd).
+        s1, s2, s3 = zk.connect(), zk.connect(), zk.connect()
+        e1, e2, e3 = LeaderElection(s1), LeaderElection(s2), LeaderElection(s3)
+        s2.close()
+        assert e1.is_leader
+        assert not e3.is_leader
+        s1.close()
+        assert e3.is_leader
+
+    def test_elected_callback(self, zk):
+        fired = []
+        e1 = LeaderElection(zk.connect(), on_elected=lambda: fired.append(1))
+        s2 = zk.connect()
+        e2 = LeaderElection(s2, on_elected=lambda: fired.append(2))
+        assert fired == [1]
+        e1.resign()
+        assert fired == [1, 2]
+        assert e2.is_leader
+
+    def test_resign_is_idempotent(self, zk):
+        e = LeaderElection(zk.connect())
+        e.resign()
+        e.resign()
+        assert not e.is_leader

@@ -1,0 +1,148 @@
+"""Unit tests for the conflict predicates (paper §2 and §4.1)."""
+
+import pytest
+
+from repro.core.conflicts import (
+    TxnFootprint,
+    conflicts_under,
+    rw_conflict,
+    rw_spatial_overlap,
+    rw_temporal_overlap,
+    spatial_overlap,
+    temporal_overlap,
+    ww_conflict,
+)
+
+
+def txn(start, commit, reads=(), writes=()):
+    return TxnFootprint(
+        txn_id=start,
+        start_ts=start,
+        commit_ts=commit,
+        read_set=frozenset(reads),
+        write_set=frozenset(writes),
+    )
+
+
+class TestSpatialOverlap:
+    def test_common_write_row(self):
+        assert spatial_overlap(txn(1, 5, writes={"x"}), txn(2, 6, writes={"x"}))
+
+    def test_disjoint_write_sets(self):
+        assert not spatial_overlap(txn(1, 5, writes={"x"}), txn(2, 6, writes={"y"}))
+
+    def test_read_does_not_count(self):
+        # SI spatial overlap is about writes only.
+        assert not spatial_overlap(
+            txn(1, 5, reads={"x"}), txn(2, 6, writes={"x"})
+        )
+
+
+class TestTemporalOverlap:
+    def test_interleaved_lifetimes(self):
+        assert temporal_overlap(txn(1, 10), txn(5, 15))
+
+    def test_disjoint_lifetimes(self):
+        # txn B starts after txn A committed.
+        assert not temporal_overlap(txn(1, 4), txn(5, 10))
+
+    def test_nested_lifetimes(self):
+        assert temporal_overlap(txn(1, 20), txn(5, 10))
+
+    def test_uncommitted_never_overlaps(self):
+        assert not temporal_overlap(txn(1, None), txn(2, 5))
+
+    def test_symmetric(self):
+        a, b = txn(1, 10), txn(5, 15)
+        assert temporal_overlap(a, b) == temporal_overlap(b, a)
+
+
+class TestWWConflict:
+    def test_figure1_conflict(self):
+        # Figure 1: txn_n and txn_c both write row r with temporal overlap.
+        txn_n = txn(5, 12, writes={"r"})
+        txn_c = txn(3, 10, writes={"r"})
+        assert ww_conflict(txn_n, txn_c)
+
+    def test_no_conflict_when_serial(self):
+        old = txn(1, 2, writes={"r"})
+        new = txn(3, 4, writes={"r"})
+        assert not ww_conflict(old, new)
+
+
+class TestRWOverlaps:
+    def test_rw_spatial_is_directional(self):
+        reader = txn(1, 10, reads={"r"})
+        writer = txn(2, 8, writes={"r"})
+        assert rw_spatial_overlap(reader, writer)
+        assert not rw_spatial_overlap(writer, reader)
+
+    def test_rw_temporal_requires_commit_inside_lifetime(self):
+        reader = txn(1, 10)
+        inside = txn(2, 5)
+        after = txn(2, 15)
+        assert rw_temporal_overlap(reader, inside)
+        assert not rw_temporal_overlap(reader, after)
+
+    def test_figure2_txn_c_doubleprime_no_overlap(self):
+        # txn_c'' commits after txn_n commits: no rw-temporal overlap even
+        # though SI's temporal overlap would hold.
+        txn_n = txn(5, 10, reads={"r"}, writes={"q"})
+        txn_c2 = txn(6, 15, writes={"r", "p"})
+        assert temporal_overlap(txn_n, txn_c2)
+        assert not rw_temporal_overlap(txn_n, txn_c2)
+        assert not rw_conflict(txn_n, txn_c2)
+
+    def test_figure2_txn_c_prime_conflicts(self):
+        # txn_c' commits during txn_n's lifetime and writes txn_n's read row.
+        txn_n = txn(5, 12, reads={"r"}, writes={"q"})
+        txn_cp = txn(6, 9, writes={"r"})
+        assert rw_conflict(txn_n, txn_cp)
+
+    def test_figure2_txn_c_no_spatial(self):
+        # txn_c writes a different row r' than txn_n read.
+        txn_n = txn(5, 12, reads={"r"}, writes={"rp"})
+        txn_c = txn(3, 8, writes={"rp"})
+        assert not rw_conflict(txn_n, txn_c)
+
+
+class TestReadOnlyOptimization:
+    def test_read_only_never_conflicts(self):
+        # §4.1 condition 3: read-only transactions are exempt.
+        reader = txn(1, 10, reads={"r"})  # write set empty -> read-only
+        writer = txn(2, 5, writes={"r"})
+        assert reader.is_read_only
+        assert not rw_conflict(reader, writer)
+
+    def test_write_txn_with_reads_still_conflicts(self):
+        reader = txn(1, 10, reads={"r"}, writes={"s"})
+        writer = txn(2, 5, reads={"a"}, writes={"r"})
+        assert rw_conflict(reader, writer)
+
+
+class TestDispatch:
+    def test_conflicts_under_si(self):
+        a = txn(1, 10, writes={"x"})
+        b = txn(2, 8, writes={"x"})
+        assert conflicts_under("si", a, b)
+        assert not conflicts_under("wsi", a, b)  # no reads involved
+
+    def test_conflicts_under_wsi(self):
+        a = txn(1, 10, reads={"x"}, writes={"y"})
+        b = txn(2, 8, reads={"z"}, writes={"x"})
+        assert conflicts_under("wsi", a, b)
+        assert not conflicts_under("si", a, b)  # disjoint write sets
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            conflicts_under("serializable-snapshot", txn(1, 2), txn(3, 4))
+
+
+class TestFootprint:
+    def test_read_only_property(self):
+        assert txn(1, 2, reads={"x"}).is_read_only
+        assert not txn(1, 2, writes={"x"}).is_read_only
+
+    def test_committed_property(self):
+        assert txn(1, 2).committed
+        assert not txn(1, None).committed

@@ -1,0 +1,71 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.core.errors import (
+    AbortException,
+    ConflictAbort,
+    InvalidTransactionState,
+    LedgerClosedError,
+    LockConflict,
+    NotEnoughBookiesError,
+    OracleClosed,
+    RecoveryError,
+    TmaxAbort,
+    TransactionError,
+    WALError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_transaction_error(self):
+        for exc_cls in (
+            AbortException,
+            ConflictAbort,
+            TmaxAbort,
+            LockConflict,
+            InvalidTransactionState,
+            OracleClosed,
+            RecoveryError,
+            WALError,
+            LedgerClosedError,
+            NotEnoughBookiesError,
+        ):
+            assert issubclass(exc_cls, TransactionError)
+
+    def test_abort_family(self):
+        assert issubclass(ConflictAbort, AbortException)
+        assert issubclass(TmaxAbort, AbortException)
+        # catching AbortException is the client retry contract
+        with pytest.raises(AbortException):
+            raise ConflictAbort(5, "rw-conflict", row="x")
+        with pytest.raises(AbortException):
+            raise TmaxAbort(5, tmax=100)
+
+    def test_wal_family(self):
+        assert issubclass(LedgerClosedError, WALError)
+        assert issubclass(NotEnoughBookiesError, WALError)
+
+
+class TestPayloads:
+    def test_abort_exception_fields(self):
+        exc = AbortException(7, "client")
+        assert exc.txn_id == 7
+        assert exc.reason == "client"
+        assert "7" in str(exc) and "client" in str(exc)
+
+    def test_conflict_abort_row(self):
+        exc = ConflictAbort(7, "ww-conflict", row="hot")
+        assert exc.row == "hot"
+        assert exc.reason == "ww-conflict"
+
+    def test_tmax_abort_fields(self):
+        exc = TmaxAbort(7, tmax=1234)
+        assert exc.tmax == 1234
+        assert exc.reason == "tmax"
+
+    def test_lock_conflict_fields(self):
+        exc = LockConflict("row1", holder=99)
+        assert exc.row == "row1"
+        assert exc.holder == 99
+        assert "99" in str(exc)

@@ -1,0 +1,84 @@
+"""Unit tests for the isolation-level registry and system factory."""
+
+import pytest
+
+from repro.core.isolation import IsolationLevel, create_system
+from repro.core.status_oracle import (
+    BoundedStatusOracle,
+    SnapshotIsolationOracle,
+    WriteSnapshotIsolationOracle,
+)
+
+
+class TestIsolationLevel:
+    def test_values(self):
+        assert IsolationLevel.SNAPSHOT.value == "si"
+        assert IsolationLevel.WRITE_SNAPSHOT.value == "wsi"
+
+    def test_serializability_flags(self):
+        # §3.1 and Theorem 1.
+        assert not IsolationLevel.SNAPSHOT.is_serializable
+        assert IsolationLevel.WRITE_SNAPSHOT.is_serializable
+
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("si", IsolationLevel.SNAPSHOT),
+            ("SI", IsolationLevel.SNAPSHOT),
+            ("snapshot", IsolationLevel.SNAPSHOT),
+            ("snapshot-isolation", IsolationLevel.SNAPSHOT),
+            ("wsi", IsolationLevel.WRITE_SNAPSHOT),
+            ("write-snapshot", IsolationLevel.WRITE_SNAPSHOT),
+            ("serializable", IsolationLevel.WRITE_SNAPSHOT),
+        ],
+    )
+    def test_parse_aliases(self, alias, expected):
+        assert IsolationLevel.parse(alias) is expected
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            IsolationLevel.parse("read-uncommitted")
+
+
+class TestCreateSystem:
+    def test_default_is_wsi(self):
+        system = create_system()
+        assert isinstance(system.oracle, WriteSnapshotIsolationOracle)
+
+    def test_si_system(self):
+        system = create_system("si")
+        assert isinstance(system.oracle, SnapshotIsolationOracle)
+
+    def test_enum_accepted(self):
+        system = create_system(IsolationLevel.SNAPSHOT)
+        assert system.level is IsolationLevel.SNAPSHOT
+
+    def test_bounded_oracle(self):
+        system = create_system("wsi", bounded=True, max_rows=128)
+        assert isinstance(system.oracle, BoundedStatusOracle)
+        assert system.oracle.max_rows == 128
+        assert system.oracle.level == "wsi"
+
+    def test_durable_system_has_wal(self):
+        system = create_system("wsi", durable=True)
+        assert system.wal is not None
+        txn = system.manager.begin()
+        txn.write("x", 1)
+        txn.commit()
+        system.wal.flush()
+        records = list(system.wal.replay())
+        assert any(r.kind == "commit" for r in records)
+
+    def test_non_durable_system_has_no_wal(self):
+        assert create_system("wsi").wal is None
+
+    def test_systems_are_independent(self):
+        a, b = create_system("wsi"), create_system("wsi")
+        t = a.manager.begin()
+        t.write("x", 1)
+        t.commit()
+        assert b.manager.begin().read("x") is None
+
+    def test_manager_reports_level(self):
+        assert create_system("si").manager.isolation_level == "si"
+        assert create_system("wsi").manager.isolation_level == "wsi"

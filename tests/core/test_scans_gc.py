@@ -1,0 +1,141 @@
+"""Tests for transactional scans (search-condition reads) and version GC."""
+
+import pytest
+
+from repro.core import TransactionManager, create_system, make_oracle
+from repro.core.errors import ConflictAbort
+from repro.hbase import HBaseCluster
+
+
+class TestTransactionalScan:
+    def _load(self, manager, items):
+        txn = manager.begin()
+        for row, value in items:
+            txn.write(row, value)
+        txn.commit()
+
+    def test_scan_returns_visible_rows(self, wsi_system):
+        self._load(wsi_system.manager, [(i, i * 10) for i in range(10)])
+        txn = wsi_system.manager.begin()
+        assert txn.scan(3, 7) == {3: 30, 4: 40, 5: 50, 6: 60}
+
+    def test_scan_respects_snapshot(self, wsi_system):
+        self._load(wsi_system.manager, [(1, "old")])
+        reader = wsi_system.manager.begin()
+        writer = wsi_system.manager.begin()
+        writer.write(2, "new-row")
+        writer.commit()
+        # reader's snapshot predates row 2: the scan must not see it.
+        assert reader.scan(0, 10) == {1: "old"}
+
+    def test_scan_sees_own_writes(self, wsi_system):
+        txn = wsi_system.manager.begin()
+        txn.write(5, "mine")
+        assert txn.scan(0, 10) == {5: "mine"}
+
+    def test_scanned_rows_enter_read_set(self, wsi_system):
+        self._load(wsi_system.manager, [(i, i) for i in range(5)])
+        txn = wsi_system.manager.begin()
+        txn.scan(0, 5)
+        assert set(range(5)) <= txn.read_set
+
+    def test_scan_conflict_detected_at_commit(self, wsi_system):
+        """§5: search-condition reads conflict like primary-key reads."""
+        self._load(wsi_system.manager, [(i, i) for i in range(5)])
+        scanner = wsi_system.manager.begin()
+        scanner.scan(0, 5)
+        scanner.write(100, "summary")
+        overwriter = wsi_system.manager.begin()
+        overwriter.write(3, "changed")
+        overwriter.commit()
+        with pytest.raises(ConflictAbort):
+            scanner.commit()
+
+    def test_scan_over_cluster(self):
+        cluster = HBaseCluster.for_integer_keyspace(num_rows=100, num_servers=4)
+        manager = TransactionManager(make_oracle("wsi"), cluster)
+        txn = manager.begin()
+        for row in (10, 40, 70):  # spread across regions
+            txn.write(row, row)
+        txn.commit()
+        reader = manager.begin()
+        assert reader.scan(0, 100) == {10: 10, 40: 40, 70: 70}
+
+    def test_scan_skips_deleted(self, wsi_system):
+        self._load(wsi_system.manager, [(1, "a"), (2, "b")])
+        deleter = wsi_system.manager.begin()
+        deleter.delete(1)
+        deleter.commit()
+        txn = wsi_system.manager.begin()
+        assert txn.scan(0, 5) == {2: "b"}
+
+    def test_unsupported_backend_raises(self, wsi_system):
+        class NoScanStore:
+            put = delete_version = get_versions = None
+
+        txn = wsi_system.manager.begin()
+        txn._manager = type(txn._manager)(
+            wsi_system.oracle, wsi_system.store, wsi_system.manager.commit_source
+        )
+        txn._manager.store = NoScanStore()
+        with pytest.raises(TypeError):
+            txn.scan(0, 1)
+
+
+class TestGarbageCollection:
+    def test_watermark_is_oldest_active_snapshot(self, wsi_system):
+        manager = wsi_system.manager
+        t1 = manager.begin()
+        t2 = manager.begin()
+        assert manager.gc_watermark() == t1.start_ts
+        t1.commit()
+        assert manager.gc_watermark() == t2.start_ts
+
+    def test_watermark_with_no_active_txns(self, wsi_system):
+        manager = wsi_system.manager
+        assert manager.gc_watermark() == wsi_system.oracle.timestamp_oracle.peek()
+
+    def test_gc_removes_dead_versions(self, wsi_system):
+        manager = wsi_system.manager
+        for i in range(5):
+            txn = manager.begin()
+            txn.write("row", f"v{i}")
+            txn.commit()
+        assert wsi_system.store.version_count == 5
+        removed = manager.collect_garbage()
+        assert removed == 4  # only the newest survives
+        reader = manager.begin()
+        assert reader.read("row") == "v4"
+
+    def test_gc_preserves_versions_active_snapshots_need(self, wsi_system):
+        manager = wsi_system.manager
+        t0 = manager.begin()
+        t0.write("row", "old")
+        t0.commit()
+        pinned = manager.begin()  # holds the old snapshot open
+        expected = pinned.read("row")
+        for i in range(3):
+            txn = manager.begin()
+            txn.write("row", f"new{i}")
+            txn.commit()
+        manager.collect_garbage()
+        # pinned must still read its snapshot value after GC
+        assert pinned.read("row", track=False) == expected == "old"
+
+    def test_gc_returns_zero_when_nothing_to_do(self, wsi_system):
+        manager = wsi_system.manager
+        txn = manager.begin()
+        txn.write("row", 1)
+        txn.commit()
+        assert manager.collect_garbage() == 0
+
+    def test_gc_over_cluster(self):
+        cluster = HBaseCluster.for_integer_keyspace(num_rows=100, num_servers=3)
+        manager = TransactionManager(make_oracle("wsi"), cluster)
+        for i in range(4):
+            txn = manager.begin()
+            txn.write(50, f"v{i}")
+            txn.commit()
+        removed = manager.collect_garbage()
+        assert removed == 3
+        assert manager.begin().read(50) == "v3"

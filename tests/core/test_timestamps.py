@@ -1,0 +1,110 @@
+"""Unit tests for the timestamp oracle."""
+
+import pytest
+
+from repro.core.errors import OracleClosed, RecoveryError
+from repro.core.timestamps import TimestampOracle
+
+
+class TestAllocation:
+    def test_timestamps_start_at_one(self):
+        tso = TimestampOracle()
+        assert tso.next() == 1
+
+    def test_timestamps_strictly_increase(self):
+        tso = TimestampOracle()
+        previous = 0
+        for _ in range(1000):
+            ts = tso.next()
+            assert ts > previous
+            previous = ts
+
+    def test_timestamps_are_consecutive(self):
+        tso = TimestampOracle()
+        values = [tso.next() for _ in range(50)]
+        assert values == list(range(1, 51))
+
+    def test_peek_does_not_advance(self):
+        tso = TimestampOracle()
+        assert tso.peek() == 1
+        assert tso.peek() == 1
+        assert tso.next() == 1
+        assert tso.peek() == 2
+
+    def test_custom_first_timestamp(self):
+        tso = TimestampOracle(first_timestamp=100)
+        assert tso.next() == 100
+
+    def test_issued_count(self):
+        tso = TimestampOracle()
+        for _ in range(7):
+            tso.next()
+        assert tso.issued_count == 7
+
+
+class TestBatchedDurability:
+    def test_one_wal_write_per_batch(self):
+        writes = []
+        tso = TimestampOracle(reservation_batch=10, wal_append=writes.append)
+        for _ in range(10):
+            tso.next()
+        assert len(writes) == 1
+        tso.next()  # 11th timestamp needs a second batch
+        assert len(writes) == 2
+
+    def test_wal_records_are_high_water_marks(self):
+        writes = []
+        tso = TimestampOracle(reservation_batch=5, wal_append=writes.append)
+        for _ in range(12):
+            tso.next()
+        assert writes == [5, 10, 15]
+
+    def test_amortization_metric(self):
+        tso = TimestampOracle(reservation_batch=1000)
+        for _ in range(5000):
+            tso.next()
+        assert tso.wal_write_count == 5
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            TimestampOracle(reservation_batch=0)
+
+
+class TestRecovery:
+    def test_recovery_resumes_above_high_water(self):
+        writes = []
+        tso = TimestampOracle(reservation_batch=10, wal_append=writes.append)
+        for _ in range(3):
+            tso.next()  # issued 1..3, reserved through 10
+        recovered = TimestampOracle.recover(writes[-1])
+        assert recovered.next() == 11
+
+    def test_recovery_never_reissues(self):
+        writes = []
+        tso = TimestampOracle(reservation_batch=7, wal_append=writes.append)
+        issued = [tso.next() for _ in range(20)]
+        recovered = TimestampOracle.recover(writes[-1])
+        fresh = [recovered.next() for _ in range(20)]
+        assert not set(issued) & set(fresh)
+
+    def test_recovery_rejects_negative_mark(self):
+        with pytest.raises(RecoveryError):
+            TimestampOracle.recover(-1)
+
+    def test_recovered_oracle_keeps_allocating(self):
+        recovered = TimestampOracle.recover(42, reservation_batch=3)
+        values = [recovered.next() for _ in range(10)]
+        assert values == list(range(43, 53))
+
+
+class TestLifecycle:
+    def test_closed_oracle_rejects_requests(self):
+        tso = TimestampOracle()
+        tso.close()
+        with pytest.raises(OracleClosed):
+            tso.next()
+
+    def test_close_is_idempotent(self):
+        tso = TimestampOracle()
+        tso.close()
+        tso.close()

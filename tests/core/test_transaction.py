@@ -1,0 +1,236 @@
+"""Unit tests for the transaction client API."""
+
+import pytest
+
+from repro.core import create_system
+from repro.core.errors import (
+    AbortException,
+    ConflictAbort,
+    InvalidTransactionState,
+)
+from repro.core.transaction import TxnState
+
+
+class TestBasicOperations:
+    def test_write_then_read_own_write(self, wsi_system):
+        txn = wsi_system.manager.begin()
+        txn.write("x", 42)
+        assert txn.read("x") == 42
+        txn.commit()
+
+    def test_committed_value_visible_to_later_txn(self, any_system):
+        t1 = any_system.manager.begin()
+        t1.write("x", "hello")
+        t1.commit()
+        t2 = any_system.manager.begin()
+        assert t2.read("x") == "hello"
+
+    def test_uncommitted_value_invisible(self, any_system):
+        t1 = any_system.manager.begin()
+        t1.write("x", "dirty")
+        t2 = any_system.manager.begin()
+        assert t2.read("x") is None  # no dirty reads
+
+    def test_snapshot_ignores_later_commits(self, any_system):
+        t0 = any_system.manager.begin()
+        t0.write("x", "old")
+        t0.commit()
+        reader = any_system.manager.begin()
+        writer = any_system.manager.begin()
+        writer.write("x", "new")
+        writer.commit()
+        # reader's snapshot predates writer's commit
+        assert reader.read("x") == "old"
+
+    def test_read_default(self, wsi_system):
+        txn = wsi_system.manager.begin()
+        assert txn.read("missing") is None
+        assert txn.read("missing2", default=0) == 0
+
+    def test_read_many(self, wsi_system):
+        t1 = wsi_system.manager.begin()
+        t1.write("a", 1)
+        t1.write("b", 2)
+        t1.commit()
+        t2 = wsi_system.manager.begin()
+        assert t2.read_many(["a", "b", "c"]) == {"a": 1, "b": 2, "c": None}
+
+    def test_delete_makes_row_unreadable(self, any_system):
+        t1 = any_system.manager.begin()
+        t1.write("x", 1)
+        t1.commit()
+        t2 = any_system.manager.begin()
+        t2.delete("x")
+        assert t2.read("x") is None  # sees own delete
+        t2.commit()
+        t3 = any_system.manager.begin()
+        assert t3.read("x") is None
+
+    def test_old_snapshot_still_sees_predeleted_value(self, any_system):
+        t1 = any_system.manager.begin()
+        t1.write("x", 1)
+        t1.commit()
+        reader = any_system.manager.begin()
+        deleter = any_system.manager.begin()
+        deleter.delete("x")
+        deleter.commit()
+        assert reader.read("x") == 1
+
+
+class TestReadWriteSets:
+    def test_reads_tracked(self, wsi_system):
+        txn = wsi_system.manager.begin()
+        txn.read("a")
+        txn.read("b")
+        assert txn.read_set == {"a", "b"}
+
+    def test_untracked_read(self, wsi_system):
+        txn = wsi_system.manager.begin()
+        txn.read("a", track=False)
+        assert txn.read_set == set()
+
+    def test_writes_tracked(self, wsi_system):
+        txn = wsi_system.manager.begin()
+        txn.write("a", 1)
+        txn.delete("b")
+        assert txn.write_set == {"a", "b"}
+
+    def test_footprint_export(self, wsi_system):
+        txn = wsi_system.manager.begin()
+        txn.read("r")
+        txn.write("w", 1)
+        txn.commit()
+        fp = txn.footprint()
+        assert fp.read_set == frozenset({"r"})
+        assert fp.write_set == frozenset({"w"})
+        assert fp.commit_ts == txn.commit_ts
+
+
+class TestCommitAbort:
+    def test_commit_returns_timestamp(self, wsi_system):
+        txn = wsi_system.manager.begin()
+        txn.write("x", 1)
+        commit_ts = txn.commit()
+        assert commit_ts > txn.start_ts
+        assert txn.state is TxnState.COMMITTED
+
+    def test_read_only_commit_is_start_ts(self, any_system):
+        txn = any_system.manager.begin()
+        txn.read("x")
+        assert txn.commit() == txn.start_ts
+
+    def test_conflict_abort_raises_and_cleans_up(self, wsi_system):
+        t1 = wsi_system.manager.begin()
+        t2 = wsi_system.manager.begin()
+        t2.read("x")
+        t2.write("y", 1)
+        t1.write("x", 1)
+        t1.commit()
+        with pytest.raises(ConflictAbort):
+            t2.commit()
+        assert t2.state is TxnState.ABORTED
+        # t2's write to y must be gone from the store
+        t3 = wsi_system.manager.begin()
+        assert t3.read("y") is None
+
+    def test_client_abort_cleans_up(self, any_system):
+        txn = any_system.manager.begin()
+        txn.write("x", "junk")
+        txn.abort()
+        assert txn.state is TxnState.ABORTED
+        t2 = any_system.manager.begin()
+        assert t2.read("x") is None
+
+    def test_operations_after_commit_rejected(self, wsi_system):
+        txn = wsi_system.manager.begin()
+        txn.commit()
+        with pytest.raises(InvalidTransactionState):
+            txn.read("x")
+        with pytest.raises(InvalidTransactionState):
+            txn.write("x", 1)
+        with pytest.raises(InvalidTransactionState):
+            txn.commit()
+
+    def test_operations_after_abort_rejected(self, wsi_system):
+        txn = wsi_system.manager.begin()
+        txn.abort()
+        with pytest.raises(InvalidTransactionState):
+            txn.read("x")
+
+
+class TestContextManager:
+    def test_clean_exit_commits(self, wsi_system):
+        with wsi_system.manager.begin() as txn:
+            txn.write("x", 5)
+        assert txn.state is TxnState.COMMITTED
+        assert wsi_system.manager.begin().read("x") == 5
+
+    def test_exception_aborts_and_propagates(self, wsi_system):
+        with pytest.raises(RuntimeError):
+            with wsi_system.manager.begin() as txn:
+                txn.write("x", 5)
+                raise RuntimeError("application error")
+        assert txn.state is TxnState.ABORTED
+        assert wsi_system.manager.begin().read("x") is None
+
+    def test_explicit_commit_inside_block(self, wsi_system):
+        with wsi_system.manager.begin() as txn:
+            txn.write("x", 1)
+            txn.commit()
+        assert txn.state is TxnState.COMMITTED
+
+
+class TestRetryLoop:
+    def test_run_retries_conflicts(self, wsi_system):
+        manager = wsi_system.manager
+        t0 = manager.begin()
+        t0.write("counter", 0)
+        t0.commit()
+
+        # Set up a conflict on first attempt only.
+        attempts = []
+
+        def increment(txn):
+            attempts.append(txn.start_ts)
+            value = txn.read("counter")
+            if len(attempts) == 1:
+                # interleave a conflicting writer before our commit
+                other = manager.begin()
+                other.write("counter", 100)
+                other.commit()
+            txn.write("counter", value + 1)
+
+        manager.run(increment)
+        assert len(attempts) == 2  # first aborted, second succeeded
+        assert manager.begin().read("counter") == 101
+
+    def test_run_gives_up_after_retries(self, wsi_system):
+        manager = wsi_system.manager
+
+        def always_conflicts(txn):
+            txn.read("hot")
+            other = manager.begin()
+            other.write("hot", txn.start_ts)
+            other.commit()
+            txn.write("out", 1)
+
+        with pytest.raises(AbortException):
+            manager.run(always_conflicts, retries=3)
+
+    def test_run_returns_value(self, wsi_system):
+        result = wsi_system.manager.run(lambda txn: "value")
+        assert result == "value"
+
+
+class TestRepeatableReads:
+    def test_same_row_reads_stable_within_txn(self, any_system):
+        t0 = any_system.manager.begin()
+        t0.write("x", "v1")
+        t0.commit()
+        reader = any_system.manager.begin()
+        first = reader.read("x")
+        writer = any_system.manager.begin()
+        writer.write("x", "v2")
+        writer.commit()
+        second = reader.read("x")
+        assert first == second == "v1"  # no fuzzy reads

@@ -1,0 +1,135 @@
+"""Unit tests for the anomaly detectors (§3's phenomena)."""
+
+import pytest
+
+from repro.history import parse_history
+from repro.history.anomalies import (
+    check_constraint_violation,
+    find_dirty_reads,
+    find_fuzzy_reads,
+    find_lost_updates,
+    find_write_skew,
+    has_phantom,
+)
+
+
+class TestDirtyRead:
+    def test_physical_dirty_read_detected(self):
+        h = parse_history("w1[x] r2[x] c1 c2")
+        witnesses = find_dirty_reads(h)
+        assert len(witnesses) == 1
+        assert witnesses[0].transactions == (2, 1)
+
+    def test_read_after_commit_clean(self):
+        h = parse_history("w1[x] c1 r2[x] c2")
+        assert find_dirty_reads(h) == []
+
+    def test_own_write_not_dirty(self):
+        h = parse_history("w1[x] r1[x] c1")
+        assert find_dirty_reads(h) == []
+
+
+class TestFuzzyRead:
+    def test_nonrepeatable_read_detected(self):
+        h = parse_history("r1[x] w2[x] c2 r1[x] c1")
+        witnesses = find_fuzzy_reads(h)
+        assert len(witnesses) == 1
+        assert witnesses[0].item == "x"
+
+    def test_repeatable_reads_clean(self):
+        h = parse_history("r1[x] r1[x] c1")
+        assert find_fuzzy_reads(h) == []
+
+    def test_snapshot_systems_never_fuzzy(self):
+        # With snapshot reads the second read observes the same snapshot;
+        # the detector uses physical semantics to show what snapshotting
+        # prevents.
+        h = parse_history("r1[x] w2[x] c2 r1[x] c1")
+        reads = h.reads_from(snapshot_reads=True)
+        assert reads[(1, "x")] is None  # both reads: the initial version
+
+
+class TestPhantom:
+    def test_no_predicate_no_phantom(self):
+        h = parse_history("r1[x] w2[x] c2 r1[x] c1")
+        assert not has_phantom(h)
+
+    def test_predicate_membership_churn(self):
+        h = parse_history("r1[x] w2[x] c2 r1[x] c1")
+        assert has_phantom(h, predicate_items=frozenset({"x"}))
+        assert not has_phantom(h, predicate_items=frozenset({"y"}))
+
+
+class TestLostUpdate:
+    def test_h3_pattern(self):
+        h = parse_history("r1[x] r2[x] w2[x] w1[x] c1 c2")
+        assert len(find_lost_updates(h)) == 1
+
+    def test_blind_write_is_not_lost_update(self):
+        # §3.2: H4's txn2 never read x, so nothing is "lost".
+        h = parse_history("r1[x] w2[x] w1[x] c1 c2")
+        assert find_lost_updates(h) == []
+
+    def test_serial_updates_fine(self):
+        h = parse_history("r1[x] w1[x] c1 r2[x] w2[x] c2")
+        assert find_lost_updates(h) == []
+
+    def test_aborted_txn_cannot_lose_updates(self):
+        h = parse_history("r1[x] r2[x] w2[x] w1[x] c1 a2")
+        assert find_lost_updates(h) == []
+
+
+class TestWriteSkew:
+    def test_h2_pattern(self):
+        h = parse_history("r1[x] r1[y] r2[x] r2[y] w1[x] w2[y] c1 c2")
+        assert len(find_write_skew(h)) == 1
+
+    def test_h1_is_also_skew_shaped(self):
+        h = parse_history("r1[x] r2[y] w1[y] w2[x] c1 c2")
+        assert len(find_write_skew(h)) == 1
+
+    def test_overlapping_write_sets_excluded(self):
+        # If write sets intersect, SI catches it: not write skew.
+        h = parse_history("r1[x] r2[y] w1[y] w1[x] w2[x] w2[y] c1 c2")
+        assert find_write_skew(h) == []
+
+    def test_one_directional_read_not_skew(self):
+        h = parse_history("r1[x] w2[x] w1[y] c1 c2")
+        assert find_write_skew(h) == []
+
+    def test_non_concurrent_not_skew(self):
+        h = parse_history("r1[x] w1[y] c1 r2[y] w2[x] c2")
+        assert find_write_skew(h) == []
+
+
+class TestConstraintExecution:
+    def test_serial_execution_preserves_constraint(self):
+        h = parse_history("r1[x] r1[y] w1[x] c1 r2[x] r2[y] c2")
+
+        def decrement_if_valid(txn, item, snapshot):
+            return snapshot[item] - 1
+
+        holds = check_constraint_violation(
+            h,
+            initial={"x": 1, "y": 1},
+            apply_write=decrement_if_valid,
+            constraint=lambda final: final["x"] + final["y"] > 0,
+        )
+        assert holds  # one decrement: 0 + 1 > 0
+
+    def test_chained_dataflow(self):
+        # txn2 reads txn1's committed write and adds to it.
+        h = parse_history("w1[x] c1 r2[x] w2[y] c2")
+
+        def apply_write(txn, item, snapshot):
+            if txn == 1:
+                return 10
+            return snapshot["x"] + 5
+
+        holds = check_constraint_violation(
+            h,
+            initial={"x": 0, "y": 0},
+            apply_write=apply_write,
+            constraint=lambda final: final["y"] == 15,
+        )
+        assert holds

@@ -1,0 +1,83 @@
+"""Unit tests for SI/WSI history admissibility replay."""
+
+import pytest
+
+from repro.history import (
+    allowed_under,
+    allowed_under_si,
+    allowed_under_wsi,
+    parse_history,
+)
+
+
+class TestSIReplay:
+    def test_serial_always_allowed(self):
+        h = parse_history("w1[x] c1 w2[x] c2")
+        assert allowed_under_si(h).allowed
+
+    def test_concurrent_same_row_writers_rejected(self):
+        h = parse_history("w1[x] w2[x] c1 c2")
+        result = allowed_under_si(h)
+        assert not result.allowed
+        assert result.first_rejected == 2
+        assert result.conflict_row == "x"
+        assert result.conflicting_with == 1
+
+    def test_first_committer_wins(self):
+        # The one that reaches the oracle first commits (§2.2).
+        h = parse_history("w1[x] w2[x] c2 c1")
+        result = allowed_under_si(h)
+        assert result.first_rejected == 1
+
+    def test_reads_never_matter_for_si(self):
+        h = parse_history("r1[x] r1[y] w2[x] w2[y] c2 c1")
+        assert allowed_under_si(h).allowed
+
+
+class TestWSIReplay:
+    def test_reader_unaffected_if_writer_commits_after(self):
+        # rw-temporal requires the writer to commit inside the reader's
+        # lifetime; committing after the reader is fine (txn_c'' in Fig 2).
+        h = parse_history("r1[x] w1[y] w2[x] c1 c2")
+        assert allowed_under_wsi(h).allowed
+
+    def test_reader_aborts_if_writer_commits_inside(self):
+        h = parse_history("r1[x] w1[y] w2[x] c2 c1")
+        result = allowed_under_wsi(h)
+        assert not result.allowed
+        assert result.first_rejected == 1
+
+    def test_read_only_exemption(self):
+        # txn1 is read-only: its read set is not checked (§4.1 cond. 3).
+        h = parse_history("r1[x] w2[x] c2 c1")
+        assert allowed_under_wsi(h).allowed
+
+    def test_write_txn_checked_even_with_one_read(self):
+        h = parse_history("r1[x] w2[x] c2 w1[y] c1")
+        assert not allowed_under_wsi(h).allowed
+
+    def test_own_write_read_is_not_a_conflict(self):
+        h = parse_history("w1[x] r1[x] w2[q] c2 c1")
+        assert allowed_under_wsi(h).allowed
+
+
+class TestDispatchAndResult:
+    def test_allowed_under_dispatch(self):
+        h = parse_history("w1[x] w2[x] c1 c2")
+        assert not allowed_under(h, "si").allowed
+        assert allowed_under(h, "wsi").allowed
+
+    def test_unknown_level(self):
+        with pytest.raises(ValueError):
+            allowed_under(parse_history("c1"), "2pl")
+
+    def test_result_truthiness(self):
+        h = parse_history("w1[x] c1")
+        assert allowed_under_si(h)
+        h2 = parse_history("w1[x] w2[x] c1 c2")
+        assert not allowed_under_si(h2)
+
+    def test_aborted_txn_does_not_update_lastcommit(self):
+        # txn1 aborts: its writes must not block txn2.
+        h = parse_history("w1[x] a1 w2[x] c2")
+        assert allowed_under_si(h).allowed

@@ -1,0 +1,146 @@
+"""Unit tests for history parsing and derived views."""
+
+import pytest
+
+from repro.history.history import (
+    History,
+    Operation,
+    abort,
+    commit,
+    parse_history,
+    read,
+    write,
+)
+
+
+class TestParsing:
+    def test_parse_roundtrip(self):
+        text = "r1[x] r2[y] w1[y] w2[x] c1 c2"
+        assert str(parse_history(text)) == text
+
+    def test_parse_operations(self):
+        h = parse_history("r1[x] w2[y] c1 a2")
+        assert h.operations == (
+            Operation("r", 1, "x"),
+            Operation("w", 2, "y"),
+            Operation("c", 1),
+            Operation("a", 2),
+        )
+
+    def test_parse_multicharacter_items_and_ids(self):
+        h = parse_history("r12[row_a] c12")
+        assert h.operations[0].txn == 12
+        assert h.operations[0].item == "row_a"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_history("r1[x] banana c1")
+        with pytest.raises(ValueError):
+            parse_history("")
+
+    def test_constructors_match_notation(self):
+        assert str(read(1, "x")) == "r1[x]"
+        assert str(write(2, "y")) == "w2[y]"
+        assert str(commit(1)) == "c1"
+        assert str(abort(3)) == "a3"
+
+    def test_operation_validation(self):
+        with pytest.raises(ValueError):
+            Operation("x", 1)
+        with pytest.raises(ValueError):
+            Operation("r", 1)  # missing item
+        with pytest.raises(ValueError):
+            Operation("c", 1, "x")  # commit takes no item
+
+    def test_operations_after_termination_rejected(self):
+        with pytest.raises(ValueError):
+            parse_history("c1 r1[x]")
+        with pytest.raises(ValueError):
+            parse_history("a1 w1[x]")
+
+
+class TestDerivedViews:
+    def test_read_write_sets(self):
+        h = parse_history("r1[x] r1[y] w1[y] w1[z] c1")
+        assert h.read_set(1) == {"x", "y"}
+        assert h.write_set(1) == {"y", "z"}
+
+    def test_transactions_order_of_appearance(self):
+        h = parse_history("r2[x] r1[y] c2 c1")
+        assert h.transactions == [2, 1]
+
+    def test_commit_abort_flags(self):
+        h = parse_history("w1[x] w2[x] c1 a2")
+        assert h.is_committed(1) and not h.is_aborted(1)
+        assert h.is_aborted(2) and not h.is_committed(2)
+        assert h.committed_transactions() == [1]
+
+    def test_commit_order(self):
+        h = parse_history("w1[x] w2[y] c2 c1")
+        assert h.commit_order() == [2, 1]
+
+    def test_items(self):
+        h = parse_history("r1[x] w1[y] c1")
+        assert h.items() == {"x", "y"}
+
+    def test_positions(self):
+        h = parse_history("r1[x] r2[y] c1 c2")
+        assert h.start_position(1) == 0
+        assert h.start_position(2) == 1
+        assert h.commit_position(1) == 2
+        assert h.commit_position(2) == 3
+
+    def test_concurrency(self):
+        h = parse_history("r1[x] r2[y] c1 c2")
+        assert h.are_concurrent(1, 2)
+        serial = parse_history("r1[x] c1 r2[y] c2")
+        assert not serial.are_concurrent(1, 2)
+
+    def test_is_serial(self):
+        assert parse_history("r1[x] w1[x] c1 w2[x] c2").is_serial()
+        assert not parse_history("r1[x] w2[x] c1 c2").is_serial()
+
+
+class TestReadsFrom:
+    def test_snapshot_read_sees_pre_start_commit(self):
+        h = parse_history("w1[x] c1 r2[x] c2")
+        assert h.reads_from()[(2, "x")] == 1
+
+    def test_snapshot_read_ignores_concurrent_commit(self):
+        # txn2 started before txn1 committed: reads initial version.
+        h = parse_history("r2[y] w1[x] c1 r2[x] c2")
+        assert h.reads_from()[(2, "x")] is None
+
+    def test_own_write_read(self):
+        h = parse_history("w1[x] r1[x] c1")
+        assert h.reads_from()[(1, "x")] == 1
+
+    def test_physical_semantics_differ(self):
+        # Physically, r2[x] follows w1[x] even though txn1 is uncommitted.
+        h = parse_history("w1[x] r2[x] c1 c2")
+        assert h.reads_from(snapshot_reads=False)[(2, "x")] == 1
+        assert h.reads_from(snapshot_reads=True)[(2, "x")] is None
+
+    def test_final_writer_by_commit_order(self):
+        # txn1's write is physically last but txn2 commits last -> MVCC
+        # installs versions at commit timestamps.
+        h = parse_history("w2[x] w1[x] c1 c2")
+        assert h.final_writer("x") == 2
+
+    def test_final_writer_ignores_aborted(self):
+        h = parse_history("w1[x] w2[x] c1 a2")
+        assert h.final_writer("x") == 1
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        a = parse_history("r1[x] c1")
+        b = parse_history("r1[x] c1")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != parse_history("w1[x] c1")
+
+    def test_len_iter(self):
+        h = parse_history("r1[x] w1[y] c1")
+        assert len(h) == 3
+        assert [op.kind for op in h] == ["r", "w", "c"]

@@ -1,0 +1,138 @@
+"""The paper's central claims about H1-H7, verified mechanically.
+
+This is experiment E8 in test form: every cell of the
+serializable / SI-allowed / WSI-allowed matrix the paper argues in
+§3-§4 must come out of our checkers.
+"""
+
+import pytest
+
+from repro.history import (
+    ALL_HISTORIES,
+    H1,
+    H2,
+    H3,
+    H4,
+    H5,
+    H6,
+    H7,
+    PAPER_CLAIMS,
+    allowed_under_si,
+    allowed_under_wsi,
+    classification,
+    equivalent,
+    find_lost_updates,
+    find_write_skew,
+    is_serializable,
+)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_HISTORIES))
+def test_full_classification_matches_paper(name):
+    got = classification(ALL_HISTORIES[name])
+    assert got == PAPER_CLAIMS[name], f"{name}: {got} != paper {PAPER_CLAIMS[name]}"
+
+
+class TestH1:
+    """§3.1: SI allows a non-serializable read-write crossover."""
+
+    def test_not_serializable(self):
+        assert not is_serializable(H1)
+
+    def test_si_allows_it(self):
+        assert allowed_under_si(H1).allowed
+
+    def test_wsi_prevents_it(self):
+        result = allowed_under_wsi(H1)
+        assert not result.allowed
+        # txn1 commits during txn2's lifetime and wrote y which txn2 read.
+        assert result.first_rejected == 2
+        assert result.conflict_row == "y"
+        assert result.conflicting_with == 1
+
+
+class TestH2WriteSkew:
+    """§3.1: the write-skew anomaly."""
+
+    def test_detector_finds_write_skew(self):
+        witnesses = find_write_skew(H2)
+        assert len(witnesses) == 1
+        assert set(witnesses[0].transactions) == {1, 2}
+
+    def test_constraint_violated_under_si(self):
+        # x + y > 0, initially x = y = 1; each txn decrements one of them.
+        from repro.history import check_constraint_violation
+
+        def apply_write(txn, item, snapshot):
+            return snapshot[item] - 1
+
+        holds = check_constraint_violation(
+            H2,
+            initial={"x": 1, "y": 1},
+            apply_write=apply_write,
+            constraint=lambda final: final["x"] + final["y"] > 0,
+        )
+        assert not holds  # the paper: database ends at x = y = 0
+
+    def test_wsi_prevents_the_skew(self):
+        assert not allowed_under_wsi(H2).allowed
+
+
+class TestH3LostUpdate:
+    """§3.2: lost update is caught by both levels."""
+
+    def test_detector_finds_lost_update(self):
+        witnesses = find_lost_updates(H3)
+        assert len(witnesses) == 1
+        assert witnesses[0].item == "x"
+
+    def test_both_levels_prevent(self):
+        assert not allowed_under_si(H3).allowed
+        assert not allowed_under_wsi(H3).allowed
+
+
+class TestH4BlindWrite:
+    """§3.2: a blind write is NOT a lost update; SI aborts it anyway."""
+
+    def test_no_lost_update_in_h4(self):
+        assert find_lost_updates(H4) == []
+
+    def test_serializable_but_si_prevents(self):
+        assert is_serializable(H4)
+        assert not allowed_under_si(H4).allowed  # SI's unnecessary abort
+
+    def test_wsi_allows(self):
+        assert allowed_under_wsi(H4).allowed
+
+    def test_equivalent_to_h5(self):
+        # "the history is equivalent to the following serial history"
+        assert equivalent(H4, H5)
+        assert H5.is_serial()
+
+
+class TestH6WsiUnnecessaryAbort:
+    """§4.3: WSI also unnecessarily prevents some serializable histories."""
+
+    def test_serializable(self):
+        assert is_serializable(H6)
+
+    def test_si_allows_wsi_prevents(self):
+        assert allowed_under_si(H6).allowed
+        result = allowed_under_wsi(H6)
+        assert not result.allowed
+        assert result.first_rejected == 1
+        assert result.conflict_row == "x"
+
+    def test_equivalent_to_h7(self):
+        assert equivalent(H6, H7)
+        assert H7.is_serial()
+
+
+class TestNeitherDominates:
+    """§4.3: neither level's allowed set contains the other's (H4 vs H6)."""
+
+    def test_wsi_allows_something_si_rejects(self):
+        assert allowed_under_wsi(H4).allowed and not allowed_under_si(H4).allowed
+
+    def test_si_allows_something_wsi_rejects(self):
+        assert allowed_under_si(H6).allowed and not allowed_under_wsi(H6).allowed

@@ -1,0 +1,102 @@
+"""The read-only transaction anomaly (Fekete, O'Neil & O'Neil 2004).
+
+The strongest known stress test for SI-adjacent protocols: a
+*read-only* transaction makes an otherwise-serializable pair of updates
+non-serializable.  Snapshot isolation admits it; write-snapshot
+isolation must reject it *without ever aborting the read-only
+transaction itself* — the combination §4.1's read-only exemption and
+Theorem 1 promise, worth verifying explicitly.
+
+Scenario (checking x, savings y, both 0):
+
+* T1 deposits 20 into y;
+* T2 withdraws 10 from x, incurring an overdraft fee because it saw
+  x + y = 0 (it missed T1's deposit);
+* T3 (read-only) reads x and y after T1 committed, seeing the deposit
+  but not the withdrawal.
+
+T3 observes (x=0, y=20): T1 happened, T2 did not ⟹ T1 < T2.  But T2
+missed T1's deposit ⟹ T2 < T1.  Cycle: not serializable, even though
+the history without T3 is serializable.
+"""
+
+import pytest
+
+from repro.core import create_system
+from repro.core.errors import ConflictAbort
+from repro.history import (
+    allowed_under_si,
+    allowed_under_wsi,
+    is_serializable,
+    parse_history,
+)
+
+ANOMALY = parse_history(
+    "r2[x] r2[y] r1[y] w1[y] c1 r3[x] r3[y] c3 w2[x] c2"
+)
+WITHOUT_READER = parse_history("r2[x] r2[y] r1[y] w1[y] c1 w2[x] c2")
+
+
+class TestTheAnomaly:
+    def test_full_history_not_serializable(self):
+        assert not is_serializable(ANOMALY)
+
+    def test_without_the_reader_it_is_serializable(self):
+        # The two writers alone are fine: the only antidependency is
+        # T2 -> T1 (T2 read y before T1's deposit); T1 reads nothing T2
+        # writes, so no cycle — serial order T2, T1.
+        assert is_serializable(WITHOUT_READER)
+
+    def test_si_admits_it(self):
+        # Disjoint write sets: SI cannot see the problem.
+        assert allowed_under_si(ANOMALY).allowed
+
+    def test_wsi_rejects_it_via_a_write_transaction(self):
+        result = allowed_under_wsi(ANOMALY)
+        assert not result.allowed
+        # the aborted transaction is T2 (a writer), never T3 (read-only)
+        assert result.first_rejected == 2
+        assert result.conflict_row == "y"
+
+
+class TestLiveExecution:
+    def _run(self, level):
+        system = create_system(level)
+        init = system.manager.begin()
+        init.write("x", 0)
+        init.write("y", 0)
+        init.commit()
+
+        t2 = system.manager.begin()  # withdrawal: starts first
+        assert t2.read("x") + t2.read("y") == 0
+
+        t1 = system.manager.begin()  # deposit: touches only y
+        deposit_base = t1.read("y")
+        t1.write("y", deposit_base + 20)
+        t1.commit()
+
+        t3 = system.manager.begin()  # read-only report
+        report = (t3.read("x"), t3.read("y"))
+        t3.commit()  # must always succeed
+
+        outcome = {"report": report, "t3_committed": True}
+        try:
+            t2.write("x", -11)  # 10 + overdraft fee, based on stale sum
+            t2.commit()
+            outcome["t2"] = "committed"
+        except ConflictAbort:
+            outcome["t2"] = "aborted"
+        return outcome
+
+    def test_si_produces_the_anomaly(self):
+        outcome = self._run("si")
+        assert outcome["t2"] == "committed"
+        # T3's report shows the deposit but history ends with a fee that
+        # assumed no deposit: the non-serializable outcome.
+        assert outcome["report"] == (0, 20)
+
+    def test_wsi_prevents_it_and_spares_the_reader(self):
+        outcome = self._run("wsi")
+        assert outcome["t2"] == "aborted"  # the writer pays
+        assert outcome["t3_committed"]  # the read-only reader never does
+        assert outcome["report"] == (0, 20)

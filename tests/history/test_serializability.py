@@ -1,0 +1,158 @@
+"""Unit tests for the serializability checkers."""
+
+import pytest
+
+from repro.history.history import parse_history
+from repro.history.serializability import (
+    equivalent,
+    equivalent_serial_order,
+    find_cycle,
+    is_conflict_serializable,
+    is_serializable,
+    mvsg,
+    serialize_by_commit_order,
+    topological_order,
+)
+
+
+class TestGraphUtilities:
+    def test_find_cycle_none(self):
+        assert find_cycle({1: {2}, 2: {3}, 3: set()}) is None
+
+    def test_find_cycle_simple(self):
+        cycle = find_cycle({1: {2}, 2: {1}})
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+
+    def test_find_self_loop(self):
+        assert find_cycle({1: {1}}) is not None
+
+    def test_topological_order(self):
+        order = topological_order({1: {2}, 2: {3}, 3: set()})
+        assert order == [1, 2, 3]
+
+    def test_topological_order_cyclic_none(self):
+        assert topological_order({1: {2}, 2: {1}}) is None
+
+    def test_topological_tie_break_by_node(self):
+        assert topological_order({3: set(), 1: set(), 2: set()}) == [1, 2, 3]
+
+
+class TestConflictSerializability:
+    def test_serial_history(self):
+        assert is_conflict_serializable(parse_history("r1[x] w1[x] c1 r2[x] c2"))
+
+    def test_classic_nonserializable(self):
+        h = parse_history("r1[x] w2[x] c2 w1[x] c1")
+        assert not is_conflict_serializable(h)
+
+    def test_h4_rejected_by_single_version_theory(self):
+        # The point of using MVSG instead: single-version conflict
+        # serializability wrongly rejects H4.
+        h4 = parse_history("r1[x] w2[x] w1[x] c1 c2")
+        assert not is_conflict_serializable(h4)
+        assert is_serializable(h4)
+
+    def test_aborted_txns_excluded(self):
+        h = parse_history("r1[x] w2[x] a2 w1[x] c1")
+        assert is_conflict_serializable(h)
+
+
+class TestMVSG:
+    def test_rejects_txn_zero(self):
+        with pytest.raises(ValueError):
+            mvsg(parse_history("r0[x] c0"))
+
+    def test_serial_history_acyclic(self):
+        assert is_serializable(parse_history("w1[x] c1 r2[x] w2[y] c2"))
+
+    def test_write_skew_cycle(self):
+        h2 = parse_history("r1[x] r1[y] r2[x] r2[y] w1[x] w2[y] c1 c2")
+        graph = mvsg(h2)
+        cycle = find_cycle(graph)
+        assert cycle is not None
+        assert {1, 2} <= set(cycle)
+
+    def test_serial_order_witness(self):
+        h = parse_history("w1[x] c1 r2[x] w2[y] c2")
+        order = equivalent_serial_order(h)
+        assert order is not None
+        # T1 must precede T2 (T2 read T1's write); node 0 is the initializer.
+        assert order.index(1) < order.index(2)
+
+    def test_read_only_txn_placement(self):
+        # A read-only txn that read old data serializes before the writer
+        # even if it commits later.
+        h = parse_history("r1[x] w2[x] c2 r1[y] c1")
+        assert is_serializable(h)
+        order = equivalent_serial_order(h)
+        assert order.index(1) < order.index(2)
+
+
+class TestEquivalence:
+    def test_identical_histories_equivalent(self):
+        a = parse_history("w1[x] c1 r2[x] c2")
+        assert equivalent(a, a)
+
+    def test_reordered_but_same_outcome(self):
+        a = parse_history("w1[x] c1 w2[y] c2")
+        b = parse_history("w2[y] w1[x] c1 c2")
+        assert equivalent(a, b)
+
+    def test_different_final_writer_not_equivalent(self):
+        a = parse_history("w1[x] w2[x] c1 c2")  # final x by txn2
+        b = parse_history("w2[x] c2 w1[x] c1")  # final x by txn1
+        assert not equivalent(a, b)
+
+    def test_different_reads_not_equivalent(self):
+        a = parse_history("w1[x] c1 r2[x] w2[y] c2")  # txn2 reads txn1's x
+        b = parse_history("r2[x] w2[y] w1[x] c1 c2")  # txn2 reads initial x
+        assert not equivalent(a, b)
+
+    def test_different_committed_sets_not_equivalent(self):
+        a = parse_history("w1[x] c1 w2[y] c2")
+        b = parse_history("w1[x] c1 w2[y] a2")
+        assert not equivalent(a, b)
+
+
+class TestConstructiveSerialization:
+    """The paper's serial(h) construction (§4.2 Lemmas 1-2)."""
+
+    def test_produces_serial_history(self):
+        h = parse_history("r1[x] r2[y] w2[x] c2 w1[y] c1")
+        s = serialize_by_commit_order(h)
+        assert s.is_serial()
+
+    def test_write_txns_in_commit_order(self):
+        h = parse_history("w1[x] w2[y] c2 c1")
+        s = serialize_by_commit_order(h)
+        assert s.commit_order() == [2, 1]
+
+    def test_read_only_moved_to_start(self):
+        # read-only txn1 starts first: serial(h) runs it first even though
+        # it commits last.
+        h = parse_history("r1[x] w2[x] c2 r1[y] c1")
+        s = serialize_by_commit_order(h)
+        assert s.transactions[0] == 1
+
+    def test_aborted_transactions_dropped(self):
+        h = parse_history("w1[x] w2[y] a2 c1")
+        s = serialize_by_commit_order(h)
+        assert s.transactions == [1]
+
+    def test_equivalence_for_wsi_history(self):
+        # A history accepted by WSI: serial(h) must be equivalent to h
+        # (this is Theorem 1; the property test generalizes it).
+        from repro.history.checkers import allowed_under_wsi
+
+        h = parse_history("r1[x] w1[y] r2[z] c1 w2[q] c2")
+        assert allowed_under_wsi(h).allowed
+        s = serialize_by_commit_order(h)
+        assert s.is_serial()
+        assert equivalent(h, s)
+
+    def test_operation_order_inside_txn_preserved(self):
+        h = parse_history("r1[a] w2[x] w1[b] r1[c] c2 c1")
+        s = serialize_by_commit_order(h)
+        txn1_ops = [str(op) for op in s.operations_of(1)]
+        assert txn1_ops == ["r1[a]", "w1[b]", "r1[c]", "c1"]

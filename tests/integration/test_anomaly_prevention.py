@@ -1,0 +1,156 @@
+"""Live anomaly tests: the paper's scenarios against the real stack.
+
+These run the paper's motivating examples end-to-end — real transaction
+clients, real store, real oracle — rather than as abstract histories.
+"""
+
+import pytest
+
+from repro.core import create_system
+from repro.core.errors import ConflictAbort
+
+
+class TestWriteSkewLive:
+    """§3.1's constraint scenario: x + y > 0, initially x = y = 1."""
+
+    def _setup(self, system):
+        init = system.manager.begin()
+        init.write("x", 1)
+        init.write("y", 1)
+        init.commit()
+
+    def _decrement_if_valid(self, txn, target):
+        x, y = txn.read("x"), txn.read("y")
+        assert x + y > 0  # each txn validates the constraint
+        txn.write(target, (x if target == "x" else y) - 1)
+
+    def test_si_violates_the_constraint(self, si_system):
+        self._setup(si_system)
+        t1 = si_system.manager.begin()
+        t2 = si_system.manager.begin()
+        self._decrement_if_valid(t1, "x")
+        self._decrement_if_valid(t2, "y")
+        t1.commit()
+        t2.commit()  # SI allows both: write skew
+        check = si_system.manager.begin()
+        assert check.read("x") + check.read("y") == 0  # constraint violated!
+
+    def test_wsi_preserves_the_constraint(self, wsi_system):
+        self._setup(wsi_system)
+        t1 = wsi_system.manager.begin()
+        t2 = wsi_system.manager.begin()
+        self._decrement_if_valid(t1, "x")
+        self._decrement_if_valid(t2, "y")
+        t1.commit()
+        with pytest.raises(ConflictAbort):
+            t2.commit()
+        check = wsi_system.manager.begin()
+        assert check.read("x") + check.read("y") > 0  # constraint holds
+
+
+class TestLostUpdateLive:
+    """§3.2 H3: both levels must prevent the lost update."""
+
+    @pytest.mark.parametrize("level", ["si", "wsi"])
+    def test_concurrent_increment_conflict(self, level):
+        system = create_system(level)
+        init = system.manager.begin()
+        init.write("counter", 10)
+        init.commit()
+        t1 = system.manager.begin()
+        t2 = system.manager.begin()
+        v1 = t1.read("counter")
+        v2 = t2.read("counter")
+        t1.write("counter", v1 + 1)
+        t2.write("counter", v2 + 1)
+        t1.commit()
+        with pytest.raises(ConflictAbort):
+            t2.commit()
+        assert system.manager.begin().read("counter") == 11  # no update lost
+
+
+class TestBlindWriteLive:
+    """§3.2 H4: SI aborts the blind write, WSI allows it."""
+
+    def test_si_unnecessary_abort(self, si_system):
+        t1 = si_system.manager.begin()
+        t2 = si_system.manager.begin()
+        t1.read("x")
+        t2.write("x", "blind")  # t2 never read x
+        t1.write("x", "t1")
+        t1.commit()
+        with pytest.raises(ConflictAbort):
+            t2.commit()
+
+    def test_wsi_allows_blind_write(self, wsi_system):
+        t1 = wsi_system.manager.begin()
+        t2 = wsi_system.manager.begin()
+        t1.read("x")
+        t2.write("x", "blind")
+        t1.write("x", "t1")
+        t1.commit()
+        t2.commit()  # commits: blind writes don't conflict under WSI
+        # final value is t2's (it committed last)
+        assert wsi_system.manager.begin().read("x") == "blind"
+
+
+class TestAnsiAnomaliesLive:
+    """§3.2: snapshot reads prevent the ANSI anomalies under BOTH levels
+    (independent of conflict detection)."""
+
+    def test_no_dirty_read(self, any_system):
+        writer = any_system.manager.begin()
+        writer.write("x", "uncommitted")
+        reader = any_system.manager.begin()
+        assert reader.read("x") is None
+
+    def test_no_read_of_aborted_data(self, any_system):
+        writer = any_system.manager.begin()
+        writer.write("x", "doomed")
+        writer.abort()
+        reader = any_system.manager.begin()
+        assert reader.read("x") is None
+
+    def test_no_fuzzy_read(self, any_system):
+        init = any_system.manager.begin()
+        init.write("x", "v1")
+        init.commit()
+        reader = any_system.manager.begin()
+        assert reader.read("x") == "v1"
+        concurrent = any_system.manager.begin()
+        concurrent.write("x", "v2")
+        concurrent.commit()
+        assert reader.read("x") == "v1"  # still the same snapshot
+
+    def test_no_phantom_on_fixed_snapshot(self, any_system):
+        init = any_system.manager.begin()
+        init.write("k1", 1)
+        init.write("k2", 2)
+        init.commit()
+        reader = any_system.manager.begin()
+        first_scan = [reader.read(k) for k in ("k1", "k2", "k3")]
+        inserter = any_system.manager.begin()
+        inserter.write("k3", 3)
+        inserter.commit()
+        second_scan = [reader.read(k) for k in ("k1", "k2", "k3")]
+        assert first_scan == second_scan == [1, 2, None]
+
+
+class TestReadOnlyNeverAborts:
+    """§4.1/§5.1: read-only transactions always commit, at both levels."""
+
+    @pytest.mark.parametrize("level", ["si", "wsi"])
+    def test_under_heavy_conflicting_writes(self, level):
+        system = create_system(level)
+        readers = [system.manager.begin() for _ in range(10)]
+        for r in readers:
+            r.read("hot")
+        # a storm of writes to everything the readers looked at
+        for i in range(20):
+            w = system.manager.begin()
+            w.write("hot", i)
+            w.commit()
+        for r in readers:
+            r.read("hot")  # read again after the storm
+            r.commit()  # never raises
+        assert all(r.commit_ts == r.start_ts for r in readers)

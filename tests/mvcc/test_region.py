@@ -1,0 +1,93 @@
+"""Unit tests for region routing and splitting."""
+
+import pytest
+
+from repro.mvcc.region import Region, RegionMap
+
+
+class TestSingleRegion:
+    def test_fresh_map_is_one_unbounded_region(self):
+        rmap = RegionMap(num_servers=3)
+        assert rmap.region_count == 1
+        region = rmap.region_for(42)
+        assert region.start is None and region.end is None
+
+    def test_everything_routes_to_it(self):
+        rmap = RegionMap()
+        assert rmap.server_for(-100) == 0
+        assert rmap.server_for(0) == 0
+        assert rmap.server_for(10 ** 12) == 0
+
+
+class TestSplitting:
+    def test_split_creates_half_open_ranges(self):
+        rmap = RegionMap(num_servers=2)
+        rmap.split(100)
+        left = rmap.region_for(99)
+        right = rmap.region_for(100)
+        assert left.end == 100
+        assert right.start == 100
+        assert left is not right
+
+    def test_split_at_existing_boundary_is_noop(self):
+        rmap = RegionMap()
+        first = rmap.split(100)
+        again = rmap.split(100)
+        assert again is first
+        assert rmap.region_count == 2
+
+    def test_multiple_splits_route_correctly(self):
+        rmap = RegionMap(num_servers=5)
+        rmap.presplit_uniform([10, 20, 30])
+        assert rmap.region_count == 4
+        assert rmap.region_for(5).end == 10
+        assert rmap.region_for(10).start == 10
+        assert rmap.region_for(25).start == 20
+        assert rmap.region_for(99).start == 30
+
+    def test_invariants_after_many_splits(self):
+        rmap = RegionMap(num_servers=4)
+        rmap.presplit_uniform(list(range(0, 1000, 7)))
+        rmap.check_invariants()
+
+    def test_split_inside_bounded_region(self):
+        rmap = RegionMap()
+        rmap.presplit_uniform([10, 50])
+        rmap.split(30)
+        rmap.check_invariants()
+        assert rmap.region_for(29).start == 10
+        assert rmap.region_for(30).start == 30
+        assert rmap.region_for(30).end == 50
+
+
+class TestBalancing:
+    def test_round_robin_assignment(self):
+        rmap = RegionMap(num_servers=3)
+        rmap.presplit_uniform([10, 20, 30, 40, 50])
+        rmap.rebalance_round_robin()
+        owners = [r.server_id for r in rmap.regions()]
+        assert owners == [0, 1, 2, 0, 1, 2]
+
+    def test_regions_on(self):
+        rmap = RegionMap(num_servers=2)
+        rmap.presplit_uniform([10, 20, 30])
+        rmap.rebalance_round_robin()
+        assert len(rmap.regions_on(0)) == 2
+        assert len(rmap.regions_on(1)) == 2
+
+    def test_invalid_server_count(self):
+        with pytest.raises(ValueError):
+            RegionMap(num_servers=0)
+
+
+class TestRegionContains:
+    def test_bounded(self):
+        region = Region(0, 10, 20)
+        assert region.contains(10)
+        assert region.contains(19)
+        assert not region.contains(20)
+        assert not region.contains(9)
+
+    def test_unbounded_ends(self):
+        assert Region(0, None, 10).contains(-999)
+        assert Region(0, 10, None).contains(10 ** 9)

@@ -1,0 +1,95 @@
+"""Unit tests for the snapshot-read skip rule (§2.2)."""
+
+import pytest
+
+from repro.core.commit_table import CommitTable
+from repro.mvcc.snapshot import SnapshotReader
+from repro.mvcc.store import MVCCStore
+from repro.mvcc.version import TOMBSTONE
+
+
+@pytest.fixture
+def setup():
+    store = MVCCStore()
+    commits = CommitTable()
+    reader = SnapshotReader(store, commits)
+    return store, commits, reader
+
+
+class TestSkipRules:
+    def test_rule_i_uncommitted_skipped(self, setup):
+        store, commits, reader = setup
+        store.put("r", 5, "dirty")  # writer never committed
+        assert reader.read("r", snapshot_ts=10) is None
+
+    def test_rule_ii_aborted_skipped(self, setup):
+        store, commits, reader = setup
+        store.put("r", 5, "junk")
+        commits.record_abort(5)
+        assert reader.read("r", snapshot_ts=10) is None
+
+    def test_rule_iii_late_commit_skipped(self, setup):
+        store, commits, reader = setup
+        store.put("r", 5, "future")
+        commits.record_commit(5, 15)  # commits after our snapshot at 10
+        assert reader.read("r", snapshot_ts=10) is None
+
+    def test_committed_before_snapshot_visible(self, setup):
+        store, commits, reader = setup
+        store.put("r", 5, "visible")
+        commits.record_commit(5, 8)
+        version = reader.read("r", snapshot_ts=10)
+        assert version is not None and version.value == "visible"
+
+    def test_commit_at_snapshot_boundary_excluded(self, setup):
+        # visibility is commit_ts < snapshot_ts, strictly.
+        store, commits, reader = setup
+        store.put("r", 5, "boundary")
+        commits.record_commit(5, 10)
+        assert reader.read("r", snapshot_ts=10) is None
+        assert reader.read("r", snapshot_ts=11) is not None
+
+    def test_own_write_always_visible(self, setup):
+        store, commits, reader = setup
+        store.put("r", 7, "mine")  # written by the reading txn itself
+        version = reader.read("r", snapshot_ts=7, own_start_ts=7)
+        assert version is not None and version.value == "mine"
+
+
+class TestNewestVisibleWins:
+    def test_skips_garbage_to_find_committed(self, setup):
+        store, commits, reader = setup
+        store.put("r", 1, "old")
+        commits.record_commit(1, 2)
+        store.put("r", 5, "aborted")
+        commits.record_abort(5)
+        store.put("r", 7, "uncommitted")
+        version, skipped = reader.read_with_provenance("r", snapshot_ts=10)
+        assert version.value == "old"
+        assert skipped == 2
+
+    def test_multiple_committed_newest_wins(self, setup):
+        store, commits, reader = setup
+        for start, commit in ((1, 2), (3, 4), (5, 6)):
+            store.put("r", start, f"v{start}")
+            commits.record_commit(start, commit)
+        assert reader.read("r", snapshot_ts=10).value == "v5"
+        assert reader.read("r", snapshot_ts=5).value == "v3"
+        assert reader.read("r", snapshot_ts=3).value == "v1"
+
+
+class TestReadValue:
+    def test_tombstone_reads_as_default(self, setup):
+        store, commits, reader = setup
+        store.put("r", 1, "alive")
+        commits.record_commit(1, 2)
+        store.put("r", 3, TOMBSTONE)
+        commits.record_commit(3, 4)
+        assert reader.read_value("r", snapshot_ts=10) is None
+        assert reader.read_value("r", snapshot_ts=10, default="gone") == "gone"
+        # older snapshot still sees the live value
+        assert reader.read_value("r", snapshot_ts=3) == "alive"
+
+    def test_missing_row_default(self, setup):
+        _, _, reader = setup
+        assert reader.read_value("nope", snapshot_ts=5, default=0) == 0

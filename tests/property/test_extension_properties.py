@@ -1,0 +1,114 @@
+"""Property tests for the extension modules: analytics, coordination,
+partitioned oracle."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analytics import RangeReadSet, RowRange
+from repro.coord.zookeeper import LeaderElection, ZooKeeper
+
+
+# ----------------------------------------------------------------------
+# RangeReadSet: model-based against a plain set of rows
+# ----------------------------------------------------------------------
+@given(
+    ranges=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=100),
+            st.integers(min_value=1, max_value=20),
+        ),
+        max_size=25,
+    )
+)
+@settings(max_examples=300, deadline=None)
+def test_range_read_set_matches_row_set_model(ranges):
+    rs = RangeReadSet()
+    model = set()
+    for start, width in ranges:
+        rs.add(RowRange(start, start + width))
+        model.update(range(start, start + width))
+    # membership agrees with the model on every relevant row
+    for row in range(0, 125):
+        assert rs.contains(row) == (row in model)
+    # coverage count agrees
+    assert rs.covered_rows == len(model)
+    # ranges are disjoint, sorted, and non-adjacent (fully coalesced)
+    spans = rs.ranges()
+    for left, right in zip(spans, spans[1:]):
+        assert left.end < right.start
+
+
+@given(rows=st.lists(st.integers(min_value=0, max_value=500), max_size=80))
+@settings(max_examples=200, deadline=None)
+def test_range_read_set_add_row_idempotent_union(rows):
+    rs = RangeReadSet()
+    for row in rows:
+        rs.add_row(row)
+        rs.add_row(row)  # duplicates change nothing
+    assert rs.covered_rows == len(set(rows))
+
+
+# ----------------------------------------------------------------------
+# Leader election: safety under arbitrary crash orders
+# ----------------------------------------------------------------------
+@given(
+    crash_order=st.permutations(list(range(5))),
+    survivors=st.integers(min_value=0, max_value=4),
+)
+@settings(max_examples=150, deadline=None)
+def test_election_safety_under_random_crashes(crash_order, survivors):
+    zk = ZooKeeper()
+    sessions = [zk.connect() for _ in range(5)]
+    elections = [LeaderElection(s) for s in sessions]
+    for victim in crash_order[: 5 - survivors]:
+        sessions[victim].close()
+        alive = [e for s, e in zip(sessions, elections) if s.alive]
+        leaders = [e for e in alive if e.is_leader]
+        if alive:
+            # safety: exactly one leader among the living
+            assert len(leaders) == 1
+            # and it is the longest-waiting (lowest sequence) candidate
+            assert leaders[0].my_node == min(e.my_node for e in alive)
+
+
+# ----------------------------------------------------------------------
+# Partitioned oracle: decisions independent of partition count
+# ----------------------------------------------------------------------
+@given(
+    script=st.lists(
+        st.tuples(
+            st.sets(st.integers(min_value=0, max_value=12), max_size=3),  # writes
+            st.sets(st.integers(min_value=0, max_value=12), max_size=3),  # reads
+            st.integers(min_value=0, max_value=2),  # commit gap
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    partitions=st.sampled_from([2, 3, 7]),
+    level=st.sampled_from(["si", "wsi"]),
+)
+@settings(max_examples=150, deadline=None)
+def test_partitioned_decisions_equal_monolith(script, partitions, level):
+    from repro.core.partitioned import PartitionedOracle
+    from repro.core.status_oracle import CommitRequest, make_oracle
+
+    mono = make_oracle(level)
+    part = PartitionedOracle(level=level, num_partitions=partitions)
+    pending = []
+    for step, (writes, reads, gap) in enumerate(script):
+        pending.append(
+            [mono.begin(), part.begin(), frozenset(writes), frozenset(reads),
+             step + gap]
+        )
+        for entry in list(pending):
+            if entry[4] <= step:
+                pending.remove(entry)
+                m_ts, p_ts, w, r, _ = entry
+                m_res = mono.commit(CommitRequest(m_ts, write_set=w, read_set=r))
+                p_res = part.commit(CommitRequest(p_ts, write_set=w, read_set=r))
+                assert m_res.committed == p_res.committed
+    for m_ts, p_ts, w, r, _ in pending:
+        m_res = mono.commit(CommitRequest(m_ts, write_set=w, read_set=r))
+        p_res = part.commit(CommitRequest(p_ts, write_set=w, read_set=r))
+        assert m_res.committed == p_res.committed

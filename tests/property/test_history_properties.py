@@ -1,0 +1,123 @@
+"""Property tests over randomly generated histories.
+
+Key cross-validation: the *replay* admissibility checker (simulating the
+oracle over a history) must agree exactly with the *declarative* conflict
+predicates evaluated pairwise over committed transactions — two
+independent formulations of §2/§4.1.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conflicts import TxnFootprint, conflicts_under
+from repro.history.checkers import allowed_under
+from repro.history.history import History, Operation
+from repro.history.serializability import (
+    is_serializable,
+    serialize_by_commit_order,
+)
+
+ITEMS = ["x", "y", "z"]
+
+
+@st.composite
+def histories(draw, max_txns=4, max_ops=4):
+    """Random well-formed histories where every transaction terminates."""
+    num_txns = draw(st.integers(min_value=1, max_value=max_txns))
+    per_txn: List[List[Operation]] = []
+    for t in range(1, num_txns + 1):
+        body = [
+            Operation(draw(st.sampled_from("rw")), t, draw(st.sampled_from(ITEMS)))
+            for _ in range(draw(st.integers(min_value=0, max_value=max_ops)))
+        ]
+        terminator = Operation(draw(st.sampled_from("ca")), t)
+        per_txn.append(body + [terminator])
+    # random interleaving preserving per-txn order
+    ops: List[Operation] = []
+    cursors = [0] * num_txns
+    remaining = sum(len(b) for b in per_txn)
+    while remaining:
+        candidates = [i for i in range(num_txns) if cursors[i] < len(per_txn[i])]
+        pick = draw(st.sampled_from(candidates))
+        ops.append(per_txn[pick][cursors[pick]])
+        cursors[pick] += 1
+        remaining -= 1
+    return History(ops)
+
+
+def footprints_of(history: History):
+    """Committed transactions with interleaving positions as timestamps."""
+    result = []
+    for txn in history.committed_transactions():
+        result.append(
+            TxnFootprint(
+                txn_id=txn,
+                start_ts=history.start_position(txn),
+                commit_ts=history.commit_position(txn),
+                read_set=history.read_set(txn),
+                write_set=history.write_set(txn),
+            )
+        )
+    return result
+
+
+@given(history=histories())
+@settings(max_examples=300, deadline=None)
+def test_replay_agrees_with_pairwise_predicates(history):
+    committed = footprints_of(history)
+    for level in ("si", "wsi"):
+        pairwise_conflict = any(
+            conflicts_under(level, a, b)
+            for i, a in enumerate(committed)
+            for b in committed[i + 1:]
+        )
+        replay = allowed_under(history, level)
+        assert replay.allowed == (not pairwise_conflict), (
+            f"{level}: replay={replay.allowed}, "
+            f"pairwise conflict={pairwise_conflict}, history={history}"
+        )
+
+
+@given(history=histories())
+@settings(max_examples=300, deadline=None)
+def test_wsi_allowed_histories_are_serializable(history):
+    # Theorem 1 at the abstract-history level.
+    if allowed_under(history, "wsi").allowed:
+        assert is_serializable(history), f"WSI-allowed but unserializable: {history}"
+
+
+@given(history=histories())
+@settings(max_examples=200, deadline=None)
+def test_serialize_by_commit_order_always_serial(history):
+    serial = serialize_by_commit_order(history)
+    assert serial.is_serial()
+    # committed set preserved, aborted dropped
+    assert set(serial.transactions) == set(history.committed_transactions())
+
+
+@given(history=histories())
+@settings(max_examples=200, deadline=None)
+def test_serial_histories_always_pass_everything(history):
+    serial = serialize_by_commit_order(history)
+    if not serial.operations:
+        return
+    assert is_serializable(serial)
+    assert allowed_under(serial, "si").allowed
+    assert allowed_under(serial, "wsi").allowed
+
+
+@given(history=histories())
+@settings(max_examples=200, deadline=None)
+def test_snapshot_reads_from_is_stable(history):
+    # A transaction's reads-from writer for an item never changes between
+    # repeated reads (snapshot stability at the history level).
+    reads = history.reads_from(snapshot_reads=True)
+    for (txn, item), writer in reads.items():
+        if writer is not None and writer != txn:
+            # the writer must have committed before the reader started
+            wpos = history.commit_position(writer)
+            assert wpos is not None
+            assert wpos < history.start_position(txn)

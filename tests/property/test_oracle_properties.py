@@ -1,0 +1,131 @@
+"""Property tests linking the oracle algorithms to the paper's definitions.
+
+The incremental ``lastCommit`` check (Algorithms 1/2) and the declarative
+conflict predicates (§2/§4.1) are two formulations of the same thing;
+these tests assert they agree on random workloads, plus the invariants
+the protocol promises.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conflicts import TxnFootprint, conflicts_under
+from repro.core.status_oracle import CommitRequest, make_oracle
+
+ROWS = ["r0", "r1", "r2", "r3", "r4"]
+
+
+@st.composite
+def oracle_scripts(draw):
+    """A script of begin/commit steps over a small row alphabet.
+
+    Encoded as a list of steps; each step either opens a txn (with its
+    future read/write sets) or commits the i-th currently-open txn.
+    """
+    steps = []
+    num = draw(st.integers(min_value=1, max_value=10))
+    for _ in range(num):
+        reads = draw(st.sets(st.sampled_from(ROWS), max_size=3))
+        writes = draw(st.sets(st.sampled_from(ROWS), max_size=3))
+        gap = draw(st.integers(min_value=0, max_value=3))
+        steps.append((frozenset(reads), frozenset(writes), gap))
+    return steps
+
+
+def run_script(level: str, script):
+    """Execute: open each txn, commit it after `gap` later txns opened."""
+    oracle = make_oracle(level)
+    open_list = []  # (start_ts, reads, writes, commit_after_step)
+    footprints = []
+    step = 0
+    pending = []
+    for reads, writes, gap in script:
+        start = oracle.begin()
+        pending.append([start, reads, writes, step + gap])
+        step += 1
+        # commit everything due
+        for entry in list(pending):
+            if entry[3] <= step - 1:
+                pending.remove(entry)
+                s, r, w, _ = entry
+                result = oracle.commit(
+                    CommitRequest(s, write_set=w, read_set=r)
+                )
+                if result.committed:
+                    footprints.append(
+                        TxnFootprint(s, s, result.commit_ts, r, w)
+                    )
+    for s, r, w, _ in pending:
+        result = oracle.commit(CommitRequest(s, write_set=w, read_set=r))
+        if result.committed:
+            footprints.append(TxnFootprint(s, s, result.commit_ts, r, w))
+    return oracle, footprints
+
+
+@given(script=oracle_scripts())
+@settings(max_examples=200, deadline=None)
+def test_si_committed_set_has_no_ww_conflicts(script):
+    _, committed = run_script("si", script)
+    for i, a in enumerate(committed):
+        for b in committed[i + 1:]:
+            assert not conflicts_under("si", a, b), (a, b)
+
+
+@given(script=oracle_scripts())
+@settings(max_examples=200, deadline=None)
+def test_wsi_committed_set_has_no_rw_conflicts(script):
+    _, committed = run_script("wsi", script)
+    for i, a in enumerate(committed):
+        for b in committed[i + 1:]:
+            assert not conflicts_under("wsi", a, b), (a, b)
+
+
+@given(script=oracle_scripts())
+@settings(max_examples=100, deadline=None)
+def test_commit_timestamps_unique_and_ordered(script):
+    for level in ("si", "wsi"):
+        _, committed = run_script(level, script)
+        # read-only transactions have no commit timestamp (fast path):
+        # only write transactions consume one.
+        writers = [f for f in committed if f.write_set or f.read_set]
+        commit_times = [f.commit_ts for f in writers]
+        assert len(set(commit_times)) == len(commit_times)
+        for f in writers:
+            assert f.commit_ts > f.start_ts
+
+
+@given(script=oracle_scripts())
+@settings(max_examples=100, deadline=None)
+def test_lastcommit_equals_max_committed_writer(script):
+    # lastCommit(r) must equal the max commit_ts over committed writers
+    # of r — the induction invariant behind line 2 of both algorithms.
+    for level in ("si", "wsi"):
+        oracle, committed = run_script(level, script)
+        for row in ROWS:
+            expected = max(
+                (f.commit_ts for f in committed if row in f.write_set),
+                default=None,
+            )
+            assert oracle.last_commit(row) == expected
+
+
+@given(
+    script=oracle_scripts(),
+    read_only_positions=st.sets(st.integers(min_value=0, max_value=9)),
+)
+@settings(max_examples=100, deadline=None)
+def test_read_only_requests_always_commit(script, read_only_positions):
+    # Force some transactions read-only (empty sets per §5.1): they must
+    # all commit, at both levels, regardless of surrounding traffic.
+    for level in ("si", "wsi"):
+        oracle = make_oracle(level)
+        for idx, (reads, writes, _) in enumerate(script):
+            start = oracle.begin()
+            if idx in read_only_positions:
+                result = oracle.commit(CommitRequest(start))
+                assert result.committed
+            else:
+                oracle.commit(
+                    CommitRequest(start, write_set=writes, read_set=reads)
+                )

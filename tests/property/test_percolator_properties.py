@@ -1,0 +1,132 @@
+"""Property tests for the Percolator baseline: it implements SI.
+
+DESIGN.md's Percolator-SI invariant: the lock-based and lock-free
+implementations enforce the *same isolation level* — their committed
+histories contain no write-write conflicts between concurrent
+transactions, no lost updates, and no ANSI anomalies; write skew remains
+possible (it is SI, after all).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conflicts import TxnFootprint, ww_conflict
+from repro.core.errors import AbortException
+from repro.history.anomalies import find_lost_updates
+from repro.history.history import History, Operation
+from repro.percolator import LockPolicy, PercolatorTransactionManager
+
+ITEMS = ["a", "b", "c"]
+
+
+@st.composite
+def programs(draw):
+    num_txns = draw(st.integers(min_value=2, max_value=5))
+    return [
+        [
+            (draw(st.sampled_from("rw")), draw(st.sampled_from(ITEMS)))
+            for _ in range(draw(st.integers(min_value=0, max_value=4)))
+        ]
+        for _ in range(num_txns)
+    ]
+
+
+def execute(program, seed: int, policy: LockPolicy):
+    """Random interleaving against Percolator; returns committed
+    footprints and the committed-projection history."""
+    manager = PercolatorTransactionManager(lock_policy=policy)
+    rng = random.Random(seed)
+    states = []
+    for ops in program:
+        txn = manager.begin()
+        states.append({"txn": txn, "ops": list(ops)})
+    trace: List[Operation] = []
+    footprints = []
+    while states:
+        state = rng.choice(states)
+        txn = state["txn"]
+        try:
+            if state["ops"]:
+                kind, item = state["ops"].pop(0)
+                if kind == "r":
+                    txn.read(item)
+                else:
+                    txn.write(item, txn.start_ts)
+                trace.append(Operation(kind, txn.start_ts, item))
+                continue
+            txn.commit()
+            trace.append(Operation("c", txn.start_ts))
+            footprints.append(
+                TxnFootprint(
+                    txn.start_ts,
+                    txn.start_ts,
+                    txn.commit_ts,
+                    frozenset(txn.read_set),
+                    frozenset(txn.write_set),
+                )
+            )
+        except AbortException:
+            trace.append(Operation("a", txn.start_ts))
+        states.remove(state)
+    history = History(trace)
+    committed = set(history.committed_transactions())
+    return footprints, History([op for op in trace if op.txn in committed])
+
+
+@given(
+    program=programs(),
+    seed=st.integers(min_value=0, max_value=2 ** 16),
+    policy=st.sampled_from([LockPolicy.ABORT_SELF, LockPolicy.FORCE_ABORT_HOLDER]),
+)
+@settings(max_examples=120, deadline=None)
+def test_percolator_committed_set_has_no_ww_conflicts(program, seed, policy):
+    footprints, _ = execute(program, seed, policy)
+    for i, a in enumerate(footprints):
+        for b in footprints[i + 1:]:
+            assert not ww_conflict(a, b), (a, b)
+
+
+@given(program=programs(), seed=st.integers(min_value=0, max_value=2 ** 16))
+@settings(max_examples=120, deadline=None)
+def test_percolator_histories_have_no_lost_updates(program, seed):
+    _, history = execute(program, seed, LockPolicy.ABORT_SELF)
+    if history.operations:
+        assert find_lost_updates(history) == []
+
+
+@given(program=programs(), seed=st.integers(min_value=0, max_value=2 ** 16))
+@settings(max_examples=80, deadline=None)
+def test_percolator_snapshot_reads_are_stable(program, seed):
+    # A committed transaction's repeated reads observed one snapshot:
+    # reads-from is single-valued per (txn, item) by construction, and
+    # every observed writer committed before the reader began.
+    _, history = execute(program, seed, LockPolicy.ABORT_SELF)
+    if not history.operations:
+        return
+    reads = history.reads_from(snapshot_reads=True)
+    for (reader, item), writer in reads.items():
+        if writer is not None and writer != reader:
+            commit_pos = history.commit_position(writer)
+            assert commit_pos is not None
+            assert commit_pos < history.start_position(reader)
+
+
+def test_percolator_admits_write_skew_like_any_si():
+    """Percolator is SI: the skew program must commit on some schedule."""
+    program = [
+        [("r", "a"), ("r", "b"), ("w", "a")],
+        [("r", "a"), ("r", "b"), ("w", "b")],
+    ]
+    from repro.history.serializability import is_serializable
+
+    for seed in range(60):
+        _, history = execute(program, seed, LockPolicy.ABORT_SELF)
+        if len(history.committed_transactions()) == 2 and not is_serializable(
+            history
+        ):
+            return  # found the admitted skew
+    raise AssertionError("Percolator never admitted the write skew")

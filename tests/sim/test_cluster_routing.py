@@ -1,0 +1,84 @@
+"""Focused tests for cluster-sim internals: routing, hotspots, knobs."""
+
+import pytest
+
+from repro.sim.cluster_sim import ClusterSim
+
+
+class TestRouting:
+    def test_contiguous_range_partitioning(self):
+        sim = ClusterSim(num_servers=4, keyspace=400, measure=0.1)
+        # rows 0-99 -> server 0, 100-199 -> server 1, etc.
+        assert sim.server_for(0).server_id == 0
+        assert sim.server_for(99).server_id == 0
+        assert sim.server_for(100).server_id == 1
+        assert sim.server_for(399).server_id == 3
+
+    def test_last_row_clamped(self):
+        sim = ClusterSim(num_servers=3, keyspace=10, measure=0.1)
+        assert sim.server_for(9).server_id == 2
+
+    def test_every_server_reachable(self):
+        sim = ClusterSim(num_servers=25, keyspace=20_000_000, measure=0.1)
+        owners = {sim.server_for(r).server_id for r in range(0, 20_000_000, 500_000)}
+        assert owners == set(range(25))
+
+
+class TestHotspotMechanics:
+    def test_ordered_latest_concentrates_load(self):
+        from repro.workload.distributions import LatestDistribution
+
+        sim = ClusterSim(
+            distribution="zipfianLatest",
+            num_clients=20,
+            measure=2.0,
+            warmup=0.5,
+            seed=3,
+        )
+        keys = sim.workload._keys
+        assert isinstance(keys, LatestDistribution)
+        keys.layout = "ordered"
+        result = sim.run()
+        assert result.server_utilization_max > 0.9
+        assert result.server_utilization_mean < 0.5
+
+    def test_uniform_balances_load(self):
+        sim = ClusterSim(
+            distribution="uniform",
+            num_clients=100,
+            measure=2.0,
+            warmup=0.5,
+            seed=3,
+        )
+        result = sim.run()
+        assert (
+            result.server_utilization_max
+            < 1.4 * result.server_utilization_mean + 0.05
+        )
+
+
+class TestKnobs:
+    def test_io_concurrency_raises_saturation(self):
+        lo = ClusterSim(
+            num_clients=320, io_concurrency=2, measure=2.0, warmup=0.5, seed=5
+        ).run()
+        hi = ClusterSim(
+            num_clients=320, io_concurrency=10, measure=2.0, warmup=0.5, seed=5
+        ).run()
+        assert hi.throughput_tps > 1.5 * lo.throughput_tps
+
+    def test_cache_size_raises_zipfian_hit_rate(self):
+        small = ClusterSim(
+            distribution="zipfian", num_clients=40, cache_blocks=100,
+            measure=2.0, warmup=0.5, seed=6,
+        ).run()
+        big = ClusterSim(
+            distribution="zipfian", num_clients=40, cache_blocks=5000,
+            measure=2.0, warmup=0.5, seed=6,
+        ).run()
+        assert big.cache_hit_rate > small.cache_hit_rate
+
+    def test_oracle_stats_accessible(self):
+        sim = ClusterSim(num_clients=10, measure=1.0, warmup=0.2, keyspace=10_000)
+        result = sim.run()
+        assert sim.oracle.stats.commits >= result.commits

@@ -1,0 +1,179 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, Event, Resource
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.call_in(2.0, lambda: fired.append("b"))
+        engine.call_in(1.0, lambda: fired.append("a"))
+        engine.call_in(3.0, lambda: fired.append("c"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        engine = Engine()
+        fired = []
+        for tag in ("first", "second", "third"):
+            engine.call_in(1.0, lambda t=tag: fired.append(t))
+        engine.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_now_advances(self):
+        engine = Engine()
+        times = []
+        engine.call_in(1.5, lambda: times.append(engine.now))
+        engine.call_in(4.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [1.5, 4.0]
+
+    def test_run_until_stops_early(self):
+        engine = Engine()
+        fired = []
+        engine.call_in(1.0, lambda: fired.append(1))
+        engine.call_in(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        assert engine.pending_count == 1
+
+    def test_cannot_schedule_in_past(self):
+        engine = Engine()
+        engine.call_in(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.call_at(0.5, lambda: None)
+
+
+class TestEvents:
+    def test_succeed_triggers_callbacks(self):
+        engine = Engine()
+        event = engine.event()
+        values = []
+        event.add_callback(lambda e: values.append(e.value))
+        event.succeed("payload")
+        assert values == ["payload"]
+
+    def test_double_trigger_rejected(self):
+        event = Engine().event()
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_callback_on_already_triggered(self):
+        event = Engine().event()
+        event.succeed(1)
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == [1]
+
+
+class TestProcesses:
+    def test_process_advances_through_timeouts(self):
+        engine = Engine()
+        trace = []
+
+        def proc():
+            trace.append(("start", engine.now))
+            yield engine.timeout(1.0)
+            trace.append(("mid", engine.now))
+            yield engine.timeout(2.0)
+            trace.append(("end", engine.now))
+
+        engine.process(proc())
+        engine.run()
+        assert trace == [("start", 0.0), ("mid", 1.0), ("end", 3.0)]
+
+    def test_process_completion_event(self):
+        engine = Engine()
+
+        def proc():
+            yield engine.timeout(1.0)
+            return "result"
+
+        done = engine.process(proc())
+        engine.run()
+        assert done.triggered
+        assert done.value == "result"
+
+    def test_processes_interleave(self):
+        engine = Engine()
+        trace = []
+
+        def proc(name, delay):
+            yield engine.timeout(delay)
+            trace.append(name)
+            yield engine.timeout(delay)
+            trace.append(name)
+
+        engine.process(proc("slow", 3.0))
+        engine.process(proc("fast", 1.0))
+        engine.run()
+        assert trace == ["fast", "fast", "slow", "slow"]
+
+
+class TestResource:
+    def test_capacity_limits_concurrency(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=2)
+        done_times = []
+
+        def worker():
+            yield from resource.serve(1.0)
+            done_times.append(engine.now)
+
+        for _ in range(4):
+            engine.process(worker())
+        engine.run()
+        # 2 servers, 4 jobs of 1s: finish at t=1,1,2,2
+        assert done_times == [1.0, 1.0, 2.0, 2.0]
+
+    def test_fifo_ordering(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+        order = []
+
+        def worker(tag):
+            yield from resource.serve(1.0)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            engine.process(worker(tag))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_release_without_acquire_fails(self):
+        with pytest.raises(RuntimeError):
+            Resource(Engine(), capacity=1).release()
+
+    def test_utilization_accounting(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+
+        def worker():
+            yield from resource.serve(2.0)
+
+        engine.process(worker())
+        engine.run(until=4.0)
+        assert resource.utilization() == pytest.approx(0.5)
+
+    def test_queue_metrics(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+
+        def worker():
+            yield from resource.serve(1.0)
+
+        for _ in range(5):
+            engine.process(worker())
+        engine.run()
+        assert resource.total_requests == 5
+        assert resource.max_queue_len == 4
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Engine(), capacity=0)

@@ -1,0 +1,73 @@
+"""Unit tests for the latency model (§6.2 calibration)."""
+
+import pytest
+
+from repro.sim.latency import MS, US, LatencyModel, paper_latency_model
+
+
+class TestPaperConstants:
+    def test_microbenchmark_values(self):
+        model = paper_latency_model()
+        assert model.start_timestamp == pytest.approx(0.17 * MS)
+        assert model.read_cold == pytest.approx(38.8 * MS)
+        assert model.write == pytest.approx(1.13 * MS)
+        assert model.commit_wal == pytest.approx(4.1 * MS)
+
+    def test_wal_batching_constants(self):
+        model = paper_latency_model()
+        assert model.wal_flush_interval == pytest.approx(5 * MS)
+
+
+class TestSampling:
+    def test_deterministic_when_jitter_zero(self):
+        model = LatencyModel(jitter=0.0, seed=1)
+        assert model.sample(0.01) == 0.01
+        assert model.sample(0.01) == 0.01
+
+    def test_zero_mean_is_zero(self):
+        model = LatencyModel(seed=1)
+        assert model.sample(0.0) == 0.0
+
+    def test_jittered_mean_converges(self):
+        model = LatencyModel(jitter=1.0, seed=2)
+        samples = [model.sample(0.010) for _ in range(20_000)]
+        assert sum(samples) / len(samples) == pytest.approx(0.010, rel=0.05)
+
+    def test_samples_nonnegative(self):
+        model = LatencyModel(jitter=0.5, seed=3)
+        assert all(model.sample(0.001) >= 0 for _ in range(1000))
+
+    def test_seeded_reproducibility(self):
+        a = LatencyModel(seed=7)
+        b = LatencyModel(seed=7)
+        assert [a.sample(1) for _ in range(10)] == [b.sample(1) for _ in range(10)]
+
+
+class TestDerivedSamplers:
+    def test_read_hot_vs_cold(self):
+        model = LatencyModel(jitter=0.0)
+        assert model.sample_read(cache_hit=True) == model.read_hot
+        assert model.sample_read(cache_hit=False) == model.read_cold
+        assert model.read_hot < model.read_cold
+
+    def test_oracle_service_wsi_exceeds_si(self):
+        # §6.3: WSI's critical section loads twice the memory items.
+        model = LatencyModel()
+        rows = 5
+        si = model.oracle_service_si(rows)
+        wsi = model.oracle_service_wsi(rows, rows)
+        assert wsi > si
+
+    def test_oracle_service_scales_with_rows(self):
+        model = LatencyModel()
+        assert model.oracle_service_si(10) > model.oracle_service_si(1)
+        assert model.oracle_service_wsi(10, 10) > model.oracle_service_wsi(1, 1)
+
+    def test_fig5_saturation_rates(self):
+        # The calibrated service times must put SI saturation near 104K
+        # TPS and WSI near 92K at the complex workload's ~5r/5w rows.
+        model = LatencyModel()
+        si_rate = 1.0 / model.oracle_service_si(5)
+        wsi_rate = 1.0 / model.oracle_service_wsi(5, 5)
+        assert 95_000 < si_rate < 115_000
+        assert 85_000 < wsi_rate < 100_000

@@ -1,0 +1,134 @@
+"""Tests for the microbenchmark, oracle, and cluster simulations.
+
+These use short measurement windows — the full paper-scale runs live in
+benchmarks/ — but still assert the qualitative behaviour each simulation
+exists to produce.
+"""
+
+import pytest
+
+from repro.sim.cluster_sim import ClusterSim
+from repro.sim.microbench import run_microbench
+from repro.sim.oracle_bench import OracleBenchSim
+
+
+class TestMicrobench:
+    def test_matches_paper_table(self):
+        result = run_microbench(samples=800, seed=1)
+        assert result.start_timestamp_ms == pytest.approx(0.17, rel=0.25)
+        assert result.read_cold_ms == pytest.approx(38.8, rel=0.15)
+        assert result.write_ms == pytest.approx(1.13, rel=0.20)
+        assert result.commit_ms == pytest.approx(4.1, rel=0.20)
+
+    def test_hot_read_cheaper_than_cold(self):
+        result = run_microbench(samples=300, seed=2)
+        assert result.read_hot_ms < result.read_cold_ms / 5
+
+    def test_table_renders(self):
+        table = run_microbench(samples=50, seed=3).as_table()
+        assert "start timestamp" in table
+        assert "38.8" in table  # paper column present
+
+
+class TestOracleBench:
+    def test_reports_throughput_and_latency(self):
+        sim = OracleBenchSim(level="wsi", num_clients=1, measure=0.1, warmup=0.02)
+        result = sim.run()
+        assert result.throughput_tps > 1000
+        assert result.avg_latency_ms > 0
+        assert result.commits > 0
+
+    def test_real_oracle_is_driven(self):
+        sim = OracleBenchSim(level="wsi", num_clients=1, measure=0.1, warmup=0.02)
+        result = sim.run()
+        assert sim.oracle.stats.commits >= result.commits
+
+    def test_more_clients_more_throughput_below_saturation(self):
+        r1 = OracleBenchSim(
+            level="si", num_clients=1, measure=0.1, warmup=0.02, seed=5
+        ).run()
+        r4 = OracleBenchSim(
+            level="si", num_clients=4, measure=0.1, warmup=0.02, seed=5
+        ).run()
+        assert r4.throughput_tps > 1.5 * r1.throughput_tps
+
+    def test_si_saturates_higher_than_wsi(self):
+        # §6.3: the SI critical section is cheaper.
+        si = OracleBenchSim(
+            level="si", num_clients=16, measure=0.15, warmup=0.05, seed=6
+        ).run()
+        wsi = OracleBenchSim(
+            level="wsi", num_clients=16, measure=0.15, warmup=0.05, seed=6
+        ).run()
+        assert si.throughput_tps > wsi.throughput_tps
+
+    def test_result_row_renders(self):
+        r = OracleBenchSim(level="si", num_clients=1, measure=0.05).run()
+        assert "TPS" in r.as_row()
+
+
+class TestClusterSim:
+    def test_runs_and_reports(self):
+        sim = ClusterSim(
+            level="wsi",
+            distribution="uniform",
+            num_clients=10,
+            measure=2.0,
+            warmup=0.5,
+            keyspace=100_000,
+        )
+        result = sim.run()
+        assert result.throughput_tps > 5
+        assert result.avg_latency_ms > 50  # cold reads dominate
+        assert result.commits > 0
+
+    def test_uniform_negligible_aborts(self):
+        # §6.4: uniform on a large keyspace -> abort rate near zero.
+        result = ClusterSim(
+            level="wsi",
+            distribution="uniform",
+            num_clients=20,
+            measure=3.0,
+            warmup=0.5,
+        ).run()
+        assert result.abort_rate < 0.01
+
+    def test_zipfian_produces_conflicts(self):
+        result = ClusterSim(
+            level="wsi",
+            distribution="zipfian",
+            num_clients=40,
+            measure=3.0,
+            warmup=0.5,
+        ).run()
+        assert result.abort_rate > 0.05
+
+    def test_zipfian_beats_uniform_latency(self):
+        # §6.5: cache hits make zipfian faster at equal load.
+        uniform = ClusterSim(
+            level="wsi", distribution="uniform", num_clients=40,
+            measure=3.0, warmup=0.5, seed=9,
+        ).run()
+        zipf = ClusterSim(
+            level="wsi", distribution="zipfian", num_clients=40,
+            measure=3.0, warmup=0.5, seed=9,
+        ).run()
+        assert zipf.avg_latency_ms < uniform.avg_latency_ms
+        assert zipf.cache_hit_rate > uniform.cache_hit_rate
+
+    def test_deterministic_given_seed(self):
+        kwargs = dict(
+            level="si", distribution="uniform", num_clients=8,
+            measure=1.0, warmup=0.2, keyspace=50_000, seed=123,
+        )
+        a = ClusterSim(**kwargs).run()
+        b = ClusterSim(**kwargs).run()
+        assert a.throughput_tps == b.throughput_tps
+        assert a.avg_latency_ms == b.avg_latency_ms
+
+    def test_row_rendering(self):
+        r = ClusterSim(
+            level="si", distribution="uniform", num_clients=5,
+            measure=1.0, warmup=0.2, keyspace=50_000,
+        ).run()
+        assert "clients=" in r.as_row()

@@ -1,0 +1,169 @@
+"""Tests for the Cahill-style serializable-SI comparator."""
+
+import pytest
+
+from repro.core import TransactionManager
+from repro.core.errors import ConflictAbort
+from repro.core.status_oracle import CommitRequest
+from repro.mvcc.store import MVCCStore
+from repro.ssi import SerializableSIOracle
+
+
+def req(start, writes=(), reads=()):
+    return CommitRequest(start, write_set=frozenset(writes), read_set=frozenset(reads))
+
+
+class TestKeepsSISemantics:
+    def test_ww_conflict_still_aborts(self):
+        oracle = SerializableSIOracle()
+        t1, t2 = oracle.begin(), oracle.begin()
+        assert oracle.commit(req(t1, writes={"x"})).committed
+        result = oracle.commit(req(t2, writes={"x"}))
+        assert not result.committed
+        assert result.reason == "ww-conflict"
+
+    def test_serial_transactions_commit(self):
+        oracle = SerializableSIOracle()
+        for _ in range(5):
+            ts = oracle.begin()
+            assert oracle.commit(req(ts, writes={"x"}, reads={"x"})).committed
+
+    def test_read_only_fast_path(self):
+        oracle = SerializableSIOracle()
+        reader = oracle.begin()
+        writer = oracle.begin()
+        assert oracle.commit(req(writer, writes={"x"})).committed
+        assert oracle.commit(req(reader)).committed  # empty sets
+
+
+class TestPivotDetection:
+    def test_write_skew_prevented(self):
+        # H2: r1{x,y} w1{x} / r2{x,y} w2{y}, concurrent: second committer
+        # becomes a pivot (in-edge from t1's read of y, out-edge to t1's
+        # write of x) and must abort.
+        oracle = SerializableSIOracle()
+        t1, t2 = oracle.begin(), oracle.begin()
+        assert oracle.commit(req(t1, writes={"x"}, reads={"x", "y"})).committed
+        result = oracle.commit(req(t2, writes={"y"}, reads={"x", "y"}))
+        assert not result.committed
+        assert result.reason.startswith("ssi-pivot")
+        assert oracle.pivot_aborts == 1
+
+    def test_h1_crossover_prevented(self):
+        oracle = SerializableSIOracle()
+        t1, t2 = oracle.begin(), oracle.begin()
+        assert oracle.commit(req(t1, writes={"y"}, reads={"x"})).committed
+        result = oracle.commit(req(t2, writes={"x"}, reads={"y"}))
+        assert not result.committed
+
+    def test_single_edge_is_allowed(self):
+        # One antidependency alone is not dangerous.
+        oracle = SerializableSIOracle()
+        t1, t2 = oracle.begin(), oracle.begin()
+        assert oracle.commit(req(t1, writes={"x"})).committed
+        # t2 read x (out-edge to nobody concurrent-committed... in-edge
+        # only): reads z, writes w — edge t2 -> t1 via nothing; construct
+        # a clean single-edge case: t2 writes a row t1 never touched and
+        # reads a row t1 wrote.
+        result = oracle.commit(req(t2, writes={"w"}, reads={"x"}))
+        assert result.committed  # SI allows it; no pivot exists
+
+    def test_false_positive_vs_wsi(self):
+        # SSI's conservatism: a three-txn chain can abort under SSI even
+        # when... at minimum, document a case WSI allows but SSI aborts:
+        # H6-like: t2 commits inside t1's lifetime writing t1's read row
+        # gives t1 an out-edge; t1 also has an in-edge if a concurrent
+        # committed txn read what t1 writes.
+        oracle = SerializableSIOracle()
+        t1 = oracle.begin()
+        t2 = oracle.begin()
+        t3 = oracle.begin()
+        assert oracle.commit(req(t2, writes={"x"}, reads={"z"})).committed
+        assert oracle.commit(req(t3, writes={"q"}, reads={"y"})).committed
+        # t1 reads x (overwritten by concurrent t2 -> out-edge) and
+        # writes y (read by concurrent committed t3 -> in-edge): pivot.
+        result = oracle.commit(req(t1, writes={"y"}, reads={"x"}))
+        assert not result.committed
+        assert result.reason == "ssi-pivot-self"
+
+    def test_protects_committed_neighbour(self):
+        # Committing T must not turn an already-committed txn into a
+        # pivot; T aborts instead.
+        oracle = SerializableSIOracle()
+        t1 = oracle.begin()
+        t2 = oracle.begin()
+        t3 = oracle.begin()
+        # t2 commits with an out-edge to t1's future write? Build:
+        # t2 reads a, writes b. t3 reads b... sequence:
+        assert oracle.commit(req(t2, writes={"b"}, reads={"a"})).committed
+        # t3 gives t2 an in-edge: t3 reads... no - t2 gains in-edge if a
+        # concurrent committed txn READ what t2 WROTE (b).
+        assert oracle.commit(req(t3, writes={"c"}, reads={"b"})).committed
+        # now t2 has in-edge (from t3). If t1 commits writing 'a' (which
+        # t2 read), t2 would gain an out-edge -> pivot: t1 must abort.
+        result = oracle.commit(req(t1, writes={"a"}))
+        assert not result.committed
+        assert result.reason == "ssi-pivot-neighbour"
+
+
+class TestSerializabilityProperty:
+    def test_random_executions_serializable(self):
+        """SSI executions, recorded as histories, are serializable."""
+        import random
+
+        from repro.core.errors import AbortException
+        from repro.history.history import History, Operation
+        from repro.history.serializability import is_serializable
+
+        for trial in range(30):
+            rng = random.Random(trial)
+            oracle = SerializableSIOracle()
+            manager = TransactionManager(oracle, MVCCStore())
+            open_txns = []
+            trace = []
+            for _ in range(6):
+                txn = manager.begin()
+                ops = [
+                    (rng.choice("rw"), rng.choice("abc")) for _ in range(3)
+                ]
+                open_txns.append((txn, ops))
+            while open_txns:
+                idx = rng.randrange(len(open_txns))
+                txn, ops = open_txns[idx]
+                try:
+                    if ops:
+                        kind, item = ops.pop(0)
+                        if kind == "r":
+                            txn.read(item)
+                        else:
+                            txn.write(item, txn.start_ts)
+                        trace.append(Operation(kind, txn.start_ts, item))
+                        continue
+                    txn.commit()
+                    trace.append(Operation("c", txn.start_ts))
+                except AbortException:
+                    trace.append(Operation("a", txn.start_ts))
+                open_txns.pop(idx)
+            history = History(trace)
+            committed = set(history.committed_transactions())
+            pruned = History([op for op in trace if op.txn in committed])
+            if pruned.operations:
+                assert is_serializable(pruned), f"trial {trial}: {pruned}"
+
+
+class TestPruning:
+    def test_footprints_pruned_when_no_concurrency(self):
+        oracle = SerializableSIOracle()
+        for i in range(10):
+            ts = oracle.begin()
+            oracle.commit(req(ts, writes={f"r{i}"}, reads={f"r{i}"}))
+        # no active transactions remain: the window should be empty
+        assert oracle.retained_footprints == 0
+
+    def test_footprints_retained_for_active_snapshot(self):
+        oracle = SerializableSIOracle()
+        pinned = oracle.begin()  # stays active
+        for i in range(5):
+            ts = oracle.begin()
+            oracle.commit(req(ts, writes={f"r{i}"}))
+        assert oracle.retained_footprints == 5

@@ -1,0 +1,127 @@
+"""Unit tests for the batching WAL (Appendix A triggers)."""
+
+import pytest
+
+from repro.wal.bookkeeper import BookKeeperWAL
+from repro.wal.ledger import LedgerManager
+
+
+class TestSizeTrigger:
+    def test_flush_at_one_kb(self):
+        wal = BookKeeperWAL()
+        # 31 records of 32 B = 992 B: still buffered
+        for _ in range(31):
+            assert not wal.append("commit", (1, 2), size=32)
+        assert wal.pending_count == 31
+        # 32nd record crosses 1 KB -> flush
+        assert wal.append("commit", (1, 2), size=32)
+        assert wal.pending_count == 0
+        assert wal.flush_count == 1
+
+    def test_large_record_flushes_immediately(self):
+        wal = BookKeeperWAL()
+        assert wal.append("snapshot", "big", size=4096)
+        assert wal.flush_count == 1
+
+
+class TestTimeTrigger:
+    def test_flush_after_five_ms(self):
+        wal = BookKeeperWAL()
+        wal.append("commit", (1,), size=32)
+        assert not wal.tick()  # no time elapsed yet
+        wal.advance_time(0.004)
+        assert not wal.tick()
+        wal.advance_time(0.002)  # total 6 ms > 5 ms
+        assert wal.tick()
+        assert wal.pending_count == 0
+
+    def test_tick_without_pending_rearms(self):
+        wal = BookKeeperWAL()
+        wal.advance_time(1.0)
+        assert not wal.tick()  # nothing to flush
+        wal.append("commit", (1,), size=32)
+        assert not wal.tick()  # timer restarted at last tick
+
+    def test_external_clock(self):
+        now = [0.0]
+        wal = BookKeeperWAL(clock=lambda: now[0])
+        wal.append("commit", (1,), size=32)
+        now[0] = 0.006
+        assert wal.tick()
+
+
+class TestBatching:
+    def test_batching_factor(self):
+        wal = BookKeeperWAL()
+        for _ in range(64):  # two full 32-record batches
+            wal.append("commit", (1,), size=32)
+        assert wal.batching_factor() == pytest.approx(32.0)
+
+    def test_effective_capacity_appendix_a(self):
+        # Appendix A: batching factor 10 -> 200K TPS.
+        wal = BookKeeperWAL()
+        for _ in range(10):
+            wal.append("commit", (1,), size=32)
+        wal.flush()
+        assert wal.batching_factor() == pytest.approx(10.0)
+        assert wal.effective_tps_capacity() == pytest.approx(200_000)
+
+    def test_record_counters(self):
+        wal = BookKeeperWAL()
+        for _ in range(40):
+            wal.append("commit", (1,), size=32)
+        assert wal.record_count == 40
+        assert wal.flushed_record_count == 32
+        assert wal.pending_count == 8
+
+
+class TestDurabilityContract:
+    def test_replay_returns_only_flushed_records(self):
+        wal = BookKeeperWAL()
+        for i in range(32):
+            wal.append("commit", (i,), size=32)  # flushed at 32
+        wal.append("commit", (99,), size=32)  # buffered, not durable
+        payloads = [r.payload for r in wal.replay()]
+        assert (99,) in payloads or len(payloads) == 32
+        assert len(payloads) == 32  # the unflushed record is absent
+
+    def test_explicit_flush_makes_durable(self):
+        wal = BookKeeperWAL()
+        wal.append("abort", (7,), size=32)
+        wal.flush()
+        records = list(wal.replay())
+        assert len(records) == 1
+        assert records[0].kind == "abort"
+
+    def test_sync_callback_fires_per_batch(self):
+        batches = []
+        wal = BookKeeperWAL(sync_callback=batches.append)
+        for _ in range(32):
+            wal.append("commit", (1,), size=32)
+        assert len(batches) == 1
+        assert len(batches[0]) == 32
+
+    def test_replay_order_preserved(self):
+        wal = BookKeeperWAL()
+        for i in range(100):
+            wal.append("commit", (i,), size=32)
+        wal.flush()
+        payloads = [r.payload[0] for r in wal.replay()]
+        assert payloads == list(range(100))
+
+
+class TestLedgerRotation:
+    def test_roll_ledger_flushes_and_reopens(self):
+        manager = LedgerManager()
+        wal = BookKeeperWAL(ledger_manager=manager)
+        wal.append("commit", (1,), size=32)
+        wal.roll_ledger()
+        wal.append("commit", (2,), size=32)
+        wal.flush()
+        assert len(list(manager.ledgers())) == 2
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            BookKeeperWAL(batch_bytes=0)
+        with pytest.raises(ValueError):
+            BookKeeperWAL(batch_timeout=0)

@@ -1,0 +1,102 @@
+"""Unit tests for the replicated ledger substrate."""
+
+import pytest
+
+from repro.core.errors import LedgerClosedError, NotEnoughBookiesError
+from repro.wal.ledger import LedgerManager
+
+
+class TestAppendRead:
+    def test_append_returns_sequential_ids(self):
+        ledger = LedgerManager().create_ledger()
+        assert ledger.append("a") == 0
+        assert ledger.append("b") == 1
+        assert ledger.entry_count == 2
+
+    def test_read_back(self):
+        ledger = LedgerManager().create_ledger()
+        ledger.append({"commit": 1})
+        assert ledger.read(0).payload == {"commit": 1}
+
+    def test_replay_in_order(self):
+        ledger = LedgerManager().create_ledger()
+        for i in range(10):
+            ledger.append(i)
+        assert list(ledger.replay()) == list(range(10))
+
+
+class TestReplication:
+    def test_entries_reach_write_quorum(self):
+        manager = LedgerManager(num_bookies=3, write_quorum=2, ack_quorum=2)
+        ledger = manager.create_ledger()
+        ledger.append("x")
+        replicas = sum(
+            1 for b in manager.bookies if b.fetch(ledger.ledger_id, 0) is not None
+        )
+        assert replicas == 2
+
+    def test_survives_single_bookie_crash(self):
+        manager = LedgerManager(num_bookies=3, write_quorum=2, ack_quorum=2)
+        ledger = manager.create_ledger()
+        for i in range(20):
+            ledger.append(i)
+        manager.bookies[0].crash()
+        assert list(ledger.replay()) == list(range(20))
+
+    def test_append_fails_below_ack_quorum(self):
+        manager = LedgerManager(num_bookies=3, write_quorum=2, ack_quorum=2)
+        ledger = manager.create_ledger()
+        manager.bookies[0].crash()
+        manager.bookies[1].crash()
+        with pytest.raises(NotEnoughBookiesError):
+            ledger.append("x")
+
+    def test_append_resumes_after_restart(self):
+        manager = LedgerManager(num_bookies=3, write_quorum=2, ack_quorum=2)
+        ledger = manager.create_ledger()
+        manager.bookies[0].crash()
+        manager.bookies[1].crash()
+        manager.bookies[1].restart()
+        ledger.append("recovered")
+        assert ledger.entry_count == 1
+
+    def test_total_data_loss_detected(self):
+        manager = LedgerManager(num_bookies=2, write_quorum=2, ack_quorum=2)
+        ledger = manager.create_ledger()
+        ledger.append("x")
+        manager.bookies[0].crash()
+        manager.bookies[1].crash()
+        manager.bookies[0].restart()
+        manager.bookies[1].restart()
+        with pytest.raises(NotEnoughBookiesError):
+            ledger.read(0)
+
+    def test_invalid_quorum_config(self):
+        with pytest.raises(ValueError):
+            LedgerManager(num_bookies=2, write_quorum=3, ack_quorum=2)
+        with pytest.raises(ValueError):
+            LedgerManager(num_bookies=3, write_quorum=2, ack_quorum=0)
+
+
+class TestLifecycle:
+    def test_closed_ledger_rejects_appends(self):
+        ledger = LedgerManager().create_ledger()
+        ledger.append("x")
+        ledger.close()
+        with pytest.raises(LedgerClosedError):
+            ledger.append("y")
+        assert ledger.is_closed
+
+    def test_manager_tracks_ledgers(self):
+        manager = LedgerManager()
+        l1 = manager.create_ledger()
+        l2 = manager.create_ledger()
+        assert l1.ledger_id != l2.ledger_id
+        assert manager.get_ledger(l1.ledger_id) is l1
+        assert len(list(manager.ledgers())) == 2
+
+    def test_last_entry_id(self):
+        ledger = LedgerManager().create_ledger()
+        assert ledger.last_entry_id() is None
+        ledger.append("x")
+        assert ledger.last_entry_id() == 0

@@ -1,0 +1,164 @@
+"""Unit tests for the YCSB key distributions."""
+
+import math
+
+import pytest
+
+from repro.workload.distributions import (
+    LatestDistribution,
+    ScrambledZipfianDistribution,
+    UniformDistribution,
+    ZipfianDistribution,
+    fnv1a_64,
+    make_distribution,
+)
+
+
+class TestUniform:
+    def test_keys_in_range(self):
+        dist = UniformDistribution(100, seed=1)
+        keys = [dist.next_key() for _ in range(1000)]
+        assert all(0 <= k < 100 for k in keys)
+
+    def test_roughly_flat(self):
+        dist = UniformDistribution(10, seed=2)
+        counts = [0] * 10
+        for _ in range(10_000):
+            counts[dist.next_key()] += 1
+        assert max(counts) < 2 * min(counts)
+
+    def test_deterministic_with_seed(self):
+        a = UniformDistribution(100, seed=7)
+        b = UniformDistribution(100, seed=7)
+        assert [a.next_key() for _ in range(50)] == [b.next_key() for _ in range(50)]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            UniformDistribution(0)
+
+
+class TestZipfian:
+    def test_keys_in_range(self):
+        dist = ZipfianDistribution(1000, seed=1)
+        assert all(0 <= dist.next_key() < 1000 for _ in range(5000))
+
+    def test_head_heavy(self):
+        dist = ZipfianDistribution(10_000, seed=3)
+        draws = [dist.next_key() for _ in range(20_000)]
+        top10_share = sum(1 for k in draws if k < 10) / len(draws)
+        assert top10_share > 0.2  # zipf-0.99: the head dominates
+
+    def test_rank_zero_most_popular(self):
+        dist = ZipfianDistribution(1000, seed=4)
+        counts = {}
+        for _ in range(50_000):
+            k = dist.next_key()
+            counts[k] = counts.get(k, 0) + 1
+        assert counts[0] == max(counts.values())
+
+    def test_zeta_exact_small(self):
+        expected = sum(1 / i ** 0.99 for i in range(1, 101))
+        assert ZipfianDistribution.zeta(100, 0.99) == pytest.approx(expected)
+
+    def test_zeta_approximation_accurate(self):
+        # Compare the integral tail approximation with a direct sum at a
+        # size just above the exact limit.
+        n = 150_000
+        exact = sum(1 / i ** 0.99 for i in range(1, n + 1))
+        assert ZipfianDistribution.zeta(n, 0.99) == pytest.approx(exact, rel=1e-9)
+
+    def test_precomputed_zetan_accepted(self):
+        zetan = ZipfianDistribution.zeta(1000, 0.99)
+        dist = ZipfianDistribution(1000, seed=5, zetan=zetan)
+        assert 0 <= dist.next_key() < 1000
+
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            ZipfianDistribution(100, theta=1.0)
+        with pytest.raises(ValueError):
+            ZipfianDistribution(100, theta=0.0)
+
+
+class TestScrambledZipfian:
+    def test_keys_in_range(self):
+        dist = ScrambledZipfianDistribution(1000, seed=1)
+        assert all(0 <= dist.next_key() < 1000 for _ in range(5000))
+
+    def test_hot_keys_spread_over_keyspace(self):
+        dist = ScrambledZipfianDistribution(100_000, seed=2)
+        draws = [dist.next_key() for _ in range(20_000)]
+        # unlike plain zipfian, the popular keys are NOT clustered at 0:
+        low_share = sum(1 for k in draws if k < 1000) / len(draws)
+        assert low_share < 0.10
+
+    def test_still_skewed(self):
+        dist = ScrambledZipfianDistribution(100_000, seed=3)
+        counts = {}
+        for _ in range(30_000):
+            k = dist.next_key()
+            counts[k] = counts.get(k, 0) + 1
+        top = sorted(counts.values(), reverse=True)
+        assert top[0] > 300  # one scrambled key is still extremely hot
+
+    def test_fnv_deterministic(self):
+        assert fnv1a_64(12345) == fnv1a_64(12345)
+        assert fnv1a_64(1) != fnv1a_64(2)
+
+
+class TestLatest:
+    def test_keys_in_range(self):
+        dist = LatestDistribution(1000, seed=1)
+        assert all(0 <= dist.next_key() < 1000 for _ in range(5000))
+
+    def test_ordered_layout_clusters_near_frontier(self):
+        dist = LatestDistribution(100_000, seed=2, layout="ordered")
+        draws = [dist.next_key() for _ in range(10_000)]
+        near = sum(1 for k in draws if k > 90_000) / len(draws)
+        assert near > 0.5  # popularity hugs the newest (highest) keys
+
+    def test_hashed_layout_scatters(self):
+        dist = LatestDistribution(100_000, seed=2, layout="hashed")
+        draws = [dist.next_key() for _ in range(10_000)]
+        near = sum(1 for k in draws if k > 90_000) / len(draws)
+        assert near < 0.2
+
+    def test_advance_shifts_popularity(self):
+        dist = LatestDistribution(1000, seed=3, layout="ordered")
+        before = dist.frontier
+        dist.advance(10)
+        assert dist.frontier == (before + 10) % 1000
+
+    def test_hot_set_follows_frontier(self):
+        dist = LatestDistribution(10_000, seed=4, layout="ordered")
+        first = {dist.next_key() for _ in range(200)}
+        dist.advance(5_000)
+        second = {dist.next_key() for _ in range(200)}
+        # the hot sets barely overlap after a big frontier move
+        assert len(first & second) < len(first) / 4
+
+    def test_invalid_layout(self):
+        with pytest.raises(ValueError):
+            LatestDistribution(100, layout="sorted")
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("uniform", UniformDistribution),
+            ("zipfian", ScrambledZipfianDistribution),
+            ("zipfianLatest", LatestDistribution),
+            ("latest", LatestDistribution),
+        ],
+    )
+    def test_names(self, name, cls):
+        assert isinstance(make_distribution(name, 100, seed=1), cls)
+
+    def test_ordered_latest_variant(self):
+        dist = make_distribution("latest-ordered", 100, seed=1)
+        assert isinstance(dist, LatestDistribution)
+        assert dist.layout == "ordered"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_distribution("gaussian", 100)

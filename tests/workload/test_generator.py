@@ -1,0 +1,116 @@
+"""Unit tests for the transactional YCSB workload generator (§6.1)."""
+
+import pytest
+
+from repro.workload.generator import (
+    TransactionSpec,
+    WorkloadGenerator,
+    complex_workload,
+    mixed_workload,
+)
+
+
+class TestTransactionSpec:
+    def test_row_views(self):
+        from repro.workload.generator import OperationSpec
+
+        spec = TransactionSpec(
+            (OperationSpec("r", 1), OperationSpec("w", 2), OperationSpec("r", 3)),
+            read_only=False,
+        )
+        assert spec.read_rows == (1, 3)
+        assert spec.write_rows == (2,)
+        assert spec.size == 3
+
+
+class TestSizeDistribution:
+    def test_row_count_in_paper_range(self):
+        gen = WorkloadGenerator(keyspace=1000, seed=1)
+        sizes = [gen.next_transaction().size for _ in range(2000)]
+        assert min(sizes) == 0
+        assert max(sizes) == 20  # n uniform in [0, 20]
+
+    def test_mean_around_ten(self):
+        gen = WorkloadGenerator(keyspace=1000, seed=2)
+        sizes = [gen.next_transaction().size for _ in range(5000)]
+        assert 9.0 < sum(sizes) / len(sizes) < 11.0
+
+    def test_custom_max_rows(self):
+        gen = WorkloadGenerator(keyspace=1000, max_rows=5, seed=3)
+        assert all(gen.next_transaction().size <= 5 for _ in range(500))
+
+
+class TestComplexWorkload:
+    def test_all_transactions_complex(self):
+        gen = complex_workload(keyspace=1000, seed=4)
+        specs = gen.batch(1000)
+        # a complex txn has ~50/50 reads and writes; allow the empty /
+        # all-read edge cases that the uniform size draw produces
+        ops = [op for spec in specs for op in spec.ops]
+        writes = sum(1 for op in ops if op.kind == "w")
+        assert 0.45 < writes / len(ops) < 0.55
+
+    def test_keys_within_keyspace(self):
+        gen = complex_workload(keyspace=500, seed=5)
+        for spec in gen.stream(200):
+            assert all(0 <= op.row < 500 for op in spec.ops)
+
+
+class TestMixedWorkload:
+    def test_half_read_only(self):
+        gen = mixed_workload(keyspace=1000, seed=6)
+        specs = gen.batch(4000)
+        ro = sum(1 for s in specs if s.read_only)
+        assert 0.4 < ro / len(specs) < 0.6
+
+    def test_read_only_specs_have_no_writes(self):
+        gen = mixed_workload(keyspace=1000, seed=7)
+        for spec in gen.stream(500):
+            if spec.read_only:
+                assert spec.write_rows == ()
+
+    def test_empty_complex_txn_counts_as_read_only(self):
+        # a "complex" draw of n=0 rows has an empty write set: by the
+        # paper's definition (§4.1) that transaction is read-only.
+        gen = mixed_workload(keyspace=1000, seed=8)
+        for spec in gen.stream(2000):
+            if not spec.write_rows:
+                assert spec.read_only
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = mixed_workload(keyspace=1000, seed=42).batch(100)
+        b = mixed_workload(keyspace=1000, seed=42).batch(100)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = mixed_workload(keyspace=1000, seed=1).batch(100)
+        b = mixed_workload(keyspace=1000, seed=2).batch(100)
+        assert a != b
+
+
+class TestDistributionIntegration:
+    @pytest.mark.parametrize("dist", ["uniform", "zipfian", "zipfianLatest"])
+    def test_all_paper_distributions_work(self, dist):
+        gen = WorkloadGenerator(distribution=dist, keyspace=10_000, seed=9)
+        specs = gen.batch(100)
+        assert len(specs) == 100
+
+    def test_latest_frontier_advances_with_writes(self):
+        gen = WorkloadGenerator(
+            distribution="zipfianLatest", keyspace=10_000, seed=10
+        )
+        frontier_before = gen._keys.frontier
+        total_writes = 0
+        for spec in gen.stream(100):
+            total_writes += len(spec.write_rows)
+        assert gen._keys.frontier == (frontier_before + total_writes) % 10_000
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(read_only_fraction=1.5)
+
+    def test_invalid_max_rows(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(max_rows=-1)

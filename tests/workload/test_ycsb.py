@@ -1,0 +1,102 @@
+"""Tests for the YCSB core-workload presets."""
+
+import pytest
+
+from repro.workload.ycsb import CORE_WORKLOADS, YCSBMix, YCSBWorkload, ycsb
+
+
+class TestPresets:
+    def test_all_six_exist(self):
+        assert sorted(CORE_WORKLOADS) == ["A", "B", "C", "D", "E", "F"]
+
+    def test_mixes_sum_to_one(self):
+        for mix in CORE_WORKLOADS.values():
+            total = mix.read + mix.update + mix.insert + mix.scan + mix.rmw
+            assert total == pytest.approx(1.0)
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ValueError):
+            YCSBMix("broken", read=0.5, update=0.3)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            YCSBWorkload("Z")
+
+    def test_case_insensitive(self):
+        assert ycsb("a", seed=1).name == "A"
+
+
+class TestWorkloadShapes:
+    def test_c_is_pure_read_only(self):
+        wl = ycsb("C", keyspace=10_000, seed=2)
+        for spec in wl.stream(300):
+            assert spec.read_only
+            assert spec.write_rows == ()
+
+    def test_a_is_half_updates(self):
+        wl = ycsb("A", keyspace=10_000, seed=3)
+        ops = [op for spec in wl.stream(2000) for op in spec.ops]
+        writes = sum(1 for op in ops if op.kind == "w")
+        assert 0.45 < writes / len(ops) < 0.55
+
+    def test_b_is_mostly_reads(self):
+        wl = ycsb("B", keyspace=10_000, seed=4)
+        ops = [op for spec in wl.stream(2000) for op in spec.ops]
+        writes = sum(1 for op in ops if op.kind == "w")
+        assert writes / len(ops) < 0.10
+
+    def test_d_inserts_fresh_rows(self):
+        wl = ycsb("D", keyspace=1_000, seed=5)
+        specs = wl.batch(500)
+        inserted = [
+            row for spec in specs for row in spec.write_rows if row >= 1_000
+        ]
+        assert inserted  # some inserts happened
+        assert len(set(inserted)) == len(inserted)  # each key is fresh
+
+    def test_e_scans_consecutive_rows(self):
+        wl = ycsb("E", keyspace=100_000, scan_length=8, seed=6)
+        for spec in wl.stream(200):
+            reads = spec.read_rows
+            if len(reads) >= 8:
+                # find one full scan run of consecutive keys
+                runs = sum(
+                    1 for a, b in zip(reads, reads[1:]) if b == a + 1
+                )
+                assert runs >= 7 - 1  # at least one scan block present
+                break
+        else:
+            pytest.fail("no scan found in workload E")
+
+    def test_f_rmw_rows_in_both_sets(self):
+        wl = ycsb("F", keyspace=10_000, seed=7)
+        found_rmw = False
+        for spec in wl.stream(300):
+            overlap = set(spec.read_rows) & set(spec.write_rows)
+            if overlap:
+                found_rmw = True
+                break
+        assert found_rmw
+
+    def test_transaction_size_bound(self):
+        wl = ycsb("A", keyspace=1_000, max_rows=5, seed=8)
+        assert all(spec.size <= 5 for spec in wl.stream(300))
+
+    def test_deterministic(self):
+        a = ycsb("A", keyspace=1_000, seed=9).batch(50)
+        b = ycsb("A", keyspace=1_000, seed=9).batch(50)
+        assert a == b
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("name", sorted(CORE_WORKLOADS))
+    def test_runs_against_real_system(self, name):
+        from repro.bench import run_interleaved
+        from repro.core import create_system
+
+        system = create_system("wsi")
+        wl = ycsb(name, keyspace=2_000, seed=10)
+        result = run_interleaved(system.manager, wl.batch(300), concurrency=8, seed=11)
+        assert result.total == 300
+        if name == "C":
+            assert result.aborted == 0  # pure reads never abort
