@@ -1,0 +1,19 @@
+# Developer entry points.  PYTHONPATH=src is the repo's import contract
+# (see ROADMAP.md "Tier-1 verify").
+
+PYTEST := PYTHONPATH=src python -m pytest
+
+.PHONY: test test-fast bench
+
+## Full tier-1 suite: unit + property + integration + figure benchmarks.
+test:
+	$(PYTEST) -x -q
+
+## Fast inner loop: skips the @slow tests (the ~90 s figure benchmarks
+## in benchmarks/ and the heavy stress sweeps).
+test-fast:
+	$(PYTEST) -m "not slow" -q
+
+## Figure benchmarks only, with their printed tables/charts.
+bench:
+	$(PYTEST) benchmarks -q -s

@@ -13,6 +13,8 @@ Run with::
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 
@@ -20,6 +22,15 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers", "figure(name): marks a benchmark as regenerating a paper figure"
     )
+
+
+def pytest_collection_modifyitems(items):
+    """Every figure benchmark is slow by construction: mark the whole
+    directory so ``pytest -m "not slow"`` (make test-fast) skips it."""
+    here = Path(__file__).parent
+    for item in items:
+        if Path(str(item.fspath)).parent == here:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

@@ -25,6 +25,8 @@ Subpackages:
 * :mod:`repro.workload` — YCSB-style workload generators (§6.1).
 * :mod:`repro.sim` — discrete-event cluster simulation (§6 testbed).
 * :mod:`repro.bench` — measurement harness used by benchmarks/.
+* :mod:`repro.server` — group-commit oracle frontend (batched conflict
+  detection, async client sessions, §6.3/Appendix A amortization).
 """
 
 from repro.core import (

@@ -10,6 +10,15 @@ Public surface:
   by every figure benchmark.
 """
 
+from repro.bench.frontend_bench import (
+    FrontendBenchResult,
+    bench_batched,
+    bench_unbatched,
+    median_speedup,
+    paired_speedups,
+    speedup,
+    sweep_batch_sizes,
+)
 from repro.bench.harness import HarnessResult, run_interleaved, run_sequential
 from repro.bench.plots import AsciiChart, abort_rate_chart, latency_throughput_chart
 from repro.bench.reporting import (
@@ -25,6 +34,13 @@ __all__ = [
     "run_interleaved",
     "run_sequential",
     "HarnessResult",
+    "FrontendBenchResult",
+    "bench_unbatched",
+    "bench_batched",
+    "paired_speedups",
+    "median_speedup",
+    "speedup",
+    "sweep_batch_sizes",
     "AsciiChart",
     "latency_throughput_chart",
     "abort_rate_chart",

@@ -33,6 +33,7 @@ from repro.core.conflicts import (
 from repro.core.errors import (
     AbortException,
     ConflictAbort,
+    DecisionPending,
     InvalidTransactionState,
     LockConflict,
     OracleClosed,
@@ -88,6 +89,7 @@ __all__ = [
     "TransactionError",
     "AbortException",
     "ConflictAbort",
+    "DecisionPending",
     "TmaxAbort",
     "LockConflict",
     "InvalidTransactionState",

@@ -68,6 +68,14 @@ class OracleClosed(TransactionError):
     """The status oracle has been shut down and rejects new requests."""
 
 
+class DecisionPending(TransactionError):
+    """A batched commit decision was read before its batch flushed.
+
+    Raised by :class:`repro.server.CommitFuture` accessors; the caller
+    must wait for the flush (or force one) before reading the outcome.
+    """
+
+
 class RecoveryError(TransactionError):
     """WAL replay failed or produced an inconsistent oracle state."""
 

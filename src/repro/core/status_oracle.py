@@ -36,7 +36,7 @@ from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
 from repro.core.commit_table import CommitTable
 from repro.core.errors import OracleClosed, RecoveryError
 from repro.core.timestamps import TimestampOracle
-from repro.wal.bookkeeper import BookKeeperWAL
+from repro.wal.bookkeeper import GROUP_COMMIT_RECORD, BookKeeperWAL
 
 RowKey = Hashable
 
@@ -255,19 +255,34 @@ class StatusOracle:
         (Appendix A).
         """
         max_ts = 0
+
+        def apply_commit(start_ts: int, commit_ts: int, rows) -> int:
+            self.commit_table.record_commit(start_ts, commit_ts)
+            for row in rows:
+                prev = self._last_commit.get(row, 0)
+                self._last_commit[row] = max(prev, commit_ts)
+            return commit_ts
+
+        def apply_abort(start_ts: int) -> int:
+            if not self.commit_table.is_aborted(start_ts):
+                self.commit_table.record_abort(start_ts)
+            return start_ts
+
         for record in wal.replay():
             if record.kind == "commit":
                 start_ts, commit_ts, rows = record.payload
-                self.commit_table.record_commit(start_ts, commit_ts)
-                for row in rows:
-                    prev = self._last_commit.get(row, 0)
-                    self._last_commit[row] = max(prev, commit_ts)
-                max_ts = max(max_ts, commit_ts)
+                max_ts = max(max_ts, apply_commit(start_ts, commit_ts, rows))
             elif record.kind == "abort":
                 (start_ts,) = record.payload
-                if not self.commit_table.is_aborted(start_ts):
-                    self.commit_table.record_abort(start_ts)
-                max_ts = max(max_ts, start_ts)
+                max_ts = max(max_ts, apply_abort(start_ts))
+            elif record.kind == GROUP_COMMIT_RECORD:
+                # One record per frontend batch (repro.server): replay its
+                # decisions in order, exactly as the per-record path would.
+                commits, aborts = record.payload
+                for start_ts, commit_ts, rows in commits:
+                    max_ts = max(max_ts, apply_commit(start_ts, commit_ts, rows))
+                for start_ts in aborts:
+                    max_ts = max(max_ts, apply_abort(start_ts))
             elif record.kind == "ts-reserve":
                 max_ts = max(max_ts, record.payload)
             else:

@@ -1,0 +1,90 @@
+"""Group-commit oracle frontend: batching without semantic change.
+
+Why this layer exists
+=====================
+
+The paper's status oracle "executes the conflict detection algorithm in
+a critical section" (§6.3) and owes its reported throughput to two
+amortizations:
+
+* the critical section is entered once for many queued commit requests,
+  not once per request;
+* the decisions are made durable in *groups* — Appendix A's BookKeeper
+  policy batches records until 1 KB accumulates or 5 ms elapse, so one
+  replicated ledger write persists ~32 commit records.
+
+The seed :class:`~repro.core.status_oracle.StatusOracle` is faithful to
+the *algorithms* but pays every cost per request.  This package restores
+the amortization as a thin frontend layered over any oracle:
+
+:class:`OracleFrontend`
+    accepts begin/commit/abort requests from many logical client
+    sessions, coalesces them into bounded batches (``max_batch`` count
+    bound, ``flush_interval`` time bound in injected/simulated time),
+    decides a whole batch inside one critical section, and persists the
+    batch as a single ``group-commit`` WAL record
+    (:data:`repro.wal.GROUP_COMMIT_RECORD`), which
+    :meth:`~repro.core.status_oracle.StatusOracle.recover_from` replays.
+
+:class:`ClientSession`
+    the async client surface: ``commit()``/``abort()`` return a
+    :class:`CommitFuture` that resolves when the batch flushes (group
+    commit — no request is acknowledged before its decision is queued
+    for durability).
+
+Design rules
+============
+
+1. **The frontend never changes what is decided.**  Batch decisions are
+   computed in submission order with exactly the backend's conflict
+   rules, so the outcome — every commit/abort decision, every commit
+   timestamp, the final ``lastCommit`` map, the commit table, and the
+   ``OracleStats`` counters — is identical to feeding the unbatched
+   backend the same requests in batch order.  For plain SI/WSI oracles
+   the frontend inlines the decision loop for speed; for subclassed
+   backends (bounded/Tmax, partitioned) it defers to their own
+   check/decide hooks so refinements keep their exact semantics.
+2. **Read-only transactions stay free** (§5.1): a commit request with
+   empty read and write sets resolves immediately, never occupies batch
+   space, and a batch of only such requests writes no WAL record.
+3. **One WAL record per batch.**  At Appendix A's 32 B per decision the
+   default 32-request batch fills exactly one 1 KB ledger entry, mapping
+   one frontend flush onto one BookKeeper write.
+
+How equivalence is tested
+=========================
+
+``tests/server/test_equivalence_properties.py`` drives random workloads
+(hypothesis) through a frontend and replays the *same* requests, in the
+order the frontend decided them, against an unbatched reference oracle —
+for SI, WSI, and the bounded (Tmax) oracle — asserting equal decisions,
+commit timestamps, ``lastCommit`` state and stats.  The stress tests add
+timestamp-uniqueness and per-batch monotonicity invariants, and the
+recovery tests crash the frontend mid-batch to check that WAL replay
+restores exactly the durable prefix.  Benchmark E17
+(``benchmarks/test_e17_group_commit.py``) measures the point of it all:
+the batched frontend sustains multiples of the unbatched oracle's
+wall-clock ops/sec.
+"""
+
+from repro.server.frontend import (
+    CLIENT_ABORT,
+    DEFAULT_FLUSH_INTERVAL,
+    DEFAULT_MAX_BATCH,
+    CommitFuture,
+    FlushedBatch,
+    FrontendStats,
+    OracleFrontend,
+)
+from repro.server.session import ClientSession
+
+__all__ = [
+    "OracleFrontend",
+    "ClientSession",
+    "CommitFuture",
+    "FlushedBatch",
+    "FrontendStats",
+    "CLIENT_ABORT",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_FLUSH_INTERVAL",
+]

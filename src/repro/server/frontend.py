@@ -1,0 +1,792 @@
+"""The group-commit oracle frontend: batched conflict detection.
+
+§6.3 reports that "the current implementation of status oracle executes
+the conflict detection algorithm in a critical section" and that the
+oracle reaches its throughput only because the per-request costs —
+entering the critical section, and above all persisting the decision via
+BookKeeper — are *amortized* over many concurrent commit requests.  The
+seed :class:`~repro.core.status_oracle.StatusOracle` pays every one of
+those costs per request; :class:`OracleFrontend` restores the paper's
+amortization:
+
+* commit/abort requests from many logical client sessions are coalesced
+  into bounded batches (a count bound, ``max_batch``, and a flush
+  interval in injected time, mirroring the WAL's own 1 KB / 5 ms policy
+  from Appendix A);
+* conflict detection for the whole batch runs inside **one** critical
+  section, in submission order, so the decisions are observationally
+  identical to feeding the unbatched oracle the same requests in batch
+  order (the property suite in ``tests/server`` proves this for SI, WSI
+  and the bounded oracle);
+* the batch's decisions are persisted as a **single**
+  :data:`~repro.wal.bookkeeper.GROUP_COMMIT_RECORD` WAL record, and the
+  per-request futures resolve only at flush time — group commit.
+
+The frontend never changes *what* is decided, only *when* the decision
+is computed and persisted — the same thin-frontend property MetaSys-style
+metadata layers rely on, and the property this repo's equivalence tests
+pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.core.errors import DecisionPending, OracleClosed
+from repro.core.status_oracle import (
+    CommitRequest,
+    CommitResult,
+    SnapshotIsolationOracle,
+    StatusOracle,
+    WriteSnapshotIsolationOracle,
+)
+from repro.wal.bookkeeper import BookKeeperWAL
+
+#: Default batch bound: 32 decisions fill exactly one 1 KB WAL entry at
+#: Appendix A's 32 B per record, so one frontend batch maps onto one
+#: BookKeeper ledger write.
+DEFAULT_MAX_BATCH = 32
+#: Default flush interval mirrors the WAL's 5 ms time trigger.
+DEFAULT_FLUSH_INTERVAL = 0.005
+
+#: Reason tag recorded on futures of client-initiated (non-conflict) aborts.
+CLIENT_ABORT = "client-abort"
+
+
+@dataclass
+class FlushedBatch:
+    """One frontend batch: created when the batch opens, filled at flush.
+
+    ``on_flush`` listeners receive it after the group-commit WAL record
+    is queued but *before* ``flushed`` flips true (i.e. before any future
+    reports done), so a simulator can attach a durability event first.
+    The decision payloads are exactly what went into the WAL record, in
+    decision order — callback-style clients (and the throughput bench's
+    ``submit_commit_nowait`` path) read outcomes from here without
+    per-request future objects.
+    """
+
+    flushed: bool = False
+    seq: int = 0
+    trigger: str = ""  # "count" | "timer" | "force" | "close"
+    #: Futures of this batch, in submission order (nowait submissions
+    #: contribute none); populated at submit time, emptied once the
+    #: batch resolves so one retained future doesn't pin its siblings.
+    #: ``on_flush`` listeners see the full list.
+    futures: List["CommitFuture"] = None  # type: ignore[assignment]
+    commits: int = 0
+    aborts: int = 0
+    rows_checked: int = 0
+    rows_updated: int = 0
+    wal_written: bool = False
+    #: ``(start_ts, commit_ts, rows)`` per committed request, in order.
+    committed_payload: Tuple = ()
+    #: aborted start timestamps, in order.
+    aborted_payload: Tuple = ()
+    #: ``(start_ts, exception)`` per request whose decision raised (e.g.
+    #: aborting an already-committed transaction) — the error is isolated
+    #: to that request; the rest of the batch decides normally.
+    errors: Tuple = ()
+    #: Free slot for integrators (repro.sim stores the durability event).
+    durable_event: Any = None
+    #: True once some future of this batch registered a done-callback.
+    has_callbacks: bool = False
+
+    @property
+    def size(self) -> int:
+        return self.commits + self.aborts
+
+
+class CommitFuture:
+    """The pending outcome of a batched commit (or abort) request.
+
+    Resolved when the batch containing the request flushes.  Reading the
+    outcome before resolution raises :class:`DecisionPending`; register a
+    callback via :meth:`add_done_callback` to be notified at flush (the
+    discrete-event simulator bridges this to an engine event).
+    """
+
+    # Class-level defaults keep per-future work on the hot path to two
+    # attribute writes (start_ts at submit, batch at enqueue).
+    _done = False  # instance-true only for read-only fast-path futures
+    _committed = False
+    _commit_ts: Optional[int] = None
+    _reason = ""
+    _row: Any = None
+    _error: Optional[BaseException] = None
+    _result: Optional[CommitResult] = None
+    _cbs: Optional[List[Callable[["CommitFuture"], None]]] = None
+    batch: Optional[FlushedBatch] = None
+
+    def __init__(self, start_ts: int) -> None:
+        self.start_ts = start_ts
+
+    @property
+    def done(self) -> bool:
+        if self._done:
+            return True
+        batch = self.batch
+        return batch is not None and batch.flushed
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The exception this request's decision raised, if any (the
+        unbatched oracle would have raised it at the call site)."""
+        return self._error
+
+    @property
+    def committed(self) -> bool:
+        if not self.done:
+            raise DecisionPending(f"txn {self.start_ts}: batch not yet flushed")
+        if self._error is not None:
+            raise self._error
+        return self._committed
+
+    @property
+    def commit_ts(self) -> Optional[int]:
+        if not self.done:
+            raise DecisionPending(f"txn {self.start_ts}: batch not yet flushed")
+        if self._error is not None:
+            raise self._error
+        return self._commit_ts
+
+    def result(self) -> CommitResult:
+        """The decision as a :class:`CommitResult` (built lazily)."""
+        if not self.done:
+            raise DecisionPending(f"txn {self.start_ts}: batch not yet flushed")
+        if self._error is not None:
+            raise self._error
+        result = self._result
+        if result is None:
+            result = self._result = CommitResult(
+                self._committed,
+                self.start_ts,
+                commit_ts=self._commit_ts,
+                reason=self._reason,
+                conflict_row=self._row,
+            )
+        return result
+
+    def add_done_callback(self, fn: Callable[["CommitFuture"], None]) -> None:
+        if self.done:
+            fn(self)
+            return
+        if self._cbs is None:
+            self._cbs = [fn]
+        else:
+            self._cbs.append(fn)
+        self.batch.has_callbacks = True
+
+    def _fire_callbacks(self) -> None:
+        cbs = self._cbs
+        if cbs:
+            self._cbs = None
+            for fn in cbs:
+                fn(self)
+
+
+@dataclass
+class FrontendStats:
+    """Batching behaviour counters (the backend oracle keeps the
+    protocol-level :class:`~repro.core.status_oracle.OracleStats`)."""
+
+    batches: int = 0
+    batched_requests: int = 0
+    read_only_fast_path: int = 0
+    client_aborts: int = 0
+    flushes_by_count: int = 0
+    flushes_by_timer: int = 0
+    flushes_by_force: int = 0
+    max_batch_seen: int = 0
+
+    def avg_batch_size(self) -> float:
+        """Mean decisions per batch; 0.0 before any flush (never raises
+        on an empty workload)."""
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+
+class OracleFrontend:
+    """Batches begin/commit/abort traffic in front of a status oracle.
+
+    Args:
+        backend: the oracle that owns the conflict-detection state — a
+            plain SI/WSI :class:`StatusOracle`, a
+            :class:`~repro.core.status_oracle.BoundedStatusOracle`, or a
+            :class:`~repro.core.partitioned.PartitionedOracle`.
+        max_batch: flush as soon as this many decisions are pending.
+        flush_interval: flush a non-empty batch this many (injected-time)
+            seconds after it opened — drive via ``clock``+``tick()`` or
+            hand the simulator's scheduler in via ``scheduler``.
+        clock: callable returning the current time; defaults to a manual
+            clock advanced with :meth:`advance_time`.
+        scheduler: optional ``(delay, callback)`` scheduling hook (the
+            sim passes ``engine.call_in``) used to fire the flush-interval
+            trigger without polling.
+        wal: where group-commit records go.  Defaults to the backend's
+            WAL; pass one explicitly to give a WAL-less backend (e.g. the
+            partitioned oracle) group durability.
+
+    Plain SI/WSI backends take an inlined batch loop that bypasses the
+    per-request ``commit()`` wrapper, per-record WAL appends and result
+    allocation — that is where the group-commit speed-up (benchmark E17)
+    comes from.  Subclassed backends (bounded, partitioned) run a generic
+    loop through their own check/decide code so their semantics
+    (``Tmax`` aborts, two-phase cross-partition decisions) are preserved
+    exactly.
+    """
+
+    def __init__(
+        self,
+        backend: Any,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        flush_interval: float = DEFAULT_FLUSH_INTERVAL,
+        clock: Optional[Callable[[], float]] = None,
+        scheduler: Optional[Callable[[float, Callable[[], None]], None]] = None,
+        wal: Optional[BookKeeperWAL] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if flush_interval <= 0:
+            raise ValueError("flush_interval must be > 0")
+        self._backend = backend
+        self._max_batch = max_batch
+        self._flush_interval = flush_interval
+        self._manual_time = 0.0
+        self._clock = clock or (lambda: self._manual_time)
+        self._scheduler = scheduler
+        self._wal = wal if wal is not None else getattr(backend, "_wal", None)
+        # Exact-type check: a subclass may override _check/_install, so it
+        # must go through the generic loop that calls those hooks.
+        self._fast = type(backend) in (
+            SnapshotIsolationOracle,
+            WriteSnapshotIsolationOracle,
+        )
+        self._check_reads = getattr(backend, "level", "si") == "wsi"
+        self._is_status_oracle = isinstance(backend, StatusOracle)
+        # Batch items: a raw CommitRequest (nowait commit), a raw int
+        # (nowait client abort), or a (CommitRequest | int, CommitFuture)
+        # pair for future-style submissions.
+        self._pending: List[Any] = []
+        self._open_cell: Optional[FlushedBatch] = None
+        self._batch_opened_at: Optional[float] = None
+        self._batch_seq = 0
+        self._flush_listeners: List[Callable[[FlushedBatch], None]] = []
+        self.stats = FrontendStats()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # client surface
+    #
+    # The four submit_* methods deliberately inline the same short
+    # enqueue/trigger sequence instead of sharing a helper: submit is on
+    # the measured hot path (benchmark E17's >=3x bar), and one extra
+    # Python call per request costs more than the duplication saves.
+    # Change one, change all four.
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> Any:
+        return self._backend
+
+    @property
+    def wal(self) -> Optional[BookKeeperWAL]:
+        return self._wal
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def session(self, name: Optional[str] = None) -> "ClientSession":
+        from repro.server.session import ClientSession
+
+        return ClientSession(self, name=name)
+
+    def begin(self) -> int:
+        """Serve a start timestamp immediately (begins are not batched:
+        the paper already amortizes their persistence, Appendix A)."""
+        if self._closed:
+            raise OracleClosed("oracle frontend is closed")
+        return self._backend.begin()
+
+    def submit_commit(self, request: CommitRequest) -> CommitFuture:
+        """Queue a commit request; returns its future.
+
+        Read-only requests (both sets empty, §5.1) resolve immediately —
+        they touch no oracle state and cost no WAL write, so they never
+        wait on a batch.
+        """
+        if self._closed:
+            raise OracleClosed("oracle frontend is closed")
+        future = CommitFuture(request.start_ts)
+        if not request.write_set and not request.read_set:
+            backend_stats = self._backend.stats
+            backend_stats.commits += 1
+            backend_stats.read_only_commits += 1
+            self.stats.read_only_fast_path += 1
+            future._committed = True
+            future._done = True
+            return future
+        pending = self._pending
+        pending.append((request, future))
+        if len(pending) == 1:
+            self._open_batch()
+        cell = self._open_cell
+        future.batch = cell
+        cell.futures.append(future)
+        if len(pending) >= self._max_batch:
+            self.flush(trigger="count")
+        return future
+
+    def submit_commit_nowait(self, request: CommitRequest) -> None:
+        """Queue a commit request without a future (callback-style).
+
+        The decision is still computed, persisted and counted exactly as
+        for :meth:`submit_commit`; the outcome is delivered through the
+        batch itself — ``on_flush`` listeners read it from
+        :attr:`FlushedBatch.committed_payload` / ``aborted_payload``.
+        This is the ingest path for throughput-bound clients (bulk load,
+        log apply, benchmark E17) that track transactions by start
+        timestamp rather than per-request handles.
+        """
+        if self._closed:
+            raise OracleClosed("oracle frontend is closed")
+        if not request.write_set and not request.read_set:
+            backend_stats = self._backend.stats
+            backend_stats.commits += 1
+            backend_stats.read_only_commits += 1
+            self.stats.read_only_fast_path += 1
+            return
+        pending = self._pending
+        pending.append(request)
+        if len(pending) == 1:
+            self._open_batch()
+        if len(pending) >= self._max_batch:
+            self.flush(trigger="count")
+
+    def submit_abort(self, start_ts: int) -> CommitFuture:
+        """Queue a client-initiated abort; resolves at batch flush so the
+        abort record rides the same group-commit WAL write."""
+        if self._closed:
+            raise OracleClosed("oracle frontend is closed")
+        future = CommitFuture(start_ts)
+        pending = self._pending
+        pending.append((start_ts, future))
+        self.stats.client_aborts += 1
+        if len(pending) == 1:
+            self._open_batch()
+        cell = self._open_cell
+        future.batch = cell
+        cell.futures.append(future)
+        if len(pending) >= self._max_batch:
+            self.flush(trigger="count")
+        return future
+
+    def submit_abort_nowait(self, start_ts: int) -> None:
+        """Queue a client-initiated abort without a future."""
+        if self._closed:
+            raise OracleClosed("oracle frontend is closed")
+        pending = self._pending
+        pending.append(start_ts)
+        self.stats.client_aborts += 1
+        if len(pending) == 1:
+            self._open_batch()
+        if len(pending) >= self._max_batch:
+            self.flush(trigger="count")
+
+    # ------------------------------------------------------------------
+    # flush triggers
+    # ------------------------------------------------------------------
+    def _open_batch(self) -> None:
+        self._batch_seq += 1
+        self._open_cell = FlushedBatch(seq=self._batch_seq, futures=[])
+        self._batch_opened_at = self._clock()
+        if self._scheduler is not None:
+            cell = self._open_cell
+            self._scheduler(self._flush_interval, lambda: self._timer_fired(cell))
+
+    def _timer_fired(self, cell: FlushedBatch) -> None:
+        # Fire only if the batch that armed this timer is still open.
+        if self._open_cell is cell and self._pending:
+            self.flush(trigger="timer")
+
+    def tick(self) -> bool:
+        """Fire the flush-interval trigger if it has elapsed (polling
+        alternative to ``scheduler`` for manual-clock callers)."""
+        if not self._pending:
+            return False
+        if self._clock() - self._batch_opened_at >= self._flush_interval:
+            self.flush(trigger="timer")
+            return True
+        return False
+
+    def advance_time(self, dt: float) -> None:
+        """Advance the internal manual clock (standalone mode only)."""
+        self._manual_time += dt
+
+    def on_flush(self, listener: Callable[[FlushedBatch], None]) -> None:
+        """Register a listener called with each :class:`FlushedBatch`
+        after its WAL record is queued but *before* futures resolve."""
+        self._flush_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # the flush itself: one critical section per batch
+    # ------------------------------------------------------------------
+    def flush(self, trigger: str = "force") -> Optional[FlushedBatch]:
+        """Process every pending request and resolve its future.
+
+        Everything in here happens atomically with respect to other
+        batches — this *is* the §6.3 critical section, entered once per
+        batch instead of once per request.
+        """
+        batch = self._pending
+        if not batch:
+            return None
+        self._pending = []
+        cell = self._open_cell
+        self._open_cell = None
+        self._batch_opened_at = None
+
+        payload_commits: List[Tuple[int, int, Any]] = []
+        payload_aborts: List[int] = []
+        errors: List[Tuple[int, BaseException]] = []
+        if self._fast:
+            counters = self._process_fast(
+                batch, payload_commits, payload_aborts, errors
+            )
+        elif self._is_status_oracle:
+            counters = self._process_oracle(
+                batch, payload_commits, payload_aborts, errors
+            )
+        else:
+            counters = self._process_generic(
+                batch, payload_commits, payload_aborts, errors
+            )
+        commits, aborts, rows_checked, rows_updated = counters
+
+        # One group-commit record for the whole batch (§6.3 / Appendix A
+        # amortization).  Batches that decided nothing durable — e.g. all
+        # requests were read-only under SI — write no record at all.
+        # The loop-built triples are already immutable (rows stay the
+        # request's frozenset), so no group_commit_payload re-normalization
+        # pass; append_group_record owns the record-size rule.
+        payload = (tuple(payload_commits), tuple(payload_aborts))
+        wal = self._wal
+        wal_written = False
+        if wal is not None and (payload_commits or payload_aborts):
+            wal.append_group_record(payload)
+            wal_written = True
+
+        stats = self.stats
+        stats.batches += 1
+        stats.batched_requests += len(batch)
+        if len(batch) > stats.max_batch_seen:
+            stats.max_batch_seen = len(batch)
+        if trigger == "count":
+            stats.flushes_by_count += 1
+        elif trigger == "timer":
+            stats.flushes_by_timer += 1
+        else:
+            stats.flushes_by_force += 1
+
+        cell.trigger = trigger
+        cell.commits = commits
+        cell.aborts = aborts
+        cell.rows_checked = rows_checked
+        cell.rows_updated = rows_updated
+        cell.wal_written = wal_written
+        cell.committed_payload, cell.aborted_payload = payload
+        cell.errors = tuple(errors)
+        for listener in self._flush_listeners:
+            listener(cell)
+        # Group commit: this single flag resolves every future of the
+        # batch at once, after the WAL record is queued (and after the
+        # listeners had a chance to attach durability hooks).
+        cell.flushed = True
+        if cell.has_callbacks:
+            for fut in cell.futures:
+                fut._fire_callbacks()
+        # Release the sibling-future list: a long-lived future handle
+        # should keep its batch's outcome payloads alive, not every other
+        # future of the batch.
+        cell.futures = []
+        return cell
+
+    def _process_fast(self, batch, payload_commits, payload_aborts, errors):
+        """Inlined decision loop for plain SI/WSI oracles.
+
+        Observationally equivalent to calling ``backend.commit()`` /
+        ``backend.abort()`` per request in batch order — same decisions,
+        same lastCommit/commit-table state, same OracleStats, same
+        timestamp-reservation behaviour — but without the per-request
+        wrapper, per-record WAL append, or per-request result object.
+        """
+        backend = self._backend
+        if backend._closed:
+            raise OracleClosed("status oracle is closed")
+        tso = backend._tso
+        if tso._closed:
+            raise OracleClosed("timestamp oracle is closed")
+        lc = backend._last_commit
+        lc_get = lc.get
+        lc_isdisjoint = lc.keys().isdisjoint  # live view: sees batch installs
+        ct = backend.commit_table
+        # Replicas subscribed to the commit table must see every decision,
+        # so only bypass its record methods when nobody is listening.
+        fast_ct = not ct._subscribers
+        ct_commits = ct._commits
+        ct_aborted = ct._aborted
+        check_reads = self._check_reads
+        reason_tag = "rw-conflict" if check_reads else "ww-conflict"
+        pc_append = payload_commits.append
+        pa_append = payload_aborts.append
+        nxt = tso._next
+        reserved = tso._reserved_until
+        commits = conflict_aborts = client_aborts = issued = 0
+        rows_checked = rows_updated = 0
+        try:
+            for item in batch:
+                if item.__class__ is CommitRequest:
+                    req = item  # nowait commit: no future to fill in
+                    fut = None
+                else:
+                    if item.__class__ is tuple:
+                        req, fut = item
+                    else:
+                        req, fut = item, None
+                    if req.__class__ is not CommitRequest:
+                        # client-initiated abort; req is the start timestamp
+                        start = req
+                        try:
+                            if fast_ct:
+                                if start in ct_commits:
+                                    raise ValueError(
+                                        f"txn {start} already committed; "
+                                        "cannot abort"
+                                    )
+                                ct_aborted.add(start)
+                            else:
+                                ct.record_abort(start)
+                        except Exception as exc:
+                            # Protocol misuse is isolated to this request
+                            # (the unbatched oracle raises at its call
+                            # site); the rest of the batch decides on.
+                            errors.append((start, exc))
+                            if fut is not None:
+                                fut._error = exc
+                            continue
+                        client_aborts += 1
+                        pa_append(start)
+                        if fut is not None:
+                            fut._reason = CLIENT_ABORT
+                        continue
+                start = req.start_ts
+                rows = req.read_set if check_reads else req.write_set
+                conflict_row = None
+                if rows:
+                    if lc_isdisjoint(rows):
+                        # No checked row was ever written (the common case
+                        # under a large keyspace): the whole scan is one
+                        # C-speed membership sweep.
+                        rows_checked += len(rows)
+                    else:
+                        # Some checked row has a lastCommit entry: run the
+                        # faithful first-conflict scan in frozenset order.
+                        for row in rows:
+                            rows_checked += 1
+                            last = lc_get(row)
+                            if last is not None and last > start:
+                                conflict_row = row
+                                break
+                if conflict_row is not None:
+                    try:
+                        if fast_ct:
+                            if start in ct_commits:
+                                raise ValueError(
+                                    f"txn {start} already committed; "
+                                    "cannot abort"
+                                )
+                            ct_aborted.add(start)
+                        else:
+                            ct.record_abort(start)
+                    except Exception as exc:
+                        errors.append((start, exc))
+                        if fut is not None:
+                            fut._error = exc
+                        continue
+                    conflict_aborts += 1
+                    pa_append(start)
+                    if fut is not None:
+                        fut._reason = reason_tag
+                        fut._row = conflict_row
+                    continue
+                # commit: assign Tc (inlined tso.next with the same
+                # reservation protocol), install the write set.
+                if nxt > reserved:
+                    tso._next = nxt
+                    tso._reserve()
+                    reserved = tso._reserved_until
+                cts = nxt
+                nxt += 1
+                issued += 1
+                ws = req.write_set
+                for row in ws:
+                    lc[row] = cts
+                rows_updated += len(ws)
+                try:
+                    if fast_ct:
+                        if cts <= start:
+                            raise ValueError(
+                                f"commit_ts {cts} must exceed start_ts {start}"
+                            )
+                        if start in ct_aborted:
+                            raise ValueError(
+                                f"txn {start} already aborted; cannot commit"
+                            )
+                        ct_commits[start] = cts
+                    else:
+                        ct.record_commit(start, cts)
+                except Exception as exc:
+                    # Same partial effects as the unbatched oracle, which
+                    # installs the write set and consumes Tc before its
+                    # commit-table write raises — but here the error stays
+                    # with this request instead of killing the batch.
+                    errors.append((start, exc))
+                    if fut is not None:
+                        fut._error = exc
+                    continue
+                commits += 1
+                pc_append((start, cts, ws))
+                if fut is not None:
+                    fut._committed = True
+                    fut._commit_ts = cts
+        finally:
+            # Keep oracle-visible state consistent even on a mid-batch
+            # protocol error: timestamps consumed so far stay consumed.
+            tso._next = nxt
+            tso._issued += issued
+            st = backend.stats
+            st.commits += commits
+            st.aborts += conflict_aborts + client_aborts
+            st.conflict_aborts += conflict_aborts
+            st.rows_checked += rows_checked
+            st.rows_updated += rows_updated
+        return commits, conflict_aborts + client_aborts, rows_checked, rows_updated
+
+    def _process_oracle(self, batch, payload_commits, payload_aborts, errors):
+        """Generic loop for StatusOracle subclasses (e.g. the bounded
+        oracle): defer to the backend's own _check/_install hooks so
+        policy refinements like Tmax keep their exact semantics."""
+        backend = self._backend
+        if backend._closed:
+            raise OracleClosed("status oracle is closed")
+        tso = backend._tso
+        ct = backend.commit_table
+        st = backend.stats
+        commits = aborts = rows_updated_total = 0
+        rows_checked_before = st.rows_checked
+        for item in batch:
+            req, fut = item if item.__class__ is tuple else (item, None)
+            try:
+                if req.__class__ is not CommitRequest:
+                    ct.record_abort(req)
+                    st.aborts += 1
+                    aborts += 1
+                    payload_aborts.append(req)
+                    if fut is not None:
+                        fut._reason = CLIENT_ABORT
+                    continue
+                conflict = backend._check(req)
+                if conflict is not None:
+                    reason, row = conflict
+                    ct.record_abort(req.start_ts)
+                    st.aborts += 1
+                    st.conflict_aborts += 1
+                    if reason == "tmax":
+                        st.tmax_aborts += 1
+                        st.conflict_aborts -= 1
+                    aborts += 1
+                    payload_aborts.append(req.start_ts)
+                    if fut is not None:
+                        fut._reason = reason
+                        fut._row = row
+                    continue
+                cts = tso.next()
+                rows = backend.rows_to_update(req)
+                backend._install(rows, cts)
+                st.rows_updated += len(rows)
+                rows_updated_total += len(rows)
+                ct.record_commit(req.start_ts, cts)
+                st.commits += 1
+                commits += 1
+                payload_commits.append((req.start_ts, cts, rows))
+                if fut is not None:
+                    fut._committed = True
+                    fut._commit_ts = cts
+            except Exception as exc:
+                start = req if req.__class__ is not CommitRequest else req.start_ts
+                errors.append((start, exc))
+                if fut is not None:
+                    fut._error = exc
+        rows_checked = st.rows_checked - rows_checked_before
+        return commits, aborts, rows_checked, rows_updated_total
+
+    def _process_generic(self, batch, payload_commits, payload_aborts, errors):
+        """Fallback for non-StatusOracle backends (the partitioned
+        oracle): route each request through the backend's own commit
+        path, which already implements its two-phase decision."""
+        backend = self._backend
+        commits = aborts = rows_updated = 0
+        for item in batch:
+            req, fut = item if item.__class__ is tuple else (item, None)
+            try:
+                if req.__class__ is not CommitRequest:
+                    backend.abort(req)
+                    aborts += 1
+                    payload_aborts.append(req)
+                    if fut is not None:
+                        fut._reason = CLIENT_ABORT
+                    continue
+                result = backend.commit(req)
+            except Exception as exc:
+                start = req if req.__class__ is not CommitRequest else req.start_ts
+                errors.append((start, exc))
+                if fut is not None:
+                    fut._error = exc
+                continue
+            if result.committed:
+                commits += 1
+                rows_updated += len(req.write_set)
+                payload_commits.append(
+                    (req.start_ts, result.commit_ts, req.write_set)
+                )
+                if fut is not None:
+                    fut._committed = True
+                    fut._commit_ts = result.commit_ts
+            else:
+                aborts += 1
+                payload_aborts.append(req.start_ts)
+                if fut is not None:
+                    fut._reason = result.reason
+                    fut._row = result.conflict_row
+            if fut is not None:
+                fut._result = result
+        return commits, aborts, 0, rows_updated
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush the open batch (and the WAL) and stop accepting work.
+
+        The backend oracle stays open — the frontend is a layer over it,
+        not its owner."""
+        if self._closed:
+            return
+        self.flush(trigger="close")
+        if self._wal is not None:
+            self._wal.flush()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

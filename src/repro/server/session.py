@@ -1,0 +1,116 @@
+"""Async client sessions over the group-commit frontend.
+
+A :class:`ClientSession` is one logical client: it begins transactions
+against the frontend, submits their commit/abort requests, and receives
+:class:`~repro.server.frontend.CommitFuture` handles that resolve when
+the enclosing batch flushes.  A session may keep any number of
+transactions in flight — the paper's oracle stress setup runs 100
+outstanding transactions per client (§6.3) — and tallies its own
+commit/abort outcomes via future callbacks, which the stress tests
+reconcile against the backend's :class:`~repro.core.status_oracle.OracleStats`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional
+
+from repro.core.errors import InvalidTransactionState
+from repro.core.status_oracle import CommitRequest
+from repro.server.frontend import CommitFuture, OracleFrontend
+
+_session_ids = itertools.count(1)
+
+
+class ClientSession:
+    """One logical client multiplexed onto an :class:`OracleFrontend`."""
+
+    def __init__(self, frontend: OracleFrontend, name: Optional[str] = None) -> None:
+        self._frontend = frontend
+        self.name = name or f"session-{next(_session_ids)}"
+        self._open: set = set()
+        self._last_begun: Optional[int] = None
+        # per-session outcome tallies, updated by future callbacks
+        self.submitted = 0
+        self.commits = 0
+        self.aborts = 0
+        self.read_only_commits = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    # transaction lifecycle
+    # ------------------------------------------------------------------
+    def begin(self) -> int:
+        """Open a transaction; multiple may be in flight concurrently."""
+        start_ts = self._frontend.begin()
+        self._open.add(start_ts)
+        self._last_begun = start_ts
+        return start_ts
+
+    def commit(
+        self,
+        write_set: Iterable = (),
+        read_set: Iterable = (),
+        start_ts: Optional[int] = None,
+    ) -> CommitFuture:
+        """Submit the commit request of an open transaction.
+
+        Defaults to the most recently begun transaction; pass ``start_ts``
+        to pick one of several in-flight transactions.
+        """
+        ts = self._resolve_open(start_ts)
+        request = CommitRequest(
+            ts, write_set=frozenset(write_set), read_set=frozenset(read_set)
+        )
+        future = self._frontend.submit_commit(request)
+        self.submitted += 1
+        future.add_done_callback(self._tally)
+        return future
+
+    def abort(self, start_ts: Optional[int] = None) -> CommitFuture:
+        """Submit a client-initiated abort for an open transaction."""
+        ts = self._resolve_open(start_ts)
+        future = self._frontend.submit_abort(ts)
+        self.submitted += 1
+        future.add_done_callback(self._tally)
+        return future
+
+    def _resolve_open(self, start_ts: Optional[int]) -> int:
+        ts = start_ts if start_ts is not None else self._last_begun
+        if ts is None or ts not in self._open:
+            raise InvalidTransactionState(
+                f"{self.name}: transaction {ts} is not open in this session"
+            )
+        self._open.discard(ts)
+        if ts == self._last_begun:
+            self._last_begun = None
+        return ts
+
+    def _tally(self, future: CommitFuture) -> None:
+        if future._error is not None:
+            # a decision that raised is neither a commit nor an abort —
+            # the backend recorded nothing for it
+            self.errors += 1
+        elif future._committed:
+            self.commits += 1
+            if future._commit_ts is None:
+                self.read_only_commits += 1
+        else:
+            self.aborts += 1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def open_count(self) -> int:
+        return len(self._open)
+
+    @property
+    def decided(self) -> int:
+        return self.commits + self.aborts + self.errors
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClientSession({self.name!r}, open={len(self._open)}, "
+            f"commits={self.commits}, aborts={self.aborts})"
+        )

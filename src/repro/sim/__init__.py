@@ -17,6 +17,11 @@ from repro.sim.cluster_sim import (
     sweep_cluster,
 )
 from repro.sim.engine import Engine, Event, Resource
+from repro.sim.frontend_sim import (
+    GroupCommitSim,
+    GroupCommitSimResult,
+    sweep_group_commit,
+)
 from repro.sim.latency import LatencyModel, paper_latency_model
 from repro.sim.microbench import MicrobenchResult, run_microbench
 from repro.sim.oracle_bench import (
@@ -42,4 +47,7 @@ __all__ = [
     "PAPER_CLIENT_SWEEP",
     "MicrobenchResult",
     "run_microbench",
+    "GroupCommitSim",
+    "GroupCommitSimResult",
+    "sweep_group_commit",
 ]

@@ -1,0 +1,202 @@
+"""Simulated group-commit frontend: engine-driven flush timing.
+
+Wires :class:`repro.server.OracleFrontend` into the discrete-event
+engine: the frontend's flush-interval trigger is scheduled with
+``engine.call_in`` (no polling), client sessions wait on commit futures
+bridged to engine events, and every flushed batch occupies the oracle's
+critical-section resource for the *batch* service time before its single
+WAL write makes it durable — the two amortizations of §6.3/Appendix A,
+in simulated time.
+
+This is the timing companion to the wall-clock microbench in
+:mod:`repro.bench.frontend_bench`: that one measures real CPU cost,
+this one reproduces queueing behaviour (latency vs. batch size, timer
+vs. count flushes under light vs. heavy load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.status_oracle import make_oracle
+from repro.server.frontend import FlushedBatch, OracleFrontend
+from repro.sim.engine import Engine, Resource
+from repro.sim.latency import LatencyModel, paper_latency_model
+from repro.workload.generator import WorkloadGenerator, complex_workload
+
+
+@dataclass
+class GroupCommitSimResult:
+    """Measured behaviour of the batched oracle for one configuration."""
+
+    level: str
+    batch_size: int
+    num_clients: int
+    throughput_tps: float
+    avg_latency_ms: float
+    p99_latency_ms: float
+    abort_rate: float
+    commits: int
+    aborts: int
+    avg_batch: float
+    flushes_by_count: int
+    flushes_by_timer: int
+    oracle_utilization: float
+
+    def as_row(self) -> str:
+        return (
+            f"{self.level:>4} batch={self.batch_size:>4} "
+            f"tput={self.throughput_tps:>9.0f} TPS "
+            f"lat={self.avg_latency_ms:>7.3f} ms "
+            f"avg_batch={self.avg_batch:>6.1f} "
+            f"timer/count={self.flushes_by_timer}/{self.flushes_by_count}"
+        )
+
+
+class GroupCommitSim:
+    """Closed-loop clients submitting through an OracleFrontend.
+
+    Args:
+        batch_size: the frontend's count trigger (``max_batch``).
+        flush_interval: the frontend's time trigger, fired by the engine.
+        num_clients / outstanding_per_client: closed-loop population, as
+            in the Fig. 5 setup (§6.3).
+    """
+
+    def __init__(
+        self,
+        level: str = "wsi",
+        batch_size: int = 32,
+        num_clients: int = 4,
+        outstanding_per_client: int = 25,
+        flush_interval: float = 0.005,
+        keyspace: int = 20_000_000,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 42,
+        warmup: float = 0.1,
+        measure: float = 0.5,
+    ) -> None:
+        self.level = level
+        self.batch_size = batch_size
+        self.num_clients = num_clients
+        self.outstanding = outstanding_per_client
+        self.latency = latency or paper_latency_model(seed=seed)
+        self.warmup = warmup
+        self.measure = measure
+        self.engine = Engine()
+        self.oracle = make_oracle(level)
+        self.frontend = OracleFrontend(
+            self.oracle,
+            max_batch=batch_size,
+            flush_interval=flush_interval,
+            clock=lambda: self.engine.now,
+            scheduler=self.engine.call_in,
+        )
+        self.frontend.on_flush(self._batch_flushed)
+        self.critical_section = Resource(self.engine, capacity=1, name="oracle-cs")
+        self.workload: WorkloadGenerator = complex_workload(
+            distribution="uniform", keyspace=keyspace, seed=seed
+        )
+        self._latencies: List[float] = []
+        self._commits = 0
+        self._aborts = 0
+
+    # ------------------------------------------------------------------
+    # batch timing: one critical-section occupancy + one WAL write
+    # ------------------------------------------------------------------
+    def _batch_flushed(self, batch: FlushedBatch) -> None:
+        batch.durable_event = self.engine.event()
+        self.engine.process(self._batch_timing(batch))
+
+    def _batch_timing(self, batch: FlushedBatch):
+        lat = self.latency
+        service = lat.oracle_service_batch(
+            self.level, batch.size, batch.rows_checked, batch.rows_updated
+        )
+        yield self.critical_section.acquire()
+        yield self.engine.timeout(lat.sample(service))
+        self.critical_section.release()
+        if batch.wal_written:
+            yield self.engine.timeout(lat.sample(lat.wal_write))
+        batch.durable_event.succeed()
+
+    # ------------------------------------------------------------------
+    # client process
+    # ------------------------------------------------------------------
+    def _client_stream(self):
+        engine = self.engine
+        lat = self.latency
+        frontend = self.frontend
+        while True:
+            started = engine.now
+            yield engine.timeout(lat.sample_start_timestamp())
+            start_ts = frontend.begin()
+            spec = self.workload.next_transaction()
+            future = frontend.submit_commit(spec.commit_request(start_ts))
+            if not future.done:
+                bridge = engine.event()
+                future.add_done_callback(lambda _f, ev=bridge: ev.succeed())
+                yield bridge
+            batch = future.batch
+            if batch is not None:
+                # group commit: acknowledged when the batch is durable
+                yield batch.durable_event
+            if engine.now >= self.warmup:
+                self._latencies.append(engine.now - started)
+                if future.committed:
+                    self._commits += 1
+                else:
+                    self._aborts += 1
+
+    # ------------------------------------------------------------------
+    def run(self) -> GroupCommitSimResult:
+        for _ in range(self.num_clients * self.outstanding):
+            self.engine.process(self._client_stream())
+        self.engine.run(until=self.warmup + self.measure)
+        total = self._commits + self._aborts
+        lat_ms = sorted(1000 * x for x in self._latencies)
+        avg = sum(lat_ms) / len(lat_ms) if lat_ms else 0.0
+        p99 = lat_ms[int(0.99 * (len(lat_ms) - 1))] if lat_ms else 0.0
+        stats = self.frontend.stats
+        return GroupCommitSimResult(
+            level=self.level,
+            batch_size=self.batch_size,
+            num_clients=self.num_clients,
+            throughput_tps=total / self.measure if self.measure > 0 else 0.0,
+            avg_latency_ms=avg,
+            p99_latency_ms=p99,
+            abort_rate=self._aborts / total if total else 0.0,
+            commits=self._commits,
+            aborts=self._aborts,
+            avg_batch=stats.avg_batch_size(),
+            flushes_by_count=stats.flushes_by_count,
+            flushes_by_timer=stats.flushes_by_timer,
+            oracle_utilization=self.critical_section.utilization(),
+        )
+
+
+def sweep_group_commit(
+    level: str,
+    batch_sizes: Optional[List[int]] = None,
+    num_clients: int = 4,
+    outstanding_per_client: int = 25,
+    seed: int = 42,
+    measure: float = 0.4,
+    keyspace: int = 20_000_000,
+) -> List[GroupCommitSimResult]:
+    """Throughput/latency vs. batch size (batch 1 = no group commit)."""
+    sizes = batch_sizes or [1, 8, 32, 128]
+    results = []
+    for batch_size in sizes:
+        sim = GroupCommitSim(
+            level=level,
+            batch_size=batch_size,
+            num_clients=num_clients,
+            outstanding_per_client=outstanding_per_client,
+            seed=seed,
+            measure=measure,
+            keyspace=keyspace,
+        )
+        results.append(sim.run())
+    return results

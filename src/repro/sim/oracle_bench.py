@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
-from repro.core.status_oracle import CommitRequest, StatusOracle, make_oracle
+from repro.core.status_oracle import StatusOracle, make_oracle
 from repro.sim.engine import Engine, Resource
 from repro.sim.latency import LatencyModel, paper_latency_model
 from repro.workload.generator import WorkloadGenerator, complex_workload
@@ -136,11 +136,7 @@ class OracleBenchSim:
             yield engine.timeout(lat.sample_start_timestamp())
             start_ts = self.oracle.begin()
             spec = self.workload.next_transaction()
-            request = CommitRequest(
-                start_ts,
-                write_set=frozenset(spec.write_rows),
-                read_set=frozenset(spec.read_rows),
-            )
+            request = spec.commit_request(start_ts)
             # critical section: the conflict check itself
             yield self.critical_section.acquire()
             if self.level == "si":

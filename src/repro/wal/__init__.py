@@ -12,14 +12,20 @@ from repro.wal.bookkeeper import (
     BOOKKEEPER_MAX_WRITES_PER_SEC,
     DEFAULT_BATCH_SIZE_BYTES,
     DEFAULT_BATCH_TIMEOUT,
+    GROUP_COMMIT_BYTES_PER_DECISION,
+    GROUP_COMMIT_RECORD,
     BookKeeperWAL,
     WALRecord,
+    group_commit_payload,
 )
 from repro.wal.ledger import Bookie, Ledger, LedgerEntry, LedgerManager
 
 __all__ = [
     "BookKeeperWAL",
     "WALRecord",
+    "GROUP_COMMIT_RECORD",
+    "GROUP_COMMIT_BYTES_PER_DECISION",
+    "group_commit_payload",
     "LedgerManager",
     "Ledger",
     "LedgerEntry",

@@ -28,12 +28,31 @@ DEFAULT_BATCH_TIMEOUT = 0.005  # or 5 ms since last trigger
 ENTRY_SIZE_BYTES = 1028  # BookKeeper's benchmarked entry size
 BOOKKEEPER_MAX_WRITES_PER_SEC = 20_000
 
+#: Record kind written by the group-commit frontend: one record carries the
+#: decisions of a whole commit batch (see :mod:`repro.server`).  Payload is
+#: ``(commits, aborts)`` where ``commits`` is a sequence of
+#: ``(start_ts, commit_ts, rows)`` triples and ``aborts`` a sequence of
+#: aborted start timestamps.
+GROUP_COMMIT_RECORD = "group-commit"
+
+#: Appendix A sizing: each decision in a group record costs the same 32
+#: bytes a standalone commit/abort record would.
+GROUP_COMMIT_BYTES_PER_DECISION = 32
+
+
+def group_commit_payload(commits, aborts) -> Tuple[Tuple, Tuple]:
+    """Normalize a batch's decisions into the group-commit payload shape."""
+    return (
+        tuple((start_ts, commit_ts, tuple(rows)) for start_ts, commit_ts, rows in commits),
+        tuple(aborts),
+    )
+
 
 @dataclass
 class WALRecord:
     """One logical record: a commit/abort/reservation from the oracle."""
 
-    kind: str  # "commit" | "abort" | "ts-reserve" | "snapshot"
+    kind: str  # "commit" | "abort" | "ts-reserve" | "group-commit" | "snapshot"
     payload: Any
     size: int
 
@@ -99,6 +118,28 @@ class BookKeeperWAL:
             self.flush()
             return True
         return False
+
+    def append_group_commit(self, commits, aborts) -> bool:
+        """Queue one group-commit record covering a whole decision batch.
+
+        ``commits`` is an iterable of ``(start_ts, commit_ts, rows)``
+        triples, ``aborts`` an iterable of aborted start timestamps.
+        """
+        return self.append_group_record(group_commit_payload(commits, aborts))
+
+    def append_group_record(self, payload: Tuple[Tuple, Tuple]) -> bool:
+        """Queue an already-normalized group-commit payload.
+
+        This is the single authority for the record's size: 32 B per
+        decision (Appendix A), so a 32-decision batch fills exactly one
+        1 KB ledger entry.
+        """
+        commits, aborts = payload
+        return self.append(
+            GROUP_COMMIT_RECORD,
+            payload,
+            size=(len(commits) + len(aborts)) * GROUP_COMMIT_BYTES_PER_DECISION,
+        )
 
     def tick(self) -> bool:
         """Fire the time trigger if ``batch_timeout`` has elapsed.

@@ -65,6 +65,18 @@ class TransactionSpec:
     def size(self) -> int:
         return len(self.ops)
 
+    def commit_request(self, start_ts: int):
+        """The oracle-facing view of this spec: a
+        :class:`~repro.core.status_oracle.CommitRequest` carrying the
+        spec's read/write footprints as frozensets."""
+        from repro.core.status_oracle import CommitRequest
+
+        return CommitRequest(
+            start_ts,
+            write_set=frozenset(self.write_rows),
+            read_set=frozenset(self.read_rows),
+        )
+
 
 class WorkloadGenerator:
     """Generates the paper's read-only / complex / mixed workloads.

@@ -1,0 +1,71 @@
+"""Pin the divide-by-zero / empty-workload behaviour of every ratio stat.
+
+Ratio accessors must return 0.0 — never raise — on a fresh component or
+an empty workload; dashboards and sweep harnesses call them
+unconditionally before any traffic has flowed.
+"""
+
+from repro.bench.harness import HarnessResult
+from repro.core.partitioned import PartitionedOracle
+from repro.core.status_oracle import CommitRequest, OracleStats, make_oracle
+from repro.server import FrontendStats, OracleFrontend
+from repro.sim.engine import Engine, Resource
+from repro.wal.bookkeeper import BookKeeperWAL
+
+
+class TestOracleStatsEdgeCases:
+    def test_abort_rate_zero_on_empty(self):
+        assert OracleStats().abort_rate == 0.0
+        assert OracleStats().total_requests == 0
+
+    def test_abort_rate_zero_on_fresh_oracle(self):
+        for level in ("si", "wsi"):
+            assert make_oracle(level).stats.abort_rate == 0.0
+
+    def test_abort_rate_zero_after_begin_only(self):
+        # begins alone are not commit requests: still an empty workload
+        oracle = make_oracle("wsi")
+        oracle.begin()
+        assert oracle.stats.abort_rate == 0.0
+
+    def test_abort_rate_counts_read_only_commits(self):
+        oracle = make_oracle("wsi")
+        oracle.commit(CommitRequest(oracle.begin()))
+        assert oracle.stats.abort_rate == 0.0
+        assert oracle.stats.total_requests == 1
+
+
+class TestCrossPartitionFractionEdgeCases:
+    def test_zero_on_fresh_partitioned_oracle(self):
+        assert PartitionedOracle().cross_partition_fraction() == 0.0
+
+    def test_zero_when_workload_only_aborts(self):
+        # aborts never count as routed commits: the denominator stays 0
+        oracle = PartitionedOracle(num_partitions=2)
+        oracle.abort(oracle.begin())
+        assert oracle.cross_partition_fraction() == 0.0
+
+    def test_zero_when_single_partition_only(self):
+        oracle = PartitionedOracle(num_partitions=2)
+        row = 0  # any single row touches exactly one partition
+        oracle.commit(CommitRequest(oracle.begin(), write_set=frozenset([row])))
+        assert oracle.cross_partition_fraction() == 0.0
+
+
+class TestOtherRatioStats:
+    def test_harness_result_abort_rate_empty(self):
+        assert HarnessResult().abort_rate == 0.0
+
+    def test_frontend_avg_batch_size_empty(self):
+        assert FrontendStats().avg_batch_size() == 0.0
+        frontend = OracleFrontend(make_oracle("wsi"))
+        assert frontend.stats.avg_batch_size() == 0.0
+
+    def test_wal_batching_factor_empty(self):
+        assert BookKeeperWAL().batching_factor() == 0.0
+
+    def test_resource_utilization_at_time_zero(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+        assert resource.utilization() == 0.0
+        assert resource.utilization(elapsed=0.0) == 0.0

@@ -55,6 +55,13 @@ class TestExamplesRun:
         assert "CRASHED" in out
         assert "lock-free" in out.lower() or "Lock-free" in out
 
+    def test_group_commit(self, capsys):
+        run_example("group_commit.py")
+        out = capsys.readouterr().out
+        assert "1 group-commit WAL record" in out
+        assert "shadow unbatched oracle agrees on every decision" in out
+        assert "exactly the durable prefix" in out
+
     def test_oracle_failover(self, capsys):
         run_example("oracle_failover.py")
         out = capsys.readouterr().out

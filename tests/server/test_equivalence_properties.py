@@ -1,0 +1,209 @@
+"""Property tests: the batched frontend is observationally equivalent to
+the unbatched oracle fed the same requests in batch order.
+
+This is the load-bearing claim of :mod:`repro.server` (see its package
+docstring): batching changes *when* decisions are computed and persisted,
+never *what* is decided.  For any random workload we drive a frontend
+(random batch bound, interleaved begins/commits/aborts) while recording
+the order in which it decided things, then replay exactly that order
+against a fresh unbatched oracle of the same kind and compare:
+
+* every commit/abort decision, commit timestamp, reason and conflict row
+  (via :class:`CommitResult` equality);
+* the final ``lastCommit`` map (including LRU order and ``Tmax`` for the
+  bounded oracle);
+* the commit table and the full ``OracleStats`` counters.
+
+Covered backends: plain SI, plain WSI, the bounded (Tmax) oracle under
+both policies, and the partitioned oracle.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partitioned import PartitionedOracle
+from repro.core.status_oracle import CommitRequest, make_oracle
+from repro.server import OracleFrontend
+from repro.wal.bookkeeper import BookKeeperWAL
+
+ROWS = ["r0", "r1", "r2", "r3", "r4", "r5", "r6"]
+
+
+@st.composite
+def workload_scripts(draw):
+    """A random script over a small row alphabet.
+
+    Each entry opens a transaction with a read/write footprint, a submit
+    ``gap`` (how many later begins happen before its request is
+    submitted — this interleaves open transactions), and a flag marking
+    it a client-initiated abort instead of a commit request.
+    """
+    steps = []
+    num = draw(st.integers(min_value=1, max_value=24))
+    for _ in range(num):
+        reads = draw(st.sets(st.sampled_from(ROWS), max_size=3))
+        writes = draw(st.sets(st.sampled_from(ROWS), max_size=3))
+        gap = draw(st.integers(min_value=0, max_value=4))
+        client_abort = draw(st.booleans()) and draw(st.booleans())  # ~25 %
+        steps.append((frozenset(reads), frozenset(writes), gap, client_abort))
+    return steps
+
+
+def drive_frontend(oracle, script, max_batch, extra_flushes):
+    """Run the script through a frontend; return the decision trace.
+
+    The trace records, in the order the *frontend* acted on them:
+    ``("begin", ts)`` when a start timestamp was served, and
+    ``("commit"/"abort", request_or_ts, future)`` when a decision was
+    computed at a flush.  Read-only fast-path commits are traced at
+    submit time (they resolve immediately and touch no state).
+    """
+    frontend = OracleFrontend(oracle, max_batch=max_batch)
+    trace = []
+    by_start = {}  # start_ts -> ("commit", request) | ("abort", start_ts)
+    # A count-trigger flush fires inside submit_*, so the lookup entry
+    # must exist before the submission — hence keying by start timestamp.
+    frontend.on_flush(
+        lambda batch: trace.extend(
+            by_start[f.start_ts] + (f,) for f in batch.futures
+        )
+    )
+    pending = []  # (submit_deadline, request, client_abort)
+    for step_idx, (reads, writes, gap, client_abort) in enumerate(script):
+        start_ts = frontend.begin()
+        trace.append(("begin", start_ts))
+        request = CommitRequest(start_ts, write_set=writes, read_set=reads)
+        pending.append([step_idx + gap, request, client_abort])
+        for entry in list(pending):
+            if entry[0] <= step_idx:
+                pending.remove(entry)
+                _submit(frontend, trace, by_start, entry)
+        if step_idx in extra_flushes:
+            frontend.flush()
+    for entry in pending:
+        _submit(frontend, trace, by_start, entry)
+    frontend.flush()
+    return trace
+
+
+def _submit(frontend, trace, by_start, entry):
+    _, request, client_abort = entry
+    if client_abort:
+        by_start[request.start_ts] = ("abort", request.start_ts)
+        frontend.submit_abort(request.start_ts)
+    else:
+        by_start[request.start_ts] = ("commit", request)
+        future = frontend.submit_commit(request)
+        if future.done and future.batch is None:  # read-only fast path
+            trace.append(("commit", request, future))
+
+
+def replay_on_reference(reference, trace):
+    """Feed the reference oracle the trace in frontend order, comparing
+    each decision against the frontend's future."""
+    for event in trace:
+        if event[0] == "begin":
+            assert reference.begin() == event[1]
+        elif event[0] == "abort":
+            _, start_ts, future = event
+            reference.abort(start_ts)
+            assert not future.committed
+        else:
+            _, request, future = event
+            expected = reference.commit(request)
+            assert expected == future.result(), (expected, future.result())
+
+
+def assert_same_final_state(oracle, reference, check_lru=False):
+    assert dict(oracle._last_commit) == dict(reference._last_commit)
+    if check_lru:
+        assert list(oracle._last_commit.items()) == list(
+            reference._last_commit.items()
+        )
+        assert oracle.tmax == reference.tmax
+    assert oracle.commit_table._commits == reference.commit_table._commits
+    assert oracle.commit_table._aborted == reference.commit_table._aborted
+    assert oracle.stats == reference.stats
+
+
+@given(
+    script=workload_scripts(),
+    max_batch=st.integers(min_value=1, max_value=12),
+    extra_flushes=st.sets(st.integers(min_value=0, max_value=23), max_size=3),
+    level=st.sampled_from(["si", "wsi"]),
+)
+@settings(max_examples=120, deadline=None)
+def test_plain_oracle_equivalence(script, max_batch, extra_flushes, level):
+    oracle = make_oracle(level, wal=BookKeeperWAL())
+    trace = drive_frontend(oracle, script, max_batch, extra_flushes)
+    reference = make_oracle(level)
+    replay_on_reference(reference, trace)
+    assert_same_final_state(oracle, reference)
+
+
+@given(
+    script=workload_scripts(),
+    max_batch=st.integers(min_value=1, max_value=12),
+    max_rows=st.integers(min_value=1, max_value=6),
+    level=st.sampled_from(["si", "wsi"]),
+)
+@settings(max_examples=120, deadline=None)
+def test_bounded_oracle_equivalence(script, max_batch, max_rows, level):
+    # A tiny lastCommit capacity forces evictions, so Tmax aborts and the
+    # LRU order are genuinely exercised, not just the happy path.
+    oracle = make_oracle(
+        level, bounded=True, max_rows=max_rows, wal=BookKeeperWAL()
+    )
+    trace = drive_frontend(oracle, script, max_batch, set())
+    reference = make_oracle(level, bounded=True, max_rows=max_rows)
+    replay_on_reference(reference, trace)
+    assert_same_final_state(oracle, reference, check_lru=True)
+    if oracle.stats.tmax_aborts:
+        assert reference.stats.tmax_aborts == oracle.stats.tmax_aborts
+
+
+@given(
+    script=workload_scripts(),
+    max_batch=st.integers(min_value=1, max_value=12),
+    num_partitions=st.integers(min_value=1, max_value=4),
+    level=st.sampled_from(["si", "wsi"]),
+)
+@settings(max_examples=80, deadline=None)
+def test_partitioned_oracle_equivalence(script, max_batch, num_partitions, level):
+    oracle = PartitionedOracle(level=level, num_partitions=num_partitions)
+    trace = drive_frontend(oracle, script, max_batch, set())
+    reference = PartitionedOracle(level=level, num_partitions=num_partitions)
+    replay_on_reference(reference, trace)
+    for partition, ref_partition in zip(oracle.partitions, reference.partitions):
+        assert partition._last_commit == ref_partition._last_commit
+    assert oracle.commit_table._commits == reference.commit_table._commits
+    assert oracle.commit_table._aborted == reference.commit_table._aborted
+    assert oracle.stats == reference.stats
+    assert oracle.cross_partition_commits == reference.cross_partition_commits
+
+
+@given(
+    script=workload_scripts(),
+    max_batch=st.integers(min_value=1, max_value=12),
+    level=st.sampled_from(["si", "wsi"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_group_commit_recovery_equivalence(script, max_batch, level):
+    # Durability leg of the same property: replaying the group-commit WAL
+    # reconstructs exactly the state the live frontend-backed oracle had.
+    wal = BookKeeperWAL()
+    oracle = make_oracle(level, wal=wal)
+    drive_frontend(oracle, script, max_batch, set())
+    wal.flush()
+    fresh = make_oracle(level)
+    fresh.recover_from(wal)
+    assert dict(fresh._last_commit) == dict(oracle._last_commit)
+    assert fresh.commit_table._commits == oracle.commit_table._commits
+    assert fresh.commit_table._aborted == oracle.commit_table._aborted
+    # and the recovered oracle never reissues a timestamp
+    used = set(oracle.commit_table._commits) | set(
+        oracle.commit_table._commits.values()
+    )
+    for _ in range(5):
+        assert fresh.begin() not in used

@@ -1,0 +1,351 @@
+"""Unit tests for the group-commit frontend's mechanics.
+
+Batching triggers, future resolution, read-only fast path, WAL group
+records, client sessions — the protocol-level equivalence is covered by
+the property suite in test_equivalence_properties.py.
+"""
+
+import pytest
+
+from repro.core.errors import DecisionPending, InvalidTransactionState, OracleClosed
+from repro.core.status_oracle import CommitRequest, make_oracle
+from repro.server import CLIENT_ABORT, OracleFrontend
+from repro.wal.bookkeeper import GROUP_COMMIT_RECORD, BookKeeperWAL
+
+
+def req(start, writes=(), reads=()):
+    return CommitRequest(start, write_set=frozenset(writes), read_set=frozenset(reads))
+
+
+def make_frontend(level="wsi", **kwargs):
+    wal = BookKeeperWAL()
+    oracle = make_oracle(level, wal=wal)
+    return OracleFrontend(oracle, **kwargs), oracle, wal
+
+
+def decision_records(wal):
+    """Commit/abort records appended so far (the timestamp oracle also
+    writes ts-reserve records, which are not decisions)."""
+    wal.flush()
+    return [
+        r
+        for batch in wal._ledger.replay()
+        for r in batch
+        if r.kind != "ts-reserve"
+    ]
+
+
+class TestBatchingTriggers:
+    def test_count_trigger_flushes_at_max_batch(self):
+        frontend, oracle, _ = make_frontend(max_batch=3)
+        futures = [
+            frontend.submit_commit(req(frontend.begin(), writes={f"r{i}"}))
+            for i in range(2)
+        ]
+        assert all(not f.done for f in futures)
+        assert frontend.pending_count == 2
+        last = frontend.submit_commit(req(frontend.begin(), writes={"r9"}))
+        assert last.done and last.committed
+        assert all(f.done for f in futures)
+        assert frontend.pending_count == 0
+        assert frontend.stats.flushes_by_count == 1
+
+    def test_timer_trigger_via_manual_clock(self):
+        frontend, _, _ = make_frontend(max_batch=100, flush_interval=0.005)
+        future = frontend.submit_commit(req(frontend.begin(), writes={"a"}))
+        assert not frontend.tick()  # interval not yet elapsed
+        frontend.advance_time(0.004)
+        assert not frontend.tick()
+        frontend.advance_time(0.002)
+        assert frontend.tick()
+        assert future.done and future.committed
+        assert frontend.stats.flushes_by_timer == 1
+
+    def test_tick_without_pending_is_noop(self):
+        frontend, _, _ = make_frontend()
+        frontend.advance_time(1.0)
+        assert not frontend.tick()
+
+    def test_scheduler_driven_flush(self):
+        scheduled = []
+        frontend, _, _ = make_frontend(
+            max_batch=100,
+            flush_interval=0.005,
+            scheduler=lambda delay, cb: scheduled.append((delay, cb)),
+        )
+        future = frontend.submit_commit(req(frontend.begin(), writes={"a"}))
+        assert len(scheduled) == 1 and scheduled[0][0] == 0.005
+        scheduled[0][1]()  # the engine fires the timer
+        assert future.done
+        # a stale timer (armed for an already-flushed batch) must not
+        # flush the next batch early
+        next_future = frontend.submit_commit(req(frontend.begin(), writes={"b"}))
+        scheduled[0][1]()
+        assert not next_future.done
+        assert len(scheduled) == 2  # the new batch armed its own timer
+
+    def test_explicit_flush(self):
+        frontend, _, _ = make_frontend(max_batch=100)
+        future = frontend.submit_commit(req(frontend.begin(), writes={"a"}))
+        flushed = frontend.flush()
+        assert future.done and flushed.commits == 1
+        assert frontend.stats.flushes_by_force == 1
+        assert frontend.flush() is None  # nothing pending
+
+    def test_batch_bounded_by_max_batch(self):
+        frontend, _, _ = make_frontend(max_batch=4)
+        for _ in range(10):
+            frontend.submit_commit(req(frontend.begin(), writes={"x"}))
+        assert frontend.stats.max_batch_seen <= 4
+        assert frontend.pending_count == 2  # 10 = 2 full batches + 2
+
+
+class TestFutures:
+    def test_pending_future_raises_until_flush(self):
+        frontend, _, _ = make_frontend(max_batch=10)
+        future = frontend.submit_commit(req(frontend.begin(), writes={"a"}))
+        assert not future.done
+        with pytest.raises(DecisionPending):
+            future.committed
+        with pytest.raises(DecisionPending):
+            future.result()
+        frontend.flush()
+        assert future.committed and future.commit_ts is not None
+        result = future.result()
+        assert result.committed and result.commit_ts == future.commit_ts
+
+    def test_callback_fires_at_flush(self):
+        frontend, _, _ = make_frontend(max_batch=10)
+        future = frontend.submit_commit(req(frontend.begin(), writes={"a"}))
+        seen = []
+        future.add_done_callback(seen.append)
+        assert not seen
+        frontend.flush()
+        assert seen == [future]
+
+    def test_callback_on_resolved_future_fires_immediately(self):
+        frontend, _, _ = make_frontend(max_batch=1)
+        future = frontend.submit_commit(req(frontend.begin(), writes={"a"}))
+        seen = []
+        future.add_done_callback(seen.append)
+        assert seen == [future]
+
+    def test_conflict_future_carries_reason_and_row(self):
+        frontend, _, _ = make_frontend(level="wsi", max_batch=10)
+        stale = frontend.begin()
+        writer = frontend.begin()
+        frontend.submit_commit(req(writer, writes={"x"}))
+        future = frontend.submit_commit(req(stale, writes={"y"}, reads={"x"}))
+        frontend.flush()
+        assert not future.committed
+        result = future.result()
+        assert result.reason == "rw-conflict" and result.conflict_row == "x"
+
+    def test_client_abort_future(self):
+        frontend, oracle, _ = make_frontend(max_batch=10)
+        start = frontend.begin()
+        future = frontend.submit_abort(start)
+        frontend.flush()
+        assert not future.committed
+        assert future.result().reason == CLIENT_ABORT
+        assert oracle.commit_table.is_aborted(start)
+
+
+class TestReadOnlyFastPath:
+    def test_read_only_resolves_immediately_without_batching(self):
+        frontend, oracle, wal = make_frontend(max_batch=10)
+        future = frontend.submit_commit(req(frontend.begin()))
+        assert future.done and future.committed and future.commit_ts is None
+        assert frontend.pending_count == 0
+        assert decision_records(wal) == []
+        assert oracle.stats.read_only_commits == 1
+        assert frontend.stats.read_only_fast_path == 1
+
+    def test_read_only_only_traffic_writes_no_wal_record(self):
+        # §5.1: read-only transactions never cost a WAL write — a "batch"
+        # made only of them is empty and flushes nothing.
+        frontend, _, wal = make_frontend(max_batch=4)
+        for _ in range(10):
+            frontend.submit_commit(req(frontend.begin()))
+        assert frontend.flush() is None
+        assert decision_records(wal) == []
+        assert frontend.stats.batches == 0
+
+
+class TestWALGroupRecords:
+    def test_one_group_record_per_batch(self):
+        frontend, _, wal = make_frontend(max_batch=8)
+        for _ in range(24):
+            frontend.submit_commit(req(frontend.begin(), writes={"x"}))
+        records = decision_records(wal)
+        assert len(records) == 3  # 3 batches -> 3 logical records
+        assert {r.kind for r in records} == {GROUP_COMMIT_RECORD}
+
+    def test_group_record_payload_matches_batch(self):
+        frontend, _, wal = make_frontend(max_batch=10)
+        s1 = frontend.begin()
+        s2 = frontend.begin()
+        frontend.submit_commit(req(s1, writes={"a", "b"}))
+        frontend.submit_abort(s2)
+        flushed = frontend.flush()
+        (record,) = decision_records(wal)
+        commits, aborts = record.payload
+        assert [c[0] for c in commits] == [s1]
+        assert set(commits[0][2]) == {"a", "b"}
+        assert aborts == (s2,)
+        assert flushed.committed_payload == commits
+        assert flushed.aborted_payload == aborts
+
+    def test_nowait_outcomes_delivered_via_flushed_batch(self):
+        frontend, oracle, _ = make_frontend(max_batch=10)
+        batches = []
+        frontend.on_flush(batches.append)
+        s1 = frontend.begin()
+        s2 = frontend.begin()
+        frontend.submit_commit_nowait(req(s1, writes={"a"}))
+        # s2 read "a", which s1 writes *earlier in the same batch*: in
+        # batch order s1's install precedes s2's check, so s2 aborts —
+        # exactly what the unbatched oracle fed the same order decides.
+        frontend.submit_commit_nowait(req(s2, writes={"b"}, reads={"a"}))
+        frontend.submit_abort_nowait(frontend.begin())
+        frontend.flush()
+        (batch,) = batches
+        assert batch.commits + batch.aborts == 3
+        assert [c[0] for c in batch.committed_payload] == [s1]
+        assert len(batch.aborted_payload) == 2
+        assert batch.futures == []  # nowait: no per-request futures
+        assert oracle.stats.commits == 1 and oracle.stats.aborts == 2
+
+
+class TestErrorIsolation:
+    """One invalid request must not poison its batch: siblings decide,
+    the group record persists their decisions, and the error surfaces on
+    the offending future only."""
+
+    def test_invalid_abort_does_not_poison_batch(self):
+        frontend, oracle, wal = make_frontend(max_batch=100)
+        committed = frontend.submit_commit(req(frontend.begin(), writes={"a"}))
+        frontend.flush()
+        # batch 2: a valid commit sandwiched by an invalid abort (the
+        # transaction already committed in batch 1)
+        sibling = frontend.submit_commit(req(frontend.begin(), writes={"b"}))
+        bad = frontend.submit_abort(committed.start_ts)
+        sibling2 = frontend.submit_commit(req(frontend.begin(), writes={"c"}))
+        flushed = frontend.flush()
+        assert sibling.committed and sibling2.committed
+        assert bad.done
+        with pytest.raises(ValueError, match="already committed"):
+            bad.committed
+        assert isinstance(bad.error, ValueError)
+        assert len(flushed.errors) == 1 and flushed.errors[0][0] == committed.start_ts
+        # the siblings' decisions are durable and recovery matches live state
+        wal.flush()
+        fresh = make_oracle("wsi")
+        fresh.recover_from(wal)
+        assert fresh.last_commit("b") == sibling.commit_ts
+        assert fresh.last_commit("c") == sibling2.commit_ts
+        assert dict(fresh._last_commit) == dict(oracle._last_commit)
+
+    def test_errored_future_still_fires_callbacks(self):
+        frontend, _, _ = make_frontend(max_batch=100)
+        done = frontend.submit_commit(req(frontend.begin(), writes={"a"}))
+        frontend.flush()
+        bad = frontend.submit_abort(done.start_ts)
+        seen = []
+        bad.add_done_callback(seen.append)
+        frontend.flush()
+        assert seen == [bad]
+
+    def test_session_counts_errors_separately(self):
+        frontend, oracle, _ = make_frontend(max_batch=100)
+        session = frontend.session()
+        start = session.begin()
+        session.commit(write_set={"a"}, start_ts=start)
+        frontend.flush()
+        # misuse the raw frontend to abort the already-committed txn
+        bad = frontend.submit_abort(start)
+        bad.add_done_callback(session._tally)
+        frontend.flush()
+        assert session.commits == 1 and session.aborts == 0
+        assert oracle.stats.aborts == 0  # backend recorded nothing for it
+
+
+class TestLifecycle:
+    def test_close_flushes_pending_and_wal(self):
+        frontend, oracle, wal = make_frontend(max_batch=100)
+        future = frontend.submit_commit(req(frontend.begin(), writes={"a"}))
+        frontend.close()
+        assert future.done
+        assert wal.pending_count == 0  # WAL flushed too
+        with pytest.raises(OracleClosed):
+            frontend.begin()
+        with pytest.raises(OracleClosed):
+            frontend.submit_commit(req(1))
+        # the backend stays open: the frontend is a layer, not the owner
+        assert oracle.commit(req(oracle.begin(), writes={"z"})).committed
+
+    def test_constructor_validation(self):
+        oracle = make_oracle("wsi")
+        with pytest.raises(ValueError):
+            OracleFrontend(oracle, max_batch=0)
+        with pytest.raises(ValueError):
+            OracleFrontend(oracle, flush_interval=0)
+
+    def test_explicit_wal_for_walless_backend(self):
+        from repro.core.partitioned import PartitionedOracle
+
+        wal = BookKeeperWAL()
+        oracle = PartitionedOracle(level="wsi", num_partitions=2)
+        frontend = OracleFrontend(oracle, max_batch=4, wal=wal)
+        for _ in range(4):
+            frontend.submit_commit(req(frontend.begin(), writes={"k"}))
+        assert wal.record_count == 1  # the partitioned oracle gained a WAL
+
+
+class TestClientSession:
+    def test_session_commit_and_tally(self):
+        frontend, _, _ = make_frontend(max_batch=10)
+        session = frontend.session(name="s1")
+        session.begin()
+        future = session.commit(write_set={"a"})
+        assert session.submitted == 1 and session.decided == 0
+        frontend.flush()
+        assert future.committed
+        assert session.commits == 1 and session.aborts == 0
+
+    def test_session_read_only_tally(self):
+        frontend, _, _ = make_frontend()
+        session = frontend.session()
+        session.begin()
+        future = session.commit()
+        assert future.done and session.read_only_commits == 1
+
+    def test_session_multiple_in_flight(self):
+        frontend, _, _ = make_frontend(max_batch=10)
+        session = frontend.session()
+        t1 = session.begin()
+        t2 = session.begin()
+        assert session.open_count == 2
+        session.commit(write_set={"a"}, start_ts=t1)
+        session.commit(write_set={"b"}, start_ts=t2)
+        frontend.flush()
+        assert session.commits == 2 and session.open_count == 0
+
+    def test_session_rejects_unknown_transaction(self):
+        frontend, _, _ = make_frontend()
+        session = frontend.session()
+        with pytest.raises(InvalidTransactionState):
+            session.commit(write_set={"a"})
+        session.begin()
+        session.commit(write_set={"a"})
+        with pytest.raises(InvalidTransactionState):
+            session.commit(write_set={"a"})  # already submitted
+
+    def test_session_abort(self):
+        frontend, oracle, _ = make_frontend(max_batch=10)
+        session = frontend.session()
+        start = session.begin()
+        session.abort()
+        frontend.flush()
+        assert session.aborts == 1
+        assert oracle.commit_table.is_aborted(start)

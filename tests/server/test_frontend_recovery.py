@@ -1,0 +1,181 @@
+"""Crash-recovery coverage for the group-commit frontend.
+
+Two crash points matter for a batched frontend:
+
+1. **before flush** — requests still coalescing in the frontend's batch
+   buffer were never decided, never acknowledged, and are simply gone;
+2. **after flush, before WAL durability** — the batch's group-commit
+   record sat in the BookKeeperWAL buffer; the decisions were computed
+   but never became durable, so recovery must not see them either.
+
+In both cases ``recover_from`` must restore exactly the durable prefix.
+Plus the §5.1 regression: read-only traffic writes no WAL record at all.
+"""
+
+import pytest
+
+from repro.core.status_oracle import CommitRequest, make_oracle
+from repro.server import OracleFrontend
+from repro.wal.bookkeeper import GROUP_COMMIT_RECORD, BookKeeperWAL
+
+
+def req(start, writes=(), reads=()):
+    return CommitRequest(start, write_set=frozenset(writes), read_set=frozenset(reads))
+
+
+def durable_decisions(wal):
+    return [
+        record
+        for batch in wal._ledger.replay()
+        for record in batch
+        if record.kind == GROUP_COMMIT_RECORD
+    ]
+
+
+class TestMidBatchCrash:
+    def _frontend(self, max_batch=100):
+        # Large WAL batch_bytes keeps group records buffered until we
+        # decide their fate explicitly — the crash window under test.
+        wal = BookKeeperWAL(batch_bytes=1 << 20)
+        oracle = make_oracle("wsi", wal=wal)
+        return OracleFrontend(oracle, max_batch=max_batch), oracle, wal
+
+    def test_unflushed_frontend_batch_is_lost(self):
+        frontend, oracle, wal = self._frontend()
+        durable = frontend.submit_commit(req(frontend.begin(), writes={"a"}))
+        frontend.flush()
+        wal.flush()  # batch 1 fully durable
+        frontend.submit_commit(req(frontend.begin(), writes={"b"}))
+        # crash: the second request never flushed out of the frontend
+        fresh = make_oracle("wsi")
+        fresh.recover_from(wal)
+        assert fresh.last_commit("a") == durable.commit_ts
+        assert fresh.last_commit("b") is None
+        assert fresh.commit_table.is_committed(durable.start_ts)
+
+    def test_flushed_batch_without_wal_durability_is_lost(self):
+        frontend, oracle, wal = self._frontend()
+        first = frontend.submit_commit(req(frontend.begin(), writes={"a"}))
+        frontend.flush()
+        wal.flush()  # durable point
+        second = frontend.submit_commit(req(frontend.begin(), writes={"b"}))
+        frontend.flush()  # decision computed, group record only buffered
+        assert second.committed  # the live oracle did decide it...
+        assert wal.pending_count == 1
+        wal.drop_pending()  # ...but the host crashed before durability
+        fresh = make_oracle("wsi")
+        fresh.recover_from(wal)
+        assert fresh.last_commit("a") == first.commit_ts
+        assert fresh.last_commit("b") is None
+
+    def test_recovery_restores_exactly_the_durable_prefix(self):
+        frontend, oracle, wal = self._frontend(max_batch=4)
+        futures = []
+        for i in range(10):  # 2 full batches flushed, 2 requests pending
+            futures.append(
+                frontend.submit_commit(req(frontend.begin(), writes={f"r{i}"}))
+            )
+        wal.flush()
+        assert len(durable_decisions(wal)) == 2
+        fresh = make_oracle("wsi")
+        fresh.recover_from(wal)
+        for i, future in enumerate(futures[:8]):
+            assert fresh.last_commit(f"r{i}") == future.commit_ts
+        for i in range(8, 10):
+            assert fresh.last_commit(f"r{i}") is None
+            assert not futures[i].done
+
+    def test_recovered_oracle_continues_detecting_conflicts(self):
+        frontend, oracle, wal = self._frontend()
+        stale = frontend.begin()  # snapshot predating the crash
+        writer = frontend.begin()
+        frontend.submit_commit(req(writer, writes={"x"}))
+        frontend.flush()
+        wal.flush()
+        fresh = make_oracle("wsi")
+        fresh.recover_from(wal)
+        result = fresh.commit(req(stale, writes={"y"}, reads={"x"}))
+        assert not result.committed and result.reason == "rw-conflict"
+
+    def test_group_record_aborts_recovered(self):
+        frontend, oracle, wal = self._frontend()
+        aborted = frontend.begin()
+        stale = frontend.begin()
+        writer = frontend.begin()
+        frontend.submit_commit(req(writer, writes={"x"}))
+        frontend.submit_abort(aborted)
+        frontend.submit_commit(req(stale, writes={"y"}, reads={"x"}))  # conflict
+        frontend.flush()
+        wal.flush()
+        fresh = make_oracle("wsi")
+        fresh.recover_from(wal)
+        assert fresh.commit_table.is_aborted(aborted)
+        assert fresh.commit_table.is_aborted(stale)
+        assert fresh.commit_table.is_committed(writer)
+
+    def test_recovered_timestamps_above_group_records(self):
+        frontend, oracle, wal = self._frontend(max_batch=2)
+        used = set()
+        for _ in range(6):
+            start = frontend.begin()
+            used.add(start)
+            future = frontend.submit_commit(req(start, writes={"k"}))
+            if future.done and future.commit_ts is not None:
+                used.add(future.commit_ts)
+        frontend.close()
+        fresh = make_oracle("wsi")
+        fresh.recover_from(wal)
+        for _ in range(10):
+            assert fresh.begin() not in used
+
+
+class TestReadOnlyRegression:
+    def test_read_only_batch_writes_no_wal_record(self):
+        """§5.1: a batch containing only read-only transactions costs no
+        WAL write — there is literally nothing to persist."""
+        wal = BookKeeperWAL()
+        oracle = make_oracle("wsi", wal=wal)
+        frontend = OracleFrontend(oracle, max_batch=4)
+        frontend.begin()  # prime the timestamp reservation (ts-reserve
+        before = wal.record_count  # record) so only decisions count below
+        for _ in range(8):
+            future = frontend.submit_commit(req(frontend.begin()))
+            assert future.committed
+        assert frontend.flush() is None
+        frontend.close()
+        assert wal.record_count == before
+        assert durable_decisions(wal) == []
+        assert oracle.stats.read_only_commits == 8
+
+    def test_mixed_batch_persists_only_decisions(self):
+        wal = BookKeeperWAL()
+        oracle = make_oracle("wsi", wal=wal)
+        frontend = OracleFrontend(oracle, max_batch=100)
+        for _ in range(5):
+            frontend.submit_commit(req(frontend.begin()))  # read-only
+        writer = frontend.submit_commit(req(frontend.begin(), writes={"w"}))
+        frontend.close()
+        (record,) = durable_decisions(wal)
+        commits, aborts = record.payload
+        assert len(commits) == 1 and aborts == ()
+        assert commits[0][0] == writer.start_ts
+
+
+@pytest.mark.parametrize("bounded", [False, True])
+def test_recovery_survives_bookie_crash(bounded):
+    from repro.wal.ledger import LedgerManager
+
+    manager = LedgerManager(num_bookies=3, write_quorum=2, ack_quorum=2)
+    wal = BookKeeperWAL(ledger_manager=manager)
+    oracle = make_oracle("wsi", bounded=bounded, wal=wal)
+    frontend = OracleFrontend(oracle, max_batch=2)
+    futures = [
+        frontend.submit_commit(req(frontend.begin(), writes={f"r{i}"}))
+        for i in range(4)
+    ]
+    frontend.close()
+    manager.bookies[0].crash()  # one replica lost; quorum survives
+    fresh = make_oracle("wsi")
+    fresh.recover_from(wal)
+    for i, future in enumerate(futures):
+        assert fresh.last_commit(f"r{i}") == future.commit_ts

@@ -1,0 +1,144 @@
+"""Concurrency/stress tests: many sessions interleaved through the frontend.
+
+Invariants checked under interleaved begin/commit/abort traffic from N
+logical client sessions:
+
+* no timestamp (start or commit) is ever issued twice;
+* within every flushed batch, commit timestamps are strictly monotone in
+  decision order;
+* the backend's ``OracleStats`` totals equal the per-session sums the
+  futures' callbacks accumulated — nothing lost, nothing double-counted.
+"""
+
+import random
+
+import pytest
+
+from repro.core.status_oracle import make_oracle
+from repro.server import OracleFrontend
+from repro.wal.bookkeeper import BookKeeperWAL
+from repro.workload.generator import WorkloadGenerator
+
+
+def run_sessions(
+    level="wsi",
+    num_sessions=10,
+    txns_per_session=120,
+    max_batch=16,
+    keyspace=60,
+    abort_fraction=0.1,
+    read_only_fraction=0.2,
+    seed=1234,
+):
+    """Interleave N sessions; returns (frontend, oracle, sessions, batches)."""
+    wal = BookKeeperWAL()
+    oracle = make_oracle(level, wal=wal)
+    frontend = OracleFrontend(oracle, max_batch=max_batch)
+    batches = []
+    frontend.on_flush(batches.append)
+    rng = random.Random(seed)
+    workload = WorkloadGenerator(
+        distribution="uniform",
+        keyspace=keyspace,
+        read_only_fraction=read_only_fraction,
+        max_rows=6,
+        seed=seed,
+    )
+    sessions = [frontend.session(name=f"client-{i}") for i in range(num_sessions)]
+    remaining = {s.name: txns_per_session for s in sessions}
+    open_txns = []  # (session, start_ts, spec)
+    active = list(sessions)
+    while active or open_txns:
+        # randomly either open a new transaction or settle an open one
+        if active and (not open_txns or rng.random() < 0.5):
+            session = rng.choice(active)
+            start_ts = session.begin()
+            open_txns.append((session, start_ts, workload.next_transaction()))
+            remaining[session.name] -= 1
+            if remaining[session.name] == 0:
+                active.remove(session)
+        else:
+            session, start_ts, spec = open_txns.pop(
+                rng.randrange(len(open_txns))
+            )
+            if rng.random() < abort_fraction:
+                session.abort(start_ts=start_ts)
+            else:
+                session.commit(
+                    write_set=spec.write_rows,
+                    read_set=spec.read_rows,
+                    start_ts=start_ts,
+                )
+    frontend.close()
+    return frontend, oracle, sessions, batches
+
+
+class TestStressInvariants:
+    def setup_method(self):
+        self.frontend, self.oracle, self.sessions, self.batches = run_sessions()
+
+    def test_every_submission_decided(self):
+        for session in self.sessions:
+            assert session.open_count == 0
+            assert session.decided == session.submitted
+
+    def test_no_timestamp_issued_twice(self):
+        seen = set()
+        table = self.oracle.commit_table
+        for start_ts, commit_ts in table._commits.items():
+            assert start_ts not in seen
+            seen.add(start_ts)
+            assert commit_ts not in seen
+            seen.add(commit_ts)
+        for start_ts in table._aborted:
+            assert start_ts not in seen
+            seen.add(start_ts)
+        assert self.oracle.timestamp_oracle.issued_count >= len(seen)
+
+    def test_commit_timestamps_monotone_per_batch(self):
+        for batch in self.batches:
+            commit_timestamps = [c[1] for c in batch.committed_payload]
+            assert commit_timestamps == sorted(commit_timestamps)
+            assert len(set(commit_timestamps)) == len(commit_timestamps)
+
+    def test_oracle_stats_equal_per_session_sums(self):
+        stats = self.oracle.stats
+        assert stats.commits == sum(s.commits for s in self.sessions)
+        assert stats.aborts == sum(s.aborts for s in self.sessions)
+        assert stats.read_only_commits == sum(
+            s.read_only_commits for s in self.sessions
+        )
+
+    def test_frontend_accounting_consistent(self):
+        stats = self.frontend.stats
+        total_submitted = sum(s.submitted for s in self.sessions)
+        assert (
+            stats.batched_requests + stats.read_only_fast_path == total_submitted
+        )
+        assert stats.batches == len(self.batches)
+        assert sum(b.size for b in self.batches) == stats.batched_requests
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("level", ["si", "wsi"])
+@pytest.mark.parametrize("max_batch", [1, 7, 64])
+def test_stress_matrix(level, max_batch):
+    """Heavier sweep across levels and batch bounds."""
+    frontend, oracle, sessions, batches = run_sessions(
+        level=level,
+        num_sessions=16,
+        txns_per_session=200,
+        max_batch=max_batch,
+        seed=max_batch * 7919,
+    )
+    assert oracle.stats.commits == sum(s.commits for s in sessions)
+    assert oracle.stats.aborts == sum(s.aborts for s in sessions)
+    for batch in batches:
+        commit_timestamps = [c[1] for c in batch.committed_payload]
+        assert commit_timestamps == sorted(commit_timestamps)
+        assert frontend.stats.max_batch_seen <= max_batch
+    # WAL replay of the full run reconstructs the same commit table
+    fresh = make_oracle(level)
+    fresh.recover_from(frontend.wal)
+    assert fresh.commit_table._commits == oracle.commit_table._commits
+    assert fresh.commit_table._aborted == oracle.commit_table._aborted
