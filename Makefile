@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast bench
+.PHONY: test test-fast bench bench-smoke profile
 
 ## Full tier-1 suite: unit + property + integration + figure benchmarks.
 test:
@@ -17,3 +17,18 @@ test-fast:
 ## Figure benchmarks only, with their printed tables/charts.
 bench:
 	$(PYTEST) benchmarks -q -s
+
+## Fast perf sanity check: the E17/E18 hot-path speedup bars at tiny
+## sizes (REPRO_BENCH_SMOKE relaxes the bars accordingly).  Runs in a
+## few seconds; `make test-fast` still skips the benchmarks directory
+## entirely (its conftest marks every figure benchmark @slow).
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 $(PYTEST) \
+		benchmarks/test_e17_group_commit.py::test_e17_group_commit_speedup \
+		benchmarks/test_e18_batch_decide.py::test_e18_batch_decide_speedup \
+		-q -s
+
+## cProfile the batch-decide frontend microbench and print the top-20
+## functions by cumulative time (where the critical section spends it).
+profile:
+	PYTHONPATH=src python -m repro.bench.frontend_bench --profile

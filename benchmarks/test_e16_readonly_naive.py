@@ -27,7 +27,10 @@ KEYSPACE = 2_000
 
 
 def run(naive: bool):
-    oracle = make_oracle("wsi")
+    # The oracle itself now enforces §4.1 condition 3 (an empty write set
+    # never aborts), so the naive scheme needs the explicit ablation
+    # switch in addition to clients submitting their read sets.
+    oracle = make_oracle("wsi", naive_read_only=naive)
     wl = mixed_workload(distribution="zipfian", keyspace=KEYSPACE, seed=111)
     rng = random.Random(112)
     open_txns = []

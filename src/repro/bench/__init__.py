@@ -13,10 +13,14 @@ Public surface:
 from repro.bench.frontend_bench import (
     FrontendBenchResult,
     bench_batched,
+    bench_partition_aligned,
     bench_unbatched,
     median_speedup,
+    paired_decide_speedups,
     paired_speedups,
+    profile_frontend,
     speedup,
+    sweep_batch_partitions,
     sweep_batch_sizes,
 )
 from repro.bench.harness import HarnessResult, run_interleaved, run_sequential
@@ -38,9 +42,13 @@ __all__ = [
     "bench_unbatched",
     "bench_batched",
     "paired_speedups",
+    "paired_decide_speedups",
     "median_speedup",
     "speedup",
     "sweep_batch_sizes",
+    "sweep_batch_partitions",
+    "bench_partition_aligned",
+    "profile_frontend",
     "AsciiChart",
     "latency_throughput_chart",
     "abort_rate_chart",

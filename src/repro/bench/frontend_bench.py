@@ -37,7 +37,7 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from repro.core.partitioned import PartitionedOracle
-from repro.core.status_oracle import make_oracle
+from repro.core.status_oracle import CommitRequest, make_oracle
 from repro.server.frontend import OracleFrontend
 from repro.wal.bookkeeper import BookKeeperWAL
 from repro.workload.generator import TransactionSpec, complex_workload
@@ -52,13 +52,17 @@ class FrontendBenchResult:
     """Throughput of one configuration."""
 
     level: str
-    mode: str  # "unbatched" | "unbatched-durable" | "batched" | "batched-futures"
+    #: "unbatched" | "unbatched-durable" | "batched" (decide_batch) |
+    #: "batched-futures" | "batched-per-request" (the pre-decide_batch
+    #: frontend: one backend.commit() call per item — E18's baseline)
+    mode: str
     batch_size: int  # 1 for unbatched
     ops_per_sec: float
     commits: int
     aborts: int
     wal_records: int  # logical records appended (group record counts once)
     wal_ledger_entries: int  # physical ledger writes
+    partitions: int = 0  # 0 = monolithic oracle
 
     @property
     def us_per_op(self) -> float:
@@ -107,12 +111,29 @@ def _run_unbatched(level: str, specs, durable_acks: bool, partitions: int):
 
 
 def _run_batched(
-    level: str, specs, batch_size: int, partitions: int, use_futures: bool
+    level: str,
+    specs,
+    batch_size: int,
+    partitions: int,
+    use_futures: bool,
+    per_request: bool = False,
 ):
+    # In per-request mode the backend gets no WAL of its own (its
+    # commit() would otherwise append one record per decision and the
+    # frontend would skip the group record): both modes then persist the
+    # identical one-group-record-per-batch stream, so the measured delta
+    # is purely the decision loop — per-request calls vs decide_batch.
     wal = BookKeeperWAL()
     if partitions:
         oracle = PartitionedOracle(level=level, num_partitions=partitions)
-        frontend = OracleFrontend(oracle, max_batch=batch_size, wal=wal)
+        frontend = OracleFrontend(
+            oracle, max_batch=batch_size, wal=wal, per_request=per_request
+        )
+    elif per_request:
+        oracle = make_oracle(level)
+        frontend = OracleFrontend(
+            oracle, max_batch=batch_size, wal=wal, per_request=True
+        )
     else:
         oracle = make_oracle(level, wal=wal)
         frontend = OracleFrontend(oracle, max_batch=batch_size)
@@ -161,6 +182,7 @@ def bench_batched(
     repeats: int = DEFAULT_REPEATS,
     partitions: int = 0,
     use_futures: bool = False,
+    per_request: bool = False,
 ) -> FrontendBenchResult:
     """The same requests through an :class:`OracleFrontend`: one critical
     section and one group-commit WAL record per ``batch_size`` requests.
@@ -169,22 +191,34 @@ def bench_batched(
     (:meth:`~repro.server.OracleFrontend.submit_commit_nowait`, outcomes
     delivered per batch); ``use_futures=True`` allocates a
     :class:`~repro.server.CommitFuture` per request like the session API.
+    ``per_request=True`` forces the pre-``decide_batch`` decision loop
+    (one ``backend.commit()`` call per batch item) — benchmark E18's
+    baseline.
     """
     best = None
     for _ in range(repeats):
-        run = _run_batched(level, specs, batch_size, partitions, use_futures)
+        run = _run_batched(
+            level, specs, batch_size, partitions, use_futures, per_request
+        )
         if best is None or run[0] < best[0]:
             best = run
     dt, oracle, wal = best
+    if per_request:
+        mode = "batched-per-request"
+    elif use_futures:
+        mode = "batched-futures"
+    else:
+        mode = "batched"
     return FrontendBenchResult(
         level=level,
-        mode="batched-futures" if use_futures else "batched",
+        mode=mode,
         batch_size=batch_size,
         ops_per_sec=len(specs) / dt,
         commits=oracle.stats.commits,
         aborts=oracle.stats.aborts,
         wal_records=wal.record_count,
         wal_ledger_entries=wal.flush_count,
+        partitions=partitions,
     )
 
 
@@ -211,6 +245,30 @@ def paired_speedups(
         dt_u, _, _ = _run_unbatched(level, specs, durable_acks, 0)
         dt_b, _, _ = _run_batched(level, specs, batch_size, 0, use_futures)
         ratios.append(dt_u / dt_b)
+    return ratios
+
+
+def paired_decide_speedups(
+    level: str = "wsi",
+    batch_size: int = 32,
+    pairs: int = 5,
+    num_requests: int = DEFAULT_NUM_REQUESTS,
+    keyspace: int = DEFAULT_KEYSPACE,
+    seed: int = 42,
+) -> List[float]:
+    """Back-to-back (per-request frontend, batch-decide frontend) pairs.
+
+    Benchmark E18's measurement: both sides batch identically at the WAL
+    layer (one group record per ``batch_size`` requests), so each ratio
+    isolates the decision loop itself — per-request ``commit()`` calls
+    inside the critical section vs one ``decide_batch`` bulk pass.
+    """
+    specs = make_specs(num_requests, keyspace=keyspace, seed=seed)
+    ratios = []
+    for _ in range(pairs):
+        dt_p, _, _ = _run_batched(level, specs, batch_size, 0, False, True)
+        dt_b, _, _ = _run_batched(level, specs, batch_size, 0, False, False)
+        ratios.append(dt_p / dt_b)
     return ratios
 
 
@@ -260,6 +318,142 @@ def speedup(results: Sequence[FrontendBenchResult], batch_size: int) -> float:
     target = next(
         r
         for r in results
-        if r.mode.startswith("batched") and r.batch_size == batch_size
+        # exact modes: "batched-per-request" is a *baseline*, not a target
+        if r.mode in ("batched", "batched-futures") and r.batch_size == batch_size
     )
     return target.ops_per_sec / baseline.ops_per_sec
+
+
+def make_aligned_requests(frontend, specs, partitions: int):
+    """Partition-aligned commit requests for a running frontend.
+
+    Spec ``i``'s rows are remapped into partition ``i % partitions``
+    (``row -> row * partitions + shard``; integer hashing makes the shard
+    assignment exact), so every transaction is single-partition — the
+    co-located-schema case a real deployment of §6.3 footnote 6 would
+    engineer for, and the case where ``PartitionedOracle.decide_batch``
+    does one bulk check/install round per shard per flush.
+    """
+    requests = []
+    for i, spec in enumerate(specs):
+        shard = i % partitions
+        requests.append(
+            CommitRequest(
+                frontend.begin(),
+                write_set=frozenset(
+                    row * partitions + shard for row in spec.write_rows
+                ),
+                read_set=frozenset(
+                    row * partitions + shard for row in spec.read_rows
+                ),
+            )
+        )
+    return requests
+
+
+def bench_partition_aligned(
+    level: str,
+    specs: Sequence[TransactionSpec],
+    batch_size: int = 32,
+    partitions: int = 4,
+    repeats: int = DEFAULT_REPEATS,
+    per_request: bool = False,
+) -> FrontendBenchResult:
+    """Batch-decide (or per-request) frontend over the partitioned oracle
+    on a fully partition-aligned workload (zero cross-partition traffic)."""
+    best = None
+    for _ in range(repeats):
+        wal = BookKeeperWAL()
+        oracle = PartitionedOracle(level=level, num_partitions=partitions)
+        frontend = OracleFrontend(
+            oracle, max_batch=batch_size, wal=wal, per_request=per_request
+        )
+        requests = make_aligned_requests(frontend, specs, partitions)
+        submit = frontend.submit_commit_nowait
+        gc.collect()
+        t0 = time.perf_counter()
+        for request in requests:
+            submit(request)
+        frontend.flush()
+        dt = time.perf_counter() - t0
+        if best is None or dt < best[0]:
+            best = (dt, oracle, wal)
+    dt, oracle, wal = best
+    return FrontendBenchResult(
+        level=level,
+        mode="batched-per-request" if per_request else "batched",
+        batch_size=batch_size,
+        ops_per_sec=len(specs) / dt,
+        commits=oracle.stats.commits,
+        aborts=oracle.stats.aborts,
+        wal_records=wal.record_count,
+        wal_ledger_entries=wal.flush_count,
+        partitions=partitions,
+    )
+
+
+def sweep_batch_partitions(
+    level: str = "wsi",
+    batch_sizes: Sequence[int] = (8, 32, 128),
+    partition_counts: Sequence[int] = (0, 2, 4, 8),
+    num_requests: int = DEFAULT_NUM_REQUESTS,
+    keyspace: int = DEFAULT_KEYSPACE,
+    seed: int = 42,
+    repeats: int = DEFAULT_REPEATS,
+) -> List[FrontendBenchResult]:
+    """Batch-decide throughput over the batch size × partitions grid.
+
+    Partition count 0 is the monolithic oracle; N >= 1 routes through
+    :class:`~repro.core.partitioned.PartitionedOracle`, whose
+    ``decide_batch`` does one bulk check/install round per shard per
+    flush (§6.3 footnote 6's scale-out, amortized per batch).
+    """
+    specs = make_specs(num_requests, keyspace=keyspace, seed=seed)
+    results = []
+    for partitions in partition_counts:
+        for batch_size in batch_sizes:
+            results.append(
+                bench_batched(
+                    level,
+                    specs,
+                    batch_size=batch_size,
+                    repeats=repeats,
+                    partitions=partitions,
+                )
+            )
+    return results
+
+
+def profile_frontend(
+    num_requests: int = DEFAULT_NUM_REQUESTS,
+    batch_size: int = 32,
+    level: str = "wsi",
+    top: int = 20,
+) -> None:
+    """cProfile one batch-decide frontend run and print the ``top``
+    functions by cumulative time (the ``make profile`` target)."""
+    import cProfile
+    import pstats
+
+    specs = make_specs(num_requests)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _run_batched(level, specs, batch_size, 0, False)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(top)
+
+
+if __name__ == "__main__":  # pragma: no cover - `make profile` entry point
+    import sys
+
+    if "--profile" in sys.argv:
+        profile_frontend()
+    else:
+        specs = make_specs()
+        for result in (
+            bench_unbatched("wsi", specs),
+            bench_batched("wsi", specs, per_request=True),
+            bench_batched("wsi", specs),
+        ):
+            print(result.as_row())

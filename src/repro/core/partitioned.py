@@ -21,6 +21,13 @@ commit order and snapshot semantics are unchanged.  Commit handling:
   to what a single monolithic oracle would decide — a property the test
   suite checks by differential execution.
 
+* a **group-commit batch** (:meth:`PartitionedOracle.decide_batch`)
+  groups its single-partition requests per shard and gives every
+  involved partition one bulk check/install round per flush — in a
+  distributed deployment, one RPC per partition per batch instead of
+  one per request.  Cross-partition requests break the batch into runs
+  and take the two-phase path in place, preserving batch order exactly.
+
 The isolation policy (which rows are checked) is inherited per-partition
 from the usual SI/WSI oracles, so the partitioned deployment serves
 either level.
@@ -29,11 +36,12 @@ either level.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
 from repro.core.commit_table import CommitTable
 from repro.core.errors import OracleClosed
 from repro.core.status_oracle import (
+    CLIENT_ABORT,
     CommitRequest,
     CommitResult,
     OracleStats,
@@ -84,9 +92,11 @@ class PartitionedOracle:
         return hash(row) % len(self.partitions)
 
     def _split(self, rows: FrozenSet[RowKey]) -> Dict[int, Set[RowKey]]:
+        num = len(self.partitions)  # hash inlined: _split is hot (E18)
         shares: Dict[int, Set[RowKey]] = {}
+        setdefault = shares.setdefault
         for row in rows:
-            shares.setdefault(self.partition_of(row), set()).add(row)
+            setdefault(hash(row) % num, set()).add(row)
         return shares
 
     # ------------------------------------------------------------------
@@ -101,12 +111,81 @@ class PartitionedOracle:
         if self._closed:
             raise OracleClosed("partitioned oracle is closed")
 
-        # Read-only fast path, identical to the monolithic oracle (§5.1).
-        if request.is_read_only and not request.read_set:
+        # Read-only fast path, identical to the monolithic oracle
+        # (§4.1 condition 3 / §5.1: an empty write set never aborts,
+        # whether or not the client submitted its read set).
+        if request.is_read_only:
             self.stats.commits += 1
             self.stats.read_only_commits += 1
             return CommitResult(True, request.start_ts, commit_ts=None)
 
+        pid = self._single_partition_of(request)
+        if pid >= 0:
+            # The common case the §6.3 footnote envisions: the whole
+            # footprint lives in one partition — decided there directly,
+            # with no share splitting or share-request construction.
+            return self._commit_single(request, pid)
+        return self._commit_cross(request)
+
+    def _single_partition_of(self, request: CommitRequest) -> int:
+        """The single partition owning the whole footprint, or -1.
+
+        Under SI the checked rows *are* the write set, so only WSI needs
+        the second (read-set) scan.
+        """
+        num = len(self.partitions)
+        if num == 1:
+            return 0
+        pid = -1
+        for row in request.write_set:
+            p = hash(row) % num
+            if pid < 0:
+                pid = p
+            elif p != pid:
+                return -1
+        if self.level == "wsi":
+            for row in request.read_set:
+                p = hash(row) % num
+                if pid < 0:
+                    pid = p
+                elif p != pid:
+                    return -1
+        return pid
+
+    def _commit_single(self, request: CommitRequest, pid: int) -> CommitResult:
+        """Decide a single-partition request against one shard directly."""
+        partition = self.partitions[pid]
+        lc = partition._last_commit
+        lc_get = lc.get
+        start = request.start_ts
+        checked = 0
+        conflict_row = None
+        for row in self._rows_to_check(request):
+            checked += 1
+            last = lc_get(row)
+            if last is not None and last > start:
+                conflict_row = row
+                break
+        partition.stats.rows_checked += checked
+        if conflict_row is not None:
+            reason = "rw-conflict" if self.level == "wsi" else "ww-conflict"
+            self.stats.aborts += 1
+            self.stats.conflict_aborts += 1
+            self.commit_table.record_abort(start)
+            return CommitResult(
+                False, start, reason=reason, conflict_row=conflict_row
+            )
+        commit_ts = self._tso.next()
+        for row in request.write_set:
+            lc[row] = commit_ts
+        self.stats.rows_updated += len(request.write_set)
+        self.commit_table.record_commit(start, commit_ts)
+        self.stats.commits += 1
+        self.single_partition_commits += 1
+        return CommitResult(True, start, commit_ts=commit_ts)
+
+    def _commit_cross(self, request: CommitRequest) -> CommitResult:
+        """Two-phase decision for a cross-partition footprint."""
         check_shares = self._split(self._rows_to_check(request))
         write_shares = self._split(request.write_set)
         involved = set(check_shares) | set(write_shares)
@@ -142,10 +221,7 @@ class PartitionedOracle:
             self.stats.rows_updated += len(rows)
         self.commit_table.record_commit(request.start_ts, commit_ts)
         self.stats.commits += 1
-        if len(involved) > 1:
-            self.cross_partition_commits += 1
-        else:
-            self.single_partition_commits += 1
+        self.cross_partition_commits += 1
         return CommitResult(True, request.start_ts, commit_ts=commit_ts)
 
     def abort(self, start_ts: int) -> None:
@@ -158,6 +234,285 @@ class PartitionedOracle:
         if self.level == "si":
             return request.write_set
         return request.read_set
+
+    # ------------------------------------------------------------------
+    # the batch-decide fast path: one bulk round per partition per flush
+    # ------------------------------------------------------------------
+    def decide_batch(self, requests) -> List[CommitResult]:
+        """Decide a whole batch in one pass; see
+        :meth:`repro.core.status_oracle.StatusOracle.decide_batch` for the
+        contract (the partitioned oracle owns no WAL, so no record is
+        written here — the group-commit frontend supplies durability)."""
+        if self._closed:
+            raise OracleClosed("partitioned oracle is closed")
+        payload_commits: List[Tuple[int, int, Any]] = []
+        payload_aborts: List[int] = []
+        errors: List[Tuple[int, BaseException]] = []
+        results: List[Optional[CommitResult]] = []
+        self._decide_batch(
+            list(requests), payload_commits, payload_aborts, errors, results
+        )
+        if errors:
+            raise errors[0][1]
+        return results
+
+    def _decide_batch(self, batch, payload_commits, payload_aborts, errors,
+                      results=None):
+        """Batch engine: group single-partition requests per shard.
+
+        The batch is processed as runs of consecutive single-partition
+        (plus read-only and client-abort) items; each run is decided with
+        **one bulk check/install round per involved partition** — the
+        scale-out amortization of §6.3 footnote 6: in a distributed
+        deployment this is one RPC per partition per flush instead of one
+        per request.  A cross-partition request ends the run and takes the
+        two-phase path in place, so batch order is fully preserved.
+
+        Correctness of deferred timestamping: requests of *different*
+        partitions never read each other's state, and within a partition
+        the run preserves batch order.  A check that hits a row written
+        earlier in the same run always conflicts regardless of the
+        writer's (not yet assigned) commit timestamp — every batch member
+        began before any batch commit timestamp is issued — so the shard
+        round tracks earlier in-run write rows in a plain *pending* set
+        and consults it alongside ``lastCommit``; the assignment pass
+        then installs each committed write set exactly once, with its
+        real commit timestamp, in batch order.  ``lastCommit`` never
+        holds a provisional value, so an error escaping mid-batch leaves
+        only fully-applied prefixes behind, exactly like sequential
+        :meth:`commit` calls.  Decisions, timestamps, ``lastCommit``,
+        commit table and stats all land exactly as the sequential path
+        would leave them.
+        """
+        if self._closed:
+            raise OracleClosed("partitioned oracle is closed")
+        tso = self._tso
+        if tso._closed:
+            raise OracleClosed("timestamp oracle is closed")
+        ct = self.commit_table
+        partitions = self.partitions
+        num = len(partitions)
+        wsi = self.level == "wsi"
+        reason_tag = "rw-conflict" if wsi else "ww-conflict"
+        pc_append = payload_commits.append
+        pa_append = payload_aborts.append
+        res_append = results.append if results is not None else None
+        st = self.stats
+        commits = conflict_aborts = client_aborts = ro_commits = 0
+        single_commits = rows_updated = 0
+        # Whole-batch delta of the per-partition rows_checked counters
+        # (covers shard rounds and cross-partition checks alike) — summed
+        # once per batch, not once per item.
+        checked_at_start = sum(p.stats.rows_checked for p in partitions)
+
+        # One run entry per item: [kind, req, fut, pid, decision]
+        # kind: "ca" client abort | "ro" read-only | "sp" single-partition
+        # decision (sp only): None until checked, then True (commit) or
+        # ("abort", reason, row).
+        run: List[list] = []
+
+        def flush_run():
+            nonlocal commits, conflict_aborts, client_aborts, ro_commits
+            nonlocal single_commits, rows_updated
+            if not run:
+                return
+            # Phase A: group the run's commit requests per shard,
+            # preserving batch order within each shard.
+            groups: Dict[int, List[list]] = {}
+            for entry in run:
+                if entry[0] == "sp":
+                    groups.setdefault(entry[3], []).append(entry)
+            # Phase B: one bulk check round per involved shard.  Rows
+            # written by earlier committed-in-run requests live in the
+            # shard's `pending` set until the assignment pass installs
+            # them — any hit there is a conflict (the writer's commit
+            # timestamp, once assigned, exceeds every batch start).
+            for pid, group in groups.items():
+                partition = partitions[pid]
+                lc_get = partition._last_commit.get
+                pending: Set[RowKey] = set()
+                pending_update = pending.update
+                shard_checked = 0
+                for entry in group:
+                    req = entry[1]
+                    start = req.start_ts
+                    conflict_row = None
+                    for row in (req.read_set if wsi else req.write_set):
+                        shard_checked += 1
+                        if row in pending:
+                            conflict_row = row
+                            break
+                        last = lc_get(row)
+                        if last is not None and last > start:
+                            conflict_row = row
+                            break
+                    if conflict_row is not None:
+                        entry[4] = ("abort", reason_tag, conflict_row)
+                    else:
+                        entry[4] = True
+                        pending_update(req.write_set)
+                partition.stats.rows_checked += shard_checked
+            # Phase C: assignment in batch order — commit timestamps,
+            # the (single) real installs, commit table, payloads,
+            # futures/results.
+            nxt = tso._next
+            reserved = tso._reserved_until
+            issued = 0
+            try:
+                for kind, req, fut, pid, decision in run:
+                    if kind == "ca":
+                        try:
+                            ct.record_abort(req)
+                        except Exception as exc:
+                            errors.append((req, exc))
+                            if fut is not None:
+                                fut._error = exc
+                            if res_append is not None:
+                                res_append(None)
+                            continue
+                        client_aborts += 1
+                        pa_append(req)
+                        if fut is not None:
+                            fut._reason = CLIENT_ABORT
+                        if res_append is not None:
+                            res_append(
+                                CommitResult(False, req, reason=CLIENT_ABORT)
+                            )
+                        continue
+                    start = req.start_ts
+                    if kind == "ro":
+                        ro_commits += 1
+                        if fut is not None:
+                            fut._committed = True
+                        if res_append is not None:
+                            res_append(
+                                CommitResult(True, start, commit_ts=None)
+                            )
+                        continue
+                    if decision is not True:
+                        _, reason, row = decision
+                        try:
+                            ct.record_abort(start)
+                        except Exception as exc:
+                            errors.append((start, exc))
+                            if fut is not None:
+                                fut._error = exc
+                            if res_append is not None:
+                                res_append(None)
+                            continue
+                        conflict_aborts += 1
+                        pa_append(start)
+                        if fut is not None:
+                            fut._reason = reason
+                            fut._row = row
+                        if res_append is not None:
+                            res_append(
+                                CommitResult(
+                                    False, start,
+                                    reason=reason, conflict_row=row,
+                                )
+                            )
+                        continue
+                    # committed single-partition request
+                    if nxt > reserved:
+                        tso._next = nxt
+                        tso._reserve()
+                        reserved = tso._reserved_until
+                    cts = nxt
+                    nxt += 1
+                    issued += 1
+                    ws = req.write_set
+                    partitions[pid]._last_commit.update(dict.fromkeys(ws, cts))
+                    rows_updated += len(ws)
+                    try:
+                        ct.record_commit(start, cts)
+                    except Exception as exc:
+                        errors.append((start, exc))
+                        if fut is not None:
+                            fut._error = exc
+                        if res_append is not None:
+                            res_append(None)
+                        continue
+                    commits += 1
+                    single_commits += 1
+                    pc_append((start, cts, ws))
+                    if fut is not None:
+                        fut._committed = True
+                        fut._commit_ts = cts
+                    if res_append is not None:
+                        res_append(CommitResult(True, start, commit_ts=cts))
+            finally:
+                tso._next = nxt
+                tso._issued += issued
+            run.clear()
+
+        # Cross-partition items go through _commit_cross, which counts
+        # itself in self.stats / cross_partition_commits directly; these
+        # tallies only feed the returned whole-batch counters.
+        cross_commits = cross_aborts = cross_rows_updated = 0
+
+        try:
+            for item in batch:
+                req, fut = item if item.__class__ is tuple else (item, None)
+                if req.__class__ is not CommitRequest:
+                    run.append(["ca", req, fut, -1, None])
+                    continue
+                if not req.write_set:
+                    run.append(["ro", req, fut, -1, None])
+                    continue
+                pid = self._single_partition_of(req)
+                if pid >= 0:
+                    run.append(["sp", req, fut, pid, None])
+                    continue
+                # Cross-partition request: decide in place (two-phase),
+                # after everything queued before it has taken effect.
+                flush_run()
+                try:
+                    result = self._commit_cross(req)
+                except Exception as exc:
+                    errors.append((req.start_ts, exc))
+                    if fut is not None:
+                        fut._error = exc
+                    if res_append is not None:
+                        res_append(None)
+                    continue
+                if result.committed:
+                    cross_commits += 1
+                    cross_rows_updated += len(req.write_set)
+                    pc_append((req.start_ts, result.commit_ts, req.write_set))
+                    if fut is not None:
+                        fut._committed = True
+                        fut._commit_ts = result.commit_ts
+                else:
+                    cross_aborts += 1
+                    pa_append(req.start_ts)
+                    if fut is not None:
+                        fut._reason = result.reason
+                        fut._row = result.conflict_row
+                if fut is not None:
+                    fut._result = result
+                if res_append is not None:
+                    res_append(result)
+            flush_run()
+        finally:
+            # As in the monolithic engines: even if an error escapes
+            # mid-batch (e.g. a timestamp-reservation WAL failure), the
+            # work already applied stays counted.
+            st.commits += commits + ro_commits
+            st.read_only_commits += ro_commits
+            st.aborts += conflict_aborts + client_aborts
+            st.conflict_aborts += conflict_aborts
+            st.rows_updated += rows_updated
+            self.single_partition_commits += single_commits
+        rows_checked = (
+            sum(p.stats.rows_checked for p in partitions) - checked_at_start
+        )
+        return (
+            commits + ro_commits + cross_commits,
+            conflict_aborts + client_aborts + cross_aborts,
+            rows_checked,
+            rows_updated + cross_rows_updated,
+        )
 
     # ------------------------------------------------------------------
     # introspection

@@ -25,13 +25,20 @@ The oracle is single-threaded by construction ("the current implementation
 of status oracle executes the conflict detection algorithm in a critical
 section", §6.3); callers that want concurrency model it *around* the
 oracle (see :mod:`repro.sim`).
+
+Two request surfaces share the same semantics: :meth:`StatusOracle.commit`
+decides one request at a time (one WAL record per decision), and
+:meth:`StatusOracle.decide_batch` decides a whole group-commit batch in a
+single bulk pass persisted as one group-commit record — the hot path the
+:mod:`repro.server` frontend flushes through (see that package's
+docstring for where the time goes).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
 from repro.core.commit_table import CommitTable
 from repro.core.errors import OracleClosed, RecoveryError
@@ -43,6 +50,10 @@ RowKey = Hashable
 # Appendix A sizing: row id + start ts + commit ts at 8 bytes each, plus
 # bookkeeping, is estimated at 32 bytes per lastCommit entry.
 BYTES_PER_LASTCOMMIT_ENTRY = 32
+
+#: Reason tag recorded for client-initiated (non-conflict) aborts in a
+#: decision batch (re-exported by :mod:`repro.server`).
+CLIENT_ABORT = "client-abort"
 
 
 @dataclass(frozen=True)
@@ -112,7 +123,13 @@ class StatusOracle:
         self,
         timestamp_oracle: Optional[TimestampOracle] = None,
         wal: Optional[BookKeeperWAL] = None,
+        naive_read_only: bool = False,
     ) -> None:
+        #: Ablation switch (benchmark E16): when True, a read-only request
+        #: that submitted a non-empty read set is checked like any other —
+        #: the §1 "naive implementation".  The default enforces §4.1
+        #: condition 3: an empty write set never aborts.
+        self.naive_read_only = naive_read_only
         self._wal = wal
         if timestamp_oracle is None:
             # With a WAL attached, persist timestamp reservations so a
@@ -161,8 +178,14 @@ class StatusOracle:
         if self._closed:
             raise OracleClosed("status oracle is closed")
 
-        # §5.1 read-only fast path: empty sets, no check, no WAL cost.
-        if request.is_read_only and not request.read_set:
+        # §4.1 condition 3 / §5.1: an empty write set can never conflict,
+        # so a read-only transaction commits with no check, no commit
+        # timestamp and no WAL record — even if the client submitted its
+        # read set.  (``naive_read_only`` disables the exemption for the
+        # E16 ablation.)
+        if request.is_read_only and not (
+            self.naive_read_only and request.read_set
+        ):
             self.stats.commits += 1
             self.stats.read_only_commits += 1
             return CommitResult(True, request.start_ts, commit_ts=None)
@@ -206,18 +229,383 @@ class StatusOracle:
         self._log("abort", (start_ts,))
 
     # ------------------------------------------------------------------
+    # the batch-decide fast path (one critical section per batch)
+    # ------------------------------------------------------------------
+    def decide_batch(self, requests: Iterable[Any]) -> List[CommitResult]:
+        """Decide a whole group-commit batch in one pass.
+
+        ``requests`` is a sequence of :class:`CommitRequest` objects,
+        optionally interleaved with bare start timestamps (``int``) that
+        denote client-initiated aborts.  Returns one
+        :class:`CommitResult` per item, in order; a client abort yields
+        ``CommitResult(False, start_ts, reason=CLIENT_ABORT)``.
+
+        Semantics are identical to feeding the items one at a time
+        through :meth:`commit` / :meth:`abort` — same decisions, commit
+        timestamps, ``lastCommit``, commit table and stats (the property
+        suite in ``tests/server`` pins this for every oracle kind) — but
+        the per-request interpreter overhead is amortized: one decision
+        loop with locally-bound state, bulk installs, batched stats
+        accounting, and a **single** group-commit WAL record instead of
+        one record per decision (replayed by :meth:`recover_from`).
+
+        Protocol misuse (e.g. committing an already-aborted transaction)
+        is isolated to the offending request: the rest of the batch is
+        still decided and persisted, then the first such error re-raises.
+        """
+        if self._closed:
+            raise OracleClosed("status oracle is closed")
+        payload_commits: List[Tuple[int, int, Any]] = []
+        payload_aborts: List[int] = []
+        errors: List[Tuple[int, BaseException]] = []
+        results: List[Optional[CommitResult]] = []
+        try:
+            self._decide_batch(
+                list(requests), payload_commits, payload_aborts, errors, results
+            )
+        finally:
+            # Mirror the sequential path: decisions made before an error
+            # were already appended per-record there, so they must be
+            # durable here too.
+            if self._wal is not None and (payload_commits or payload_aborts):
+                self._wal.append_decisions(payload_commits, payload_aborts)
+        if errors:
+            raise errors[0][1]
+        return results
+
+    def _decide_batch(self, batch, payload_commits, payload_aborts, errors,
+                      results=None):
+        """The batch decision engine behind :meth:`decide_batch` and
+        :meth:`repro.server.OracleFrontend.flush`.
+
+        ``batch`` items are ``CommitRequest`` (commit request), ``int``
+        (client abort), or ``(CommitRequest | int, future)`` pairs — the
+        frontend's submission format; futures get their outcome
+        attributes written directly.  Decision payloads are appended to
+        ``payload_commits`` / ``payload_aborts`` exactly as they must
+        appear in a group-commit WAL record; per-request protocol errors
+        go to ``errors`` (and the matching ``results`` slot is ``None``).
+        Returns ``(commits, aborts, rows_checked, rows_updated)``.
+
+        Plain SI/WSI oracles take the inlined loop; subclasses that
+        refine ``_check``/``_install`` (the bounded oracle overrides this
+        method entirely) go through their own hooks so policy semantics
+        are preserved exactly.
+
+        The per-outcome bookkeeping (commit-table error isolation,
+        payload/future/result fills) is deliberately inlined in every
+        engine — this loop, the bounded override, the partitioned
+        engine, and the frontend's per-request fallback — because a
+        shared helper costs a Python call per decision on the measured
+        hot path (benchmark E18).  Change one, change all; the
+        hypothesis equivalence suite pins decisions and stats across
+        all of them.
+        """
+        if type(self) in (SnapshotIsolationOracle, WriteSnapshotIsolationOracle):
+            return self._decide_batch_fast(
+                batch, payload_commits, payload_aborts, errors, results
+            )
+        return self._decide_batch_generic(
+            batch, payload_commits, payload_aborts, errors, results
+        )
+
+    def _decide_batch_fast(self, batch, payload_commits, payload_aborts,
+                           errors, results):
+        """Inlined decision loop for plain SI/WSI oracles.
+
+        Observationally equivalent to calling ``commit()`` / ``abort()``
+        per item in batch order — same decisions, lastCommit/commit-table
+        state, OracleStats and timestamp-reservation behaviour — but with
+        locally-bound lookups, one C-speed ``isdisjoint`` sweep for the
+        no-conflict common case, ``dict``-bulk write-set installs, and
+        stats counted once per batch instead of once per row/request.
+        """
+        if self._closed:
+            raise OracleClosed("status oracle is closed")
+        tso = self._tso
+        if tso._closed:
+            raise OracleClosed("timestamp oracle is closed")
+        lc = self._last_commit
+        lc_get = lc.get
+        lc_update = lc.update
+        lc_isdisjoint = lc.keys().isdisjoint  # live view: sees batch installs
+        fromkeys = dict.fromkeys
+        ct = self.commit_table
+        # Replicas subscribed to the commit table must see every decision,
+        # so only bypass its record methods when nobody is listening.
+        fast_ct = not ct._subscribers
+        ct_commits = ct._commits
+        ct_aborted = ct._aborted
+        check_reads = self.level == "wsi"
+        # §4.1 condition 3 short-circuit, unless the E16 ablation is on.
+        exempt_ro = not self.naive_read_only
+        reason_tag = "rw-conflict" if check_reads else "ww-conflict"
+        pc_append = payload_commits.append
+        pa_append = payload_aborts.append
+        res_append = results.append if results is not None else None
+        nxt = tso._next
+        reserved = tso._reserved_until
+        commits = conflict_aborts = client_aborts = ro_commits = issued = 0
+        rows_checked = rows_updated = 0
+        try:
+            for item in batch:
+                if item.__class__ is CommitRequest:
+                    req = item  # nowait commit: no future to fill in
+                    fut = None
+                else:
+                    if item.__class__ is tuple:
+                        req, fut = item
+                    else:
+                        req, fut = item, None
+                    if req.__class__ is not CommitRequest:
+                        # client-initiated abort; req is the start timestamp
+                        start = req
+                        try:
+                            if fast_ct:
+                                if start in ct_commits:
+                                    raise ValueError(
+                                        f"txn {start} already committed; "
+                                        "cannot abort"
+                                    )
+                                ct_aborted.add(start)
+                            else:
+                                ct.record_abort(start)
+                        except Exception as exc:
+                            # Protocol misuse is isolated to this request
+                            # (the unbatched oracle raises at its call
+                            # site); the rest of the batch decides on.
+                            errors.append((start, exc))
+                            if fut is not None:
+                                fut._error = exc
+                            if res_append is not None:
+                                res_append(None)
+                            continue
+                        client_aborts += 1
+                        pa_append(start)
+                        if fut is not None:
+                            fut._reason = CLIENT_ABORT
+                        if res_append is not None:
+                            res_append(
+                                CommitResult(False, start, reason=CLIENT_ABORT)
+                            )
+                        continue
+                start = req.start_ts
+                ws = req.write_set
+                if not ws and (exempt_ro or not req.read_set):
+                    # §4.1 condition 3: an empty write set never aborts —
+                    # no check, no commit timestamp, no WAL payload.
+                    ro_commits += 1
+                    if fut is not None:
+                        fut._committed = True
+                    if res_append is not None:
+                        res_append(CommitResult(True, start, commit_ts=None))
+                    continue
+                rows = req.read_set if check_reads else ws
+                conflict_row = None
+                if rows:
+                    if lc_isdisjoint(rows):
+                        # No checked row was ever written (the common case
+                        # under a large keyspace): the whole scan is one
+                        # C-speed membership sweep.
+                        rows_checked += len(rows)
+                    else:
+                        # Some checked row has a lastCommit entry: run the
+                        # faithful first-conflict scan in frozenset order.
+                        for row in rows:
+                            rows_checked += 1
+                            last = lc_get(row)
+                            if last is not None and last > start:
+                                conflict_row = row
+                                break
+                if conflict_row is not None:
+                    try:
+                        if fast_ct:
+                            if start in ct_commits:
+                                raise ValueError(
+                                    f"txn {start} already committed; "
+                                    "cannot abort"
+                                )
+                            ct_aborted.add(start)
+                        else:
+                            ct.record_abort(start)
+                    except Exception as exc:
+                        errors.append((start, exc))
+                        if fut is not None:
+                            fut._error = exc
+                        if res_append is not None:
+                            res_append(None)
+                        continue
+                    conflict_aborts += 1
+                    pa_append(start)
+                    if fut is not None:
+                        fut._reason = reason_tag
+                        fut._row = conflict_row
+                    if res_append is not None:
+                        res_append(
+                            CommitResult(
+                                False, start,
+                                reason=reason_tag, conflict_row=conflict_row,
+                            )
+                        )
+                    continue
+                # commit: assign Tc (inlined tso.next with the same
+                # reservation protocol), bulk-install the write set.
+                if nxt > reserved:
+                    tso._next = nxt
+                    tso._reserve()
+                    reserved = tso._reserved_until
+                cts = nxt
+                nxt += 1
+                issued += 1
+                lc_update(fromkeys(ws, cts))
+                rows_updated += len(ws)
+                try:
+                    if fast_ct:
+                        if cts <= start:
+                            raise ValueError(
+                                f"commit_ts {cts} must exceed start_ts {start}"
+                            )
+                        if start in ct_aborted:
+                            raise ValueError(
+                                f"txn {start} already aborted; cannot commit"
+                            )
+                        ct_commits[start] = cts
+                    else:
+                        ct.record_commit(start, cts)
+                except Exception as exc:
+                    # Same partial effects as the unbatched oracle, which
+                    # installs the write set and consumes Tc before its
+                    # commit-table write raises — but here the error stays
+                    # with this request instead of killing the batch.
+                    errors.append((start, exc))
+                    if fut is not None:
+                        fut._error = exc
+                    if res_append is not None:
+                        res_append(None)
+                    continue
+                commits += 1
+                pc_append((start, cts, ws))
+                if fut is not None:
+                    fut._committed = True
+                    fut._commit_ts = cts
+                if res_append is not None:
+                    res_append(CommitResult(True, start, commit_ts=cts))
+        finally:
+            # Keep oracle-visible state consistent even on a mid-batch
+            # protocol error: timestamps consumed so far stay consumed.
+            tso._next = nxt
+            tso._issued += issued
+            st = self.stats
+            st.commits += commits + ro_commits
+            st.read_only_commits += ro_commits
+            st.aborts += conflict_aborts + client_aborts
+            st.conflict_aborts += conflict_aborts
+            st.rows_checked += rows_checked
+            st.rows_updated += rows_updated
+        return (
+            commits + ro_commits,
+            conflict_aborts + client_aborts,
+            rows_checked,
+            rows_updated,
+        )
+
+    def _decide_batch_generic(self, batch, payload_commits, payload_aborts,
+                              errors, results):
+        """Hook-faithful loop for StatusOracle subclasses that refine
+        ``_check``/``_install``: defers to the subclass's own methods so
+        policy refinements keep their exact semantics."""
+        if self._closed:
+            raise OracleClosed("status oracle is closed")
+        tso = self._tso
+        ct = self.commit_table
+        st = self.stats
+        commits = aborts = rows_updated_total = 0
+        rows_checked_before = st.rows_checked
+        for item in batch:
+            req, fut = item if item.__class__ is tuple else (item, None)
+            result = None
+            try:
+                if req.__class__ is not CommitRequest:
+                    ct.record_abort(req)
+                    st.aborts += 1
+                    aborts += 1
+                    payload_aborts.append(req)
+                    if fut is not None:
+                        fut._reason = CLIENT_ABORT
+                    result = CommitResult(False, req, reason=CLIENT_ABORT)
+                    continue
+                if not req.write_set and not (
+                    self.naive_read_only and req.read_set
+                ):
+                    st.commits += 1
+                    st.read_only_commits += 1
+                    commits += 1
+                    if fut is not None:
+                        fut._committed = True
+                    result = CommitResult(True, req.start_ts, commit_ts=None)
+                    continue
+                conflict = self._check(req)
+                if conflict is not None:
+                    reason, row = conflict
+                    ct.record_abort(req.start_ts)
+                    st.aborts += 1
+                    st.conflict_aborts += 1
+                    if reason == "tmax":
+                        st.tmax_aborts += 1
+                        st.conflict_aborts -= 1
+                    aborts += 1
+                    payload_aborts.append(req.start_ts)
+                    if fut is not None:
+                        fut._reason = reason
+                        fut._row = row
+                    result = CommitResult(
+                        False, req.start_ts, reason=reason, conflict_row=row
+                    )
+                    continue
+                cts = tso.next()
+                rows = self.rows_to_update(req)
+                self._install(rows, cts)
+                st.rows_updated += len(rows)
+                rows_updated_total += len(rows)
+                ct.record_commit(req.start_ts, cts)
+                st.commits += 1
+                commits += 1
+                payload_commits.append((req.start_ts, cts, rows))
+                if fut is not None:
+                    fut._committed = True
+                    fut._commit_ts = cts
+                result = CommitResult(True, req.start_ts, commit_ts=cts)
+            except Exception as exc:
+                start = req if req.__class__ is not CommitRequest else req.start_ts
+                errors.append((start, exc))
+                if fut is not None:
+                    fut._error = exc
+            finally:
+                if results is not None:
+                    results.append(result)
+        rows_checked = st.rows_checked - rows_checked_before
+        return commits, aborts, rows_checked, rows_updated_total
+
+    # ------------------------------------------------------------------
     # lastCommit plumbing (overridden by the bounded oracle)
     # ------------------------------------------------------------------
     def _check(self, request: CommitRequest) -> Optional[Tuple[str, RowKey]]:
         # The lastCommit comparison is identical for every policy; only
         # the *rows* differ, and the reason tag follows from which rows
         # are checked (SI and SSI check writes, WSI checks reads).
+        # ``rows_checked`` counts rows actually examined (a conflict stops
+        # the scan) and is bumped once per request, not once per row.
         reason = "rw-conflict" if self.level == "wsi" else "ww-conflict"
+        lc_get = self._last_commit.get
+        start = request.start_ts
+        checked = 0
         for row in self.rows_to_check(request):
-            self.stats.rows_checked += 1
-            last = self._last_commit.get(row)
-            if last is not None and last > request.start_ts:
+            checked += 1
+            last = lc_get(row)
+            if last is not None and last > start:
+                self.stats.rows_checked += checked
                 return reason, row
+        self.stats.rows_checked += checked
         return None
 
     def _install(self, rows: Iterable[RowKey], commit_ts: int) -> None:
@@ -371,12 +759,17 @@ class BoundedStatusOracle(StatusOracle):
         max_rows: int = 1_000_000,
         timestamp_oracle: Optional[TimestampOracle] = None,
         wal: Optional[BookKeeperWAL] = None,
+        naive_read_only: bool = False,
     ) -> None:
         if policy not in ("si", "wsi"):
             raise ValueError(f"policy must be 'si' or 'wsi', not {policy!r}")
         if max_rows < 1:
             raise ValueError("max_rows must be >= 1")
-        super().__init__(timestamp_oracle=timestamp_oracle, wal=wal)
+        super().__init__(
+            timestamp_oracle=timestamp_oracle,
+            wal=wal,
+            naive_read_only=naive_read_only,
+        )
         self.level = policy
         self._max_rows = max_rows
         self._last_commit = OrderedDict()  # LRU order: oldest first
@@ -387,17 +780,25 @@ class BoundedStatusOracle(StatusOracle):
             return request.write_set
         return request.read_set
 
-    # Algorithm 3, lines 1-11.
+    # Algorithm 3, lines 1-11.  As in the base class, ``rows_checked``
+    # counts rows actually examined and is bumped once per request.
     def _check(self, request: CommitRequest) -> Optional[Tuple[str, RowKey]]:
         reason = "ww-conflict" if self.level == "si" else "rw-conflict"
+        lc_get = self._last_commit.get
+        tmax = self.tmax
+        start = request.start_ts
+        checked = 0
         for row in self.rows_to_check(request):
-            self.stats.rows_checked += 1
-            last = self._last_commit.get(row)
+            checked += 1
+            last = lc_get(row)
             if last is not None:
-                if last > request.start_ts:  # line 3
+                if last > start:  # line 3
+                    self.stats.rows_checked += checked
                     return reason, row
-            elif self.tmax > request.start_ts:  # line 7
+            elif tmax > start:  # line 7
+                self.stats.rows_checked += checked
                 return "tmax", row
+        self.stats.rows_checked += checked
         return None
 
     def _install(self, rows: Iterable[RowKey], commit_ts: int) -> None:
@@ -410,6 +811,157 @@ class BoundedStatusOracle(StatusOracle):
                 _, evicted_ts = lc.popitem(last=False)
                 if evicted_ts > self.tmax:
                     self.tmax = evicted_ts
+
+    def _decide_batch(self, batch, payload_commits, payload_aborts, errors,
+                      results=None):
+        """Bounded-oracle batch loop: the fast-loop structure with the
+        Algorithm 3 refinements inlined — Tmax pessimistic aborts, LRU
+        reinsertion on install, eviction bookkeeping — plus deferred
+        stats.  LRU order and Tmax evolve exactly as under sequential
+        ``commit()`` calls (per-request install order is preserved)."""
+        if self._closed:
+            raise OracleClosed("status oracle is closed")
+        tso = self._tso
+        if tso._closed:
+            raise OracleClosed("timestamp oracle is closed")
+        lc = self._last_commit
+        lc_get = lc.get
+        lc_popitem = lc.popitem
+        max_rows = self._max_rows
+        tmax = self.tmax
+        ct = self.commit_table
+        check_reads = self.level == "wsi"
+        exempt_ro = not self.naive_read_only
+        reason_tag = "rw-conflict" if check_reads else "ww-conflict"
+        pc_append = payload_commits.append
+        pa_append = payload_aborts.append
+        res_append = results.append if results is not None else None
+        nxt = tso._next
+        reserved = tso._reserved_until
+        commits = conflict_aborts = tmax_aborts = client_aborts = 0
+        ro_commits = issued = 0
+        rows_checked = rows_updated = 0
+        try:
+            for item in batch:
+                req, fut = item if item.__class__ is tuple else (item, None)
+                if req.__class__ is not CommitRequest:
+                    start = req  # client-initiated abort
+                    try:
+                        ct.record_abort(start)
+                    except Exception as exc:
+                        errors.append((start, exc))
+                        if fut is not None:
+                            fut._error = exc
+                        if res_append is not None:
+                            res_append(None)
+                        continue
+                    client_aborts += 1
+                    pa_append(start)
+                    if fut is not None:
+                        fut._reason = CLIENT_ABORT
+                    if res_append is not None:
+                        res_append(
+                            CommitResult(False, start, reason=CLIENT_ABORT)
+                        )
+                    continue
+                start = req.start_ts
+                ws = req.write_set
+                if not ws and (exempt_ro or not req.read_set):
+                    ro_commits += 1
+                    if fut is not None:
+                        fut._committed = True
+                    if res_append is not None:
+                        res_append(CommitResult(True, start, commit_ts=None))
+                    continue
+                # Algorithm 3 lines 1-11, scanning in frozenset order.
+                conflict = None
+                for row in (req.read_set if check_reads else ws):
+                    rows_checked += 1
+                    last = lc_get(row)
+                    if last is not None:
+                        if last > start:
+                            conflict = (reason_tag, row)
+                            break
+                    elif tmax > start:
+                        conflict = ("tmax", row)
+                        break
+                if conflict is not None:
+                    reason, row = conflict
+                    try:
+                        ct.record_abort(start)
+                    except Exception as exc:
+                        errors.append((start, exc))
+                        if fut is not None:
+                            fut._error = exc
+                        if res_append is not None:
+                            res_append(None)
+                        continue
+                    if reason == "tmax":
+                        tmax_aborts += 1
+                    else:
+                        conflict_aborts += 1
+                    pa_append(start)
+                    if fut is not None:
+                        fut._reason = reason
+                        fut._row = row
+                    if res_append is not None:
+                        res_append(
+                            CommitResult(
+                                False, start, reason=reason, conflict_row=row
+                            )
+                        )
+                    continue
+                # commit: assign Tc, LRU-install the write set.
+                if nxt > reserved:
+                    tso._next = nxt
+                    tso._reserve()
+                    reserved = tso._reserved_until
+                cts = nxt
+                nxt += 1
+                issued += 1
+                for row in ws:
+                    if row in lc:
+                        lc.pop(row)
+                    lc[row] = cts
+                    if len(lc) > max_rows:
+                        _, evicted_ts = lc_popitem(last=False)
+                        if evicted_ts > tmax:
+                            tmax = evicted_ts
+                rows_updated += len(ws)
+                try:
+                    ct.record_commit(start, cts)
+                except Exception as exc:
+                    errors.append((start, exc))
+                    if fut is not None:
+                        fut._error = exc
+                    if res_append is not None:
+                        res_append(None)
+                    continue
+                commits += 1
+                pc_append((start, cts, ws))
+                if fut is not None:
+                    fut._committed = True
+                    fut._commit_ts = cts
+                if res_append is not None:
+                    res_append(CommitResult(True, start, commit_ts=cts))
+        finally:
+            self.tmax = tmax
+            tso._next = nxt
+            tso._issued += issued
+            st = self.stats
+            st.commits += commits + ro_commits
+            st.read_only_commits += ro_commits
+            st.aborts += conflict_aborts + tmax_aborts + client_aborts
+            st.conflict_aborts += conflict_aborts
+            st.tmax_aborts += tmax_aborts
+            st.rows_checked += rows_checked
+            st.rows_updated += rows_updated
+        return (
+            commits + ro_commits,
+            conflict_aborts + tmax_aborts + client_aborts,
+            rows_checked,
+            rows_updated,
+        )
 
     @property
     def max_rows(self) -> int:
@@ -431,6 +983,7 @@ def make_oracle(
     max_rows: int = 1_000_000,
     timestamp_oracle: Optional[TimestampOracle] = None,
     wal: Optional[BookKeeperWAL] = None,
+    naive_read_only: bool = False,
 ) -> StatusOracle:
     """Factory: build a status oracle for ``level`` in {"si", "wsi"}."""
     if bounded:
@@ -439,11 +992,18 @@ def make_oracle(
             max_rows=max_rows,
             timestamp_oracle=timestamp_oracle,
             wal=wal,
+            naive_read_only=naive_read_only,
         )
     if level == "si":
-        return SnapshotIsolationOracle(timestamp_oracle=timestamp_oracle, wal=wal)
+        return SnapshotIsolationOracle(
+            timestamp_oracle=timestamp_oracle,
+            wal=wal,
+            naive_read_only=naive_read_only,
+        )
     if level == "wsi":
         return WriteSnapshotIsolationOracle(
-            timestamp_oracle=timestamp_oracle, wal=wal
+            timestamp_oracle=timestamp_oracle,
+            wal=wal,
+            naive_read_only=naive_read_only,
         )
     raise ValueError(f"unknown isolation level {level!r}")

@@ -40,16 +40,45 @@ Design rules
    rules, so the outcome — every commit/abort decision, every commit
    timestamp, the final ``lastCommit`` map, the commit table, and the
    ``OracleStats`` counters — is identical to feeding the unbatched
-   backend the same requests in batch order.  For plain SI/WSI oracles
-   the frontend inlines the decision loop for speed; for subclassed
-   backends (bounded/Tmax, partitioned) it defers to their own
-   check/decide hooks so refinements keep their exact semantics.
-2. **Read-only transactions stay free** (§5.1): a commit request with
-   empty read and write sets resolves immediately, never occupies batch
-   space, and a batch of only such requests writes no WAL record.
+   backend the same requests in batch order.  Every bundled backend
+   (plain SI/WSI, bounded/Tmax, partitioned) supplies a ``decide_batch``
+   engine that owns its policy semantics; the frontend routes whole
+   batches through it.
+2. **Read-only transactions stay free** (§4.1 condition 3 / §5.1): a
+   commit request with an empty write set resolves immediately — no
+   conflict check, no commit timestamp, no batch slot — and a batch of
+   only such requests writes no WAL record.
 3. **One WAL record per batch.**  At Appendix A's 32 B per decision the
    default 32-request batch fills exactly one 1 KB ledger entry, mapping
    one frontend flush onto one BookKeeper write.
+
+The hot path: where a commit decision's time goes
+=================================================
+
+§6.3 claims the critical section is microseconds-cheap; in Python the
+interpreter, not the conflict logic, sets that cost.  A per-request
+``commit()`` call pays, per decision: the method-dispatch wrapper, a
+closed-check, the ``rows_to_check`` policy hook, a per-row ``lastCommit``
+probe loop, ``tso.next()``, the ``_install`` hook, a commit-table call,
+four-plus stats increments, a WAL ``append``, and a ``CommitResult``
+allocation.  The batch-decide engine
+(:meth:`repro.core.status_oracle.StatusOracle.decide_batch`, rewired
+into :meth:`OracleFrontend.flush`) amortizes all of it per flush: state
+is locally bound once per batch, the no-conflict common case collapses
+to one C-speed ``keys().isdisjoint`` sweep per request, write sets
+install via one ``dict.update(dict.fromkeys(...))``, stats are tallied
+in locals and written back once, and the whole batch persists as a
+single pre-assembled group-commit record.  Benchmark E17 measures the
+batching win over the unbatched oracle (>= 3x at batch 32); benchmark
+E18 isolates the in-critical-section win of ``decide_batch`` over the
+per-request flush loop (>= 1.5x at batch 32, typically ~2x).  The
+partitioned engine additionally groups a batch's single-partition
+requests per shard — one bulk check/install round per partition per
+flush, the per-RPC amortization a distributed deployment of §6.3
+footnote 6 needs — while cross-partition requests keep the two-phase
+per-request path (hash sharding makes multi-row transactions mostly
+cross-partition, so expect parity there and the win on
+partition-aligned traffic).
 
 How equivalence is tested
 =========================
@@ -58,13 +87,17 @@ How equivalence is tested
 (hypothesis) through a frontend and replays the *same* requests, in the
 order the frontend decided them, against an unbatched reference oracle —
 for SI, WSI, and the bounded (Tmax) oracle — asserting equal decisions,
-commit timestamps, ``lastCommit`` state and stats.  The stress tests add
-timestamp-uniqueness and per-batch monotonicity invariants, and the
+commit timestamps, ``lastCommit`` state and stats; a second family of
+properties calls ``decide_batch`` directly (mid-batch conflict and
+client aborts, read-only requests, all four oracle kinds, WAL-replay
+equivalence against the sequential per-record log).  The stress tests
+add timestamp-uniqueness and per-batch monotonicity invariants, and the
 recovery tests crash the frontend mid-batch to check that WAL replay
-restores exactly the durable prefix.  Benchmark E17
-(``benchmarks/test_e17_group_commit.py``) measures the point of it all:
-the batched frontend sustains multiples of the unbatched oracle's
-wall-clock ops/sec.
+restores exactly the durable prefix.  Benchmarks E17/E18
+(``benchmarks/test_e17_group_commit.py``, ``test_e18_batch_decide.py``)
+measure the point of it all: the batched frontend sustains multiples of
+the unbatched oracle's wall-clock ops/sec, and the batch-decide engine
+multiplies the per-request flush loop again.
 """
 
 from repro.server.frontend import (

@@ -14,10 +14,13 @@ amortization:
   interval in injected time, mirroring the WAL's own 1 KB / 5 ms policy
   from Appendix A);
 * conflict detection for the whole batch runs inside **one** critical
-  section, in submission order, so the decisions are observationally
-  identical to feeding the unbatched oracle the same requests in batch
-  order (the property suite in ``tests/server`` proves this for SI, WSI
-  and the bounded oracle);
+  section, in submission order, through the backend's own
+  :meth:`~repro.core.status_oracle.StatusOracle.decide_batch` engine —
+  one bulk pass, not one ``commit()`` call per request — so the
+  decisions are observationally identical to feeding the unbatched
+  oracle the same requests in batch order (the property suite in
+  ``tests/server`` proves this for SI, WSI, the bounded and the
+  partitioned oracle);
 * the batch's decisions are persisted as a **single**
   :data:`~repro.wal.bookkeeper.GROUP_COMMIT_RECORD` WAL record, and the
   per-request futures resolve only at flush time — group commit.
@@ -35,11 +38,10 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from repro.core.errors import DecisionPending, OracleClosed
 from repro.core.status_oracle import (
+    CLIENT_ABORT,
     CommitRequest,
     CommitResult,
-    SnapshotIsolationOracle,
     StatusOracle,
-    WriteSnapshotIsolationOracle,
 )
 from repro.wal.bookkeeper import BookKeeperWAL
 
@@ -49,9 +51,6 @@ from repro.wal.bookkeeper import BookKeeperWAL
 DEFAULT_MAX_BATCH = 32
 #: Default flush interval mirrors the WAL's 5 ms time trigger.
 DEFAULT_FLUSH_INTERVAL = 0.005
-
-#: Reason tag recorded on futures of client-initiated (non-conflict) aborts.
-CLIENT_ABORT = "client-abort"
 
 
 @dataclass
@@ -226,14 +225,20 @@ class OracleFrontend:
         wal: where group-commit records go.  Defaults to the backend's
             WAL; pass one explicitly to give a WAL-less backend (e.g. the
             partitioned oracle) group durability.
+        per_request: force the pre-``decide_batch`` decision path — one
+            ``backend.commit()`` / ``backend.abort()`` call per batch item
+            inside the critical section.  This is the benchmark E18
+            baseline (and the fallback for backends without a
+            ``_decide_batch`` engine).  Best paired with a WAL-less
+            backend plus an explicit ``wal=`` (as E18 does): a backend
+            that owns a WAL appends per-record inside ``commit()``, so the
+            frontend then skips its group record to avoid double logging.
 
-    Plain SI/WSI backends take an inlined batch loop that bypasses the
-    per-request ``commit()`` wrapper, per-record WAL appends and result
-    allocation — that is where the group-commit speed-up (benchmark E17)
-    comes from.  Subclassed backends (bounded, partitioned) run a generic
-    loop through their own check/decide code so their semantics
-    (``Tmax`` aborts, two-phase cross-partition decisions) are preserved
-    exactly.
+    Backends that implement the batch-decide engine
+    (:meth:`~repro.core.status_oracle.StatusOracle.decide_batch` — plain
+    SI/WSI, bounded, partitioned) decide the whole batch in one bulk pass
+    with locally-bound state and batched stats accounting; that is where
+    the group-commit speed-ups (benchmarks E17/E18) come from.
     """
 
     def __init__(
@@ -244,6 +249,7 @@ class OracleFrontend:
         clock: Optional[Callable[[], float]] = None,
         scheduler: Optional[Callable[[float, Callable[[], None]], None]] = None,
         wal: Optional[BookKeeperWAL] = None,
+        per_request: bool = False,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -256,14 +262,24 @@ class OracleFrontend:
         self._clock = clock or (lambda: self._manual_time)
         self._scheduler = scheduler
         self._wal = wal if wal is not None else getattr(backend, "_wal", None)
-        # Exact-type check: a subclass may override _check/_install, so it
-        # must go through the generic loop that calls those hooks.
-        self._fast = type(backend) in (
-            SnapshotIsolationOracle,
-            WriteSnapshotIsolationOracle,
+        # The backend's batch-decide engine (StatusOracle subclasses and
+        # PartitionedOracle); foreign backends fall back to per-request.
+        self._engine = (
+            None if per_request else getattr(backend, "_decide_batch", None)
         )
-        self._check_reads = getattr(backend, "level", "si") == "wsi"
-        self._is_status_oracle = isinstance(backend, StatusOracle)
+        self._per_request = self._engine is None
+        # In per-request mode a StatusOracle backend that owns a WAL
+        # already appends one record per decision inside commit(); the
+        # frontend must not also write a group record for the same batch.
+        self._backend_logs_wal = (
+            self._per_request
+            and isinstance(backend, StatusOracle)
+            and getattr(backend, "_wal", None) is not None
+        )
+        # §4.1 condition 3: an empty write set commits immediately at
+        # submit time — unless the backend runs the E16 naive ablation,
+        # in which case only fully-empty footprints take the fast path.
+        self._ro_exempt = not getattr(backend, "naive_read_only", False)
         # Batch items: a raw CommitRequest (nowait commit), a raw int
         # (nowait client abort), or a (CommitRequest | int, CommitFuture)
         # pair for future-style submissions.
@@ -311,14 +327,14 @@ class OracleFrontend:
     def submit_commit(self, request: CommitRequest) -> CommitFuture:
         """Queue a commit request; returns its future.
 
-        Read-only requests (both sets empty, §5.1) resolve immediately —
-        they touch no oracle state and cost no WAL write, so they never
-        wait on a batch.
+        Read-only requests (empty write set, §4.1 condition 3 / §5.1)
+        resolve immediately — they touch no oracle state and cost no WAL
+        write, so they never wait on a batch.
         """
         if self._closed:
             raise OracleClosed("oracle frontend is closed")
         future = CommitFuture(request.start_ts)
-        if not request.write_set and not request.read_set:
+        if not request.write_set and (self._ro_exempt or not request.read_set):
             backend_stats = self._backend.stats
             backend_stats.commits += 1
             backend_stats.read_only_commits += 1
@@ -350,7 +366,7 @@ class OracleFrontend:
         """
         if self._closed:
             raise OracleClosed("oracle frontend is closed")
-        if not request.write_set and not request.read_set:
+        if not request.write_set and (self._ro_exempt or not request.read_set):
             backend_stats = self._backend.stats
             backend_stats.commits += 1
             backend_stats.read_only_commits += 1
@@ -449,32 +465,37 @@ class OracleFrontend:
         payload_commits: List[Tuple[int, int, Any]] = []
         payload_aborts: List[int] = []
         errors: List[Tuple[int, BaseException]] = []
-        if self._fast:
-            counters = self._process_fast(
-                batch, payload_commits, payload_aborts, errors
-            )
-        elif self._is_status_oracle:
-            counters = self._process_oracle(
+        if self._per_request:
+            counters = self._process_per_request(
                 batch, payload_commits, payload_aborts, errors
             )
         else:
-            counters = self._process_generic(
-                batch, payload_commits, payload_aborts, errors
+            # The backend's batch-decide engine: one bulk pass over the
+            # whole batch (see StatusOracle.decide_batch).  Futures are
+            # filled in directly; payloads come back in decision order.
+            counters = self._engine(
+                batch, payload_commits, payload_aborts, errors, None
             )
         commits, aborts, rows_checked, rows_updated = counters
 
         # One group-commit record for the whole batch (§6.3 / Appendix A
         # amortization).  Batches that decided nothing durable — e.g. all
-        # requests were read-only under SI — write no record at all.
+        # requests were read-only — write no record at all; in per-request
+        # mode a WAL-owning backend already logged each decision itself.
         # The loop-built triples are already immutable (rows stay the
-        # request's frozenset), so no group_commit_payload re-normalization
-        # pass; append_group_record owns the record-size rule.
-        payload = (tuple(payload_commits), tuple(payload_aborts))
+        # request's frozenset); append_decisions freezes the payload once
+        # and owns the record-size rule.
         wal = self._wal
         wal_written = False
-        if wal is not None and (payload_commits or payload_aborts):
-            wal.append_group_record(payload)
+        if (
+            wal is not None
+            and (payload_commits or payload_aborts)
+            and not self._backend_logs_wal
+        ):
+            payload = wal.append_decisions(payload_commits, payload_aborts)
             wal_written = True
+        else:
+            payload = (tuple(payload_commits), tuple(payload_aborts))
 
         stats = self.stats
         stats.batches += 1
@@ -511,230 +532,27 @@ class OracleFrontend:
         cell.futures = []
         return cell
 
-    def _process_fast(self, batch, payload_commits, payload_aborts, errors):
-        """Inlined decision loop for plain SI/WSI oracles.
-
-        Observationally equivalent to calling ``backend.commit()`` /
-        ``backend.abort()`` per request in batch order — same decisions,
-        same lastCommit/commit-table state, same OracleStats, same
-        timestamp-reservation behaviour — but without the per-request
-        wrapper, per-record WAL append, or per-request result object.
-        """
+    def _process_per_request(self, batch, payload_commits, payload_aborts,
+                             errors):
+        """The pre-``decide_batch`` decision path: one ``backend.commit``
+        / ``backend.abort`` call per batch item inside the critical
+        section.  Kept as the benchmark E18 baseline — it quantifies the
+        per-request interpreter overhead the batch engine removes — and
+        as the fallback for foreign backends without an engine."""
         backend = self._backend
-        if backend._closed:
-            raise OracleClosed("status oracle is closed")
-        tso = backend._tso
-        if tso._closed:
-            raise OracleClosed("timestamp oracle is closed")
-        lc = backend._last_commit
-        lc_get = lc.get
-        lc_isdisjoint = lc.keys().isdisjoint  # live view: sees batch installs
-        ct = backend.commit_table
-        # Replicas subscribed to the commit table must see every decision,
-        # so only bypass its record methods when nobody is listening.
-        fast_ct = not ct._subscribers
-        ct_commits = ct._commits
-        ct_aborted = ct._aborted
-        check_reads = self._check_reads
-        reason_tag = "rw-conflict" if check_reads else "ww-conflict"
-        pc_append = payload_commits.append
-        pa_append = payload_aborts.append
-        nxt = tso._next
-        reserved = tso._reserved_until
-        commits = conflict_aborts = client_aborts = issued = 0
-        rows_checked = rows_updated = 0
-        try:
-            for item in batch:
-                if item.__class__ is CommitRequest:
-                    req = item  # nowait commit: no future to fill in
-                    fut = None
-                else:
-                    if item.__class__ is tuple:
-                        req, fut = item
-                    else:
-                        req, fut = item, None
-                    if req.__class__ is not CommitRequest:
-                        # client-initiated abort; req is the start timestamp
-                        start = req
-                        try:
-                            if fast_ct:
-                                if start in ct_commits:
-                                    raise ValueError(
-                                        f"txn {start} already committed; "
-                                        "cannot abort"
-                                    )
-                                ct_aborted.add(start)
-                            else:
-                                ct.record_abort(start)
-                        except Exception as exc:
-                            # Protocol misuse is isolated to this request
-                            # (the unbatched oracle raises at its call
-                            # site); the rest of the batch decides on.
-                            errors.append((start, exc))
-                            if fut is not None:
-                                fut._error = exc
-                            continue
-                        client_aborts += 1
-                        pa_append(start)
-                        if fut is not None:
-                            fut._reason = CLIENT_ABORT
-                        continue
-                start = req.start_ts
-                rows = req.read_set if check_reads else req.write_set
-                conflict_row = None
-                if rows:
-                    if lc_isdisjoint(rows):
-                        # No checked row was ever written (the common case
-                        # under a large keyspace): the whole scan is one
-                        # C-speed membership sweep.
-                        rows_checked += len(rows)
-                    else:
-                        # Some checked row has a lastCommit entry: run the
-                        # faithful first-conflict scan in frozenset order.
-                        for row in rows:
-                            rows_checked += 1
-                            last = lc_get(row)
-                            if last is not None and last > start:
-                                conflict_row = row
-                                break
-                if conflict_row is not None:
-                    try:
-                        if fast_ct:
-                            if start in ct_commits:
-                                raise ValueError(
-                                    f"txn {start} already committed; "
-                                    "cannot abort"
-                                )
-                            ct_aborted.add(start)
-                        else:
-                            ct.record_abort(start)
-                    except Exception as exc:
-                        errors.append((start, exc))
-                        if fut is not None:
-                            fut._error = exc
-                        continue
-                    conflict_aborts += 1
-                    pa_append(start)
-                    if fut is not None:
-                        fut._reason = reason_tag
-                        fut._row = conflict_row
-                    continue
-                # commit: assign Tc (inlined tso.next with the same
-                # reservation protocol), install the write set.
-                if nxt > reserved:
-                    tso._next = nxt
-                    tso._reserve()
-                    reserved = tso._reserved_until
-                cts = nxt
-                nxt += 1
-                issued += 1
-                ws = req.write_set
-                for row in ws:
-                    lc[row] = cts
-                rows_updated += len(ws)
-                try:
-                    if fast_ct:
-                        if cts <= start:
-                            raise ValueError(
-                                f"commit_ts {cts} must exceed start_ts {start}"
-                            )
-                        if start in ct_aborted:
-                            raise ValueError(
-                                f"txn {start} already aborted; cannot commit"
-                            )
-                        ct_commits[start] = cts
-                    else:
-                        ct.record_commit(start, cts)
-                except Exception as exc:
-                    # Same partial effects as the unbatched oracle, which
-                    # installs the write set and consumes Tc before its
-                    # commit-table write raises — but here the error stays
-                    # with this request instead of killing the batch.
-                    errors.append((start, exc))
-                    if fut is not None:
-                        fut._error = exc
-                    continue
-                commits += 1
-                pc_append((start, cts, ws))
-                if fut is not None:
-                    fut._committed = True
-                    fut._commit_ts = cts
-        finally:
-            # Keep oracle-visible state consistent even on a mid-batch
-            # protocol error: timestamps consumed so far stay consumed.
-            tso._next = nxt
-            tso._issued += issued
-            st = backend.stats
-            st.commits += commits
-            st.aborts += conflict_aborts + client_aborts
-            st.conflict_aborts += conflict_aborts
-            st.rows_checked += rows_checked
-            st.rows_updated += rows_updated
-        return commits, conflict_aborts + client_aborts, rows_checked, rows_updated
+        backend_stats = getattr(backend, "stats", None)
+        # The partitioned oracle counts checked rows in its per-partition
+        # stats, not the top-level ones — sum both so every backend kind
+        # reports the same FlushedBatch.rows_checked as its engine mode.
+        partitions = getattr(backend, "partitions", ())
 
-    def _process_oracle(self, batch, payload_commits, payload_aborts, errors):
-        """Generic loop for StatusOracle subclasses (e.g. the bounded
-        oracle): defer to the backend's own _check/_install hooks so
-        policy refinements like Tmax keep their exact semantics."""
-        backend = self._backend
-        if backend._closed:
-            raise OracleClosed("status oracle is closed")
-        tso = backend._tso
-        ct = backend.commit_table
-        st = backend.stats
-        commits = aborts = rows_updated_total = 0
-        rows_checked_before = st.rows_checked
-        for item in batch:
-            req, fut = item if item.__class__ is tuple else (item, None)
-            try:
-                if req.__class__ is not CommitRequest:
-                    ct.record_abort(req)
-                    st.aborts += 1
-                    aborts += 1
-                    payload_aborts.append(req)
-                    if fut is not None:
-                        fut._reason = CLIENT_ABORT
-                    continue
-                conflict = backend._check(req)
-                if conflict is not None:
-                    reason, row = conflict
-                    ct.record_abort(req.start_ts)
-                    st.aborts += 1
-                    st.conflict_aborts += 1
-                    if reason == "tmax":
-                        st.tmax_aborts += 1
-                        st.conflict_aborts -= 1
-                    aborts += 1
-                    payload_aborts.append(req.start_ts)
-                    if fut is not None:
-                        fut._reason = reason
-                        fut._row = row
-                    continue
-                cts = tso.next()
-                rows = backend.rows_to_update(req)
-                backend._install(rows, cts)
-                st.rows_updated += len(rows)
-                rows_updated_total += len(rows)
-                ct.record_commit(req.start_ts, cts)
-                st.commits += 1
-                commits += 1
-                payload_commits.append((req.start_ts, cts, rows))
-                if fut is not None:
-                    fut._committed = True
-                    fut._commit_ts = cts
-            except Exception as exc:
-                start = req if req.__class__ is not CommitRequest else req.start_ts
-                errors.append((start, exc))
-                if fut is not None:
-                    fut._error = exc
-        rows_checked = st.rows_checked - rows_checked_before
-        return commits, aborts, rows_checked, rows_updated_total
+        def rows_checked_now():
+            total = backend_stats.rows_checked if backend_stats is not None else 0
+            for partition in partitions:
+                total += partition.stats.rows_checked
+            return total
 
-    def _process_generic(self, batch, payload_commits, payload_aborts, errors):
-        """Fallback for non-StatusOracle backends (the partitioned
-        oracle): route each request through the backend's own commit
-        path, which already implements its two-phase decision."""
-        backend = self._backend
+        rows_checked_before = rows_checked_now()
         commits = aborts = rows_updated = 0
         for item in batch:
             req, fut = item if item.__class__ is tuple else (item, None)
@@ -755,10 +573,13 @@ class OracleFrontend:
                 continue
             if result.committed:
                 commits += 1
-                rows_updated += len(req.write_set)
-                payload_commits.append(
-                    (req.start_ts, result.commit_ts, req.write_set)
-                )
+                if result.commit_ts is not None:
+                    # Read-only commits (commit_ts None) cost no WAL
+                    # payload; only write commits are made durable.
+                    rows_updated += len(req.write_set)
+                    payload_commits.append(
+                        (req.start_ts, result.commit_ts, req.write_set)
+                    )
                 if fut is not None:
                     fut._committed = True
                     fut._commit_ts = result.commit_ts
@@ -770,7 +591,12 @@ class OracleFrontend:
                     fut._row = result.conflict_row
             if fut is not None:
                 fut._result = result
-        return commits, aborts, 0, rows_updated
+        return (
+            commits,
+            aborts,
+            rows_checked_now() - rows_checked_before,
+            rows_updated,
+        )
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -62,6 +62,11 @@ class GroupCommitSim:
         flush_interval: the frontend's time trigger, fired by the engine.
         num_clients / outstanding_per_client: closed-loop population, as
             in the Fig. 5 setup (§6.3).
+        per_request: drive the frontend's per-request decision path
+            instead of the ``decide_batch`` engine (the E18 baseline) —
+            simulated timing is identical (the latency model prices the
+            batch, not the Python loop); this flag exists so queueing
+            studies can pin that both paths decide the same things.
     """
 
     def __init__(
@@ -76,6 +81,7 @@ class GroupCommitSim:
         seed: int = 42,
         warmup: float = 0.1,
         measure: float = 0.5,
+        per_request: bool = False,
     ) -> None:
         self.level = level
         self.batch_size = batch_size
@@ -92,6 +98,7 @@ class GroupCommitSim:
             flush_interval=flush_interval,
             clock=lambda: self.engine.now,
             scheduler=self.engine.call_in,
+            per_request=per_request,
         )
         self.frontend.on_flush(self._batch_flushed)
         self.critical_section = Resource(self.engine, capacity=1, name="oracle-cs")

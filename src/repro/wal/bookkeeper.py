@@ -127,6 +127,22 @@ class BookKeeperWAL:
         """
         return self.append_group_record(group_commit_payload(commits, aborts))
 
+    def append_decisions(self, commits, aborts) -> Tuple[Tuple, Tuple]:
+        """Queue a batch-decide engine's decision lists as one record.
+
+        The hot-path entry point used by
+        :meth:`repro.core.status_oracle.StatusOracle.decide_batch` and the
+        group-commit frontend: ``commits`` / ``aborts`` are the engine's
+        already-ordered payload lists (triples stay as built — the rows
+        element is the request's own frozenset, no re-tupling per
+        request).  They are frozen into the final payload exactly once,
+        here.  Returns the normalized payload that was written, so the
+        caller can expose it (e.g. ``FlushedBatch.committed_payload``).
+        """
+        payload = (tuple(commits), tuple(aborts))
+        self.append_group_record(payload)
+        return payload
+
     def append_group_record(self, payload: Tuple[Tuple, Tuple]) -> bool:
         """Queue an already-normalized group-commit payload.
 

@@ -1,0 +1,101 @@
+"""§4.1 condition 3 regression: an empty write set must NEVER abort.
+
+The paper's conflict conditions require "neither txn is read-only"; §5.1
+implements the exemption by having read-only clients submit empty sets.
+This suite pins the stronger server-side guarantee: even a read-only
+client that *does* submit its (stale) read set commits under every
+oracle — plain SI/WSI, the bounded (Tmax) oracle, the partitioned
+oracle, and both frontend paths — with no conflict check, no commit
+timestamp, and no WAL record.
+"""
+
+import pytest
+
+from repro.core.partitioned import PartitionedOracle
+from repro.core.status_oracle import CommitRequest, make_oracle
+from repro.server import OracleFrontend
+from repro.wal.bookkeeper import BookKeeperWAL
+
+
+def stale_reader_request(oracle, rows):
+    """Begin a reader, then let a writer overwrite every row it read."""
+    reader = oracle.begin()
+    writer = oracle.begin()
+    result = oracle.commit(CommitRequest(writer, write_set=frozenset(rows)))
+    assert result.committed
+    return CommitRequest(reader, read_set=frozenset(rows))
+
+
+@pytest.mark.parametrize("level", ["si", "wsi"])
+@pytest.mark.parametrize("bounded", [False, True])
+def test_read_only_with_stale_reads_commits(level, bounded):
+    oracle = make_oracle(level, bounded=bounded, max_rows=8)
+    request = stale_reader_request(oracle, ["x", "y"])
+    checked_before = oracle.stats.rows_checked
+    result = oracle.commit(request)
+    assert result.committed
+    assert result.commit_ts is None
+    assert oracle.stats.read_only_commits == 1
+    assert oracle.stats.aborts == 0
+    assert oracle.stats.rows_checked == checked_before  # no check at all
+
+
+@pytest.mark.parametrize("level", ["si", "wsi"])
+def test_read_only_commits_even_below_tmax(level):
+    # The bounded oracle normally aborts pessimistically when a checked
+    # row was evicted and Tmax exceeds the start timestamp — but a
+    # read-only transaction must be exempt from even that.
+    oracle = make_oracle(level, bounded=True, max_rows=1)
+    reader = oracle.begin()
+    for row in ("a", "b", "c"):  # force evictions: Tmax > reader
+        ts = oracle.begin()
+        assert oracle.commit(
+            CommitRequest(ts, write_set=frozenset([row]))
+        ).committed
+    assert oracle.tmax > reader
+    result = oracle.commit(CommitRequest(reader, read_set=frozenset(["a", "b"])))
+    assert result.committed
+    assert result.commit_ts is None
+
+
+@pytest.mark.parametrize("level", ["si", "wsi"])
+def test_read_only_with_stale_reads_commits_partitioned(level):
+    oracle = PartitionedOracle(level=level, num_partitions=3)
+    request = stale_reader_request(oracle, ["x", "y", "z"])
+    result = oracle.commit(request)
+    assert result.committed
+    assert result.commit_ts is None
+    assert oracle.stats.read_only_commits == 1
+    assert oracle.stats.aborts == 0
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: make_oracle("wsi"),
+        lambda: make_oracle("wsi", bounded=True, max_rows=4),
+        lambda: PartitionedOracle(level="wsi", num_partitions=2),
+    ],
+    ids=["plain", "bounded", "partitioned"],
+)
+def test_read_only_with_stale_reads_commits_in_decide_batch(make):
+    oracle = make()
+    request = stale_reader_request(oracle, ["x", "y"])
+    (result,) = oracle.decide_batch([request])
+    assert result.committed
+    assert result.commit_ts is None
+
+
+def test_read_only_with_reads_takes_frontend_fast_path_and_no_wal():
+    wal = BookKeeperWAL()
+    oracle = make_oracle("wsi", wal=wal)
+    frontend = OracleFrontend(oracle)
+    request = stale_reader_request(oracle, ["x"])
+    records_before = wal.record_count
+    future = frontend.submit_commit(request)
+    # resolved immediately, without occupying batch space or WAL bytes
+    assert future.done and future.committed
+    assert future.commit_ts is None
+    assert frontend.pending_count == 0
+    assert frontend.stats.read_only_fast_path == 1
+    assert wal.record_count == records_before

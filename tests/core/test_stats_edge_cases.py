@@ -52,6 +52,86 @@ class TestCrossPartitionFractionEdgeCases:
         assert oracle.cross_partition_fraction() == 0.0
 
 
+class TestRowsCheckedAccounting:
+    """Pin the ``rows_checked`` totals across the per-request-counter
+    removal: the counter is now bumped once per request, but the totals
+    must be exactly what the seed's per-row increments produced — a full
+    scan counts every checked row, a conflict stops the count at the
+    conflicting row."""
+
+    def test_full_scan_counts_every_checked_row(self):
+        for level, bounded in (("si", False), ("wsi", False), ("wsi", True)):
+            oracle = make_oracle(level, bounded=bounded)
+            rows = frozenset(["a", "b", "c"])
+            result = oracle.commit(
+                CommitRequest(oracle.begin(), write_set=rows, read_set=rows)
+            )
+            assert result.committed
+            assert oracle.stats.rows_checked == 3
+
+    def test_conflict_stops_the_count(self):
+        # Every checked row conflicts, so the scan (and the count) stops
+        # at the first row regardless of frozenset iteration order.
+        for bounded in (False, True):
+            oracle = make_oracle("wsi", bounded=bounded)
+            reader = oracle.begin()
+            writer = oracle.begin()
+            rows = frozenset(["a", "b", "c"])
+            assert oracle.commit(
+                CommitRequest(writer, write_set=rows)
+            ).committed
+            checked_before = oracle.stats.rows_checked
+            result = oracle.commit(
+                CommitRequest(
+                    reader, write_set=frozenset(["w"]), read_set=rows
+                )
+            )
+            assert not result.committed
+            assert oracle.stats.rows_checked == checked_before + 1
+
+    def test_tmax_conflict_stops_the_count(self):
+        # Bounded oracle, capacity 1: every row the old transaction reads
+        # was evicted, so the very first row aborts it pessimistically.
+        oracle = make_oracle("wsi", bounded=True, max_rows=1)
+        old = oracle.begin()
+        for row in ("a", "b", "c"):
+            assert oracle.commit(
+                CommitRequest(oracle.begin(), write_set=frozenset([row]))
+            ).committed
+        checked_before = oracle.stats.rows_checked
+        result = oracle.commit(
+            CommitRequest(
+                old,
+                write_set=frozenset(["w"]),
+                read_set=frozenset(["a", "b"]),
+            )
+        )
+        assert not result.committed and result.reason == "tmax"
+        assert oracle.stats.rows_checked == checked_before + 1
+
+    def test_decide_batch_totals_match_sequential(self):
+        for level in ("si", "wsi"):
+            batched = make_oracle(level)
+            sequential = make_oracle(level)
+            for oracle, use_batch in ((batched, True), (sequential, False)):
+                rows = frozenset(["a", "b", "c"])
+                writer = oracle.begin()
+                reader = oracle.begin()
+                requests = [
+                    CommitRequest(writer, write_set=rows),
+                    CommitRequest(
+                        reader, write_set=frozenset(["w"]), read_set=rows
+                    ),
+                    CommitRequest(oracle.begin(), write_set=frozenset(["d"])),
+                ]
+                if use_batch:
+                    oracle.decide_batch(requests)
+                else:
+                    for request in requests:
+                        oracle.commit(request)
+            assert batched.stats == sequential.stats
+
+
 class TestOtherRatioStats:
     def test_harness_result_abort_rate_empty(self):
         assert HarnessResult().abort_rate == 0.0

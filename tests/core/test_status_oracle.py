@@ -138,11 +138,27 @@ class TestReadOnlyFastPath:
         # The read-only client submits empty sets per §5.1.
         assert oracle.commit(req(reader)).committed
 
-    def test_wsi_naive_read_only_with_read_set_can_abort(self):
-        # Documents why §5.1's empty-set convention matters: if a
-        # read-only client *did* submit its read set, Algorithm 2 would
-        # abort it on conflict.
+    def test_read_only_with_submitted_read_set_still_commits(self):
+        # §4.1 condition 3: an empty write set never aborts — even when
+        # the client (wastefully) submitted its read set, the oracle
+        # short-circuits: no check, no commit timestamp, no WAL.
         oracle = WriteSnapshotIsolationOracle()
+        reader = oracle.begin()
+        writer = oracle.begin()
+        assert oracle.commit(req(writer, writes={"x"})).committed
+        result = oracle.commit(req(reader, reads={"x"}))
+        assert result.committed
+        assert result.commit_ts is None
+        assert oracle.stats.read_only_commits == 1
+        assert oracle.stats.rows_checked == 0
+
+    def test_wsi_naive_read_only_with_read_set_can_abort(self):
+        # Documents why condition 3 matters: under the E16 ablation
+        # switch (`naive_read_only=True`) Algorithm 2 checks the
+        # submitted read set and aborts the reader on conflict — the §1
+        # "naive implementation" that "greatly reduce[s] the level of
+        # concurrency".
+        oracle = WriteSnapshotIsolationOracle(naive_read_only=True)
         reader = oracle.begin()
         writer = oracle.begin()
         assert oracle.commit(req(writer, writes={"x"})).committed

@@ -86,9 +86,10 @@ def test_wsi_committed_set_has_no_rw_conflicts(script):
 def test_commit_timestamps_unique_and_ordered(script):
     for level in ("si", "wsi"):
         _, committed = run_script(level, script)
-        # read-only transactions have no commit timestamp (fast path):
-        # only write transactions consume one.
-        writers = [f for f in committed if f.write_set or f.read_set]
+        # read-only transactions have no commit timestamp (fast path —
+        # §4.1 condition 3 exempts every empty-write-set transaction,
+        # whether or not it submitted reads): only writers consume one.
+        writers = [f for f in committed if f.write_set]
         commit_times = [f.commit_ts for f in writers]
         assert len(set(commit_times)) == len(commit_times)
         for f in writers:

@@ -16,6 +16,13 @@ against a fresh unbatched oracle of the same kind and compare:
 
 Covered backends: plain SI, plain WSI, the bounded (Tmax) oracle under
 both policies, and the partitioned oracle.
+
+The ``decide_batch`` properties below exercise the batch-decide engine
+directly (no frontend): for every oracle kind, deciding a batch in one
+bulk pass — including mid-batch conflict aborts, client aborts and
+read-only requests — must equal one ``commit()``/``abort()`` call per
+item, in results and in final state, and the single group-commit WAL
+record must replay to the same state as the sequential per-record log.
 """
 
 from __future__ import annotations
@@ -181,6 +188,139 @@ def test_partitioned_oracle_equivalence(script, max_batch, num_partitions, level
     assert oracle.commit_table._aborted == reference.commit_table._aborted
     assert oracle.stats == reference.stats
     assert oracle.cross_partition_commits == reference.cross_partition_commits
+
+
+# ----------------------------------------------------------------------
+# decide_batch ≡ sequential commit()/abort()
+# ----------------------------------------------------------------------
+
+@st.composite
+def decision_batches(draw):
+    """Batches of decision items: commit requests (some read-only — empty
+    writes with or without reads) interleaved with client aborts."""
+    batches = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        batch = []
+        for _ in range(draw(st.integers(min_value=0, max_value=10))):
+            reads = draw(st.sets(st.sampled_from(ROWS), max_size=3))
+            writes = draw(st.sets(st.sampled_from(ROWS), max_size=3))
+            client_abort = draw(st.booleans()) and draw(st.booleans())  # ~25 %
+            batch.append((frozenset(reads), frozenset(writes), client_abort))
+        batches.append(batch)
+    return batches
+
+
+def run_batched(oracle, batches):
+    """Begin every member of a batch, then decide the batch in one call."""
+    outcomes = []
+    for batch in batches:
+        items = []
+        for reads, writes, client_abort in batch:
+            start_ts = oracle.begin()
+            if client_abort:
+                items.append(start_ts)
+            else:
+                items.append(
+                    CommitRequest(start_ts, write_set=writes, read_set=reads)
+                )
+        outcomes.extend(oracle.decide_batch(items))
+    return outcomes
+
+
+def run_sequential(oracle, batches):
+    """Same begin schedule, but one commit()/abort() call per item."""
+    from repro.core.status_oracle import CLIENT_ABORT, CommitResult
+
+    outcomes = []
+    for batch in batches:
+        items = []
+        for reads, writes, client_abort in batch:
+            start_ts = oracle.begin()
+            if client_abort:
+                items.append(start_ts)
+            else:
+                items.append(
+                    CommitRequest(start_ts, write_set=writes, read_set=reads)
+                )
+        for item in items:
+            if isinstance(item, int):
+                oracle.abort(item)
+                outcomes.append(CommitResult(False, item, reason=CLIENT_ABORT))
+            else:
+                outcomes.append(oracle.commit(item))
+    return outcomes
+
+
+@given(
+    batches=decision_batches(),
+    level=st.sampled_from(["si", "wsi"]),
+)
+@settings(max_examples=120, deadline=None)
+def test_decide_batch_plain_equivalence(batches, level):
+    oracle = make_oracle(level)
+    reference = make_oracle(level)
+    assert run_batched(oracle, batches) == run_sequential(reference, batches)
+    assert_same_final_state(oracle, reference)
+
+
+@given(
+    batches=decision_batches(),
+    max_rows=st.integers(min_value=1, max_value=6),
+    level=st.sampled_from(["si", "wsi"]),
+)
+@settings(max_examples=120, deadline=None)
+def test_decide_batch_bounded_equivalence(batches, max_rows, level):
+    oracle = make_oracle(level, bounded=True, max_rows=max_rows)
+    reference = make_oracle(level, bounded=True, max_rows=max_rows)
+    assert run_batched(oracle, batches) == run_sequential(reference, batches)
+    assert_same_final_state(oracle, reference, check_lru=True)
+
+
+@given(
+    batches=decision_batches(),
+    num_partitions=st.integers(min_value=1, max_value=4),
+    level=st.sampled_from(["si", "wsi"]),
+)
+@settings(max_examples=100, deadline=None)
+def test_decide_batch_partitioned_equivalence(batches, num_partitions, level):
+    oracle = PartitionedOracle(level=level, num_partitions=num_partitions)
+    reference = PartitionedOracle(level=level, num_partitions=num_partitions)
+    assert run_batched(oracle, batches) == run_sequential(reference, batches)
+    for partition, ref_partition in zip(oracle.partitions, reference.partitions):
+        assert partition._last_commit == ref_partition._last_commit
+        assert partition.stats == ref_partition.stats
+    assert oracle.commit_table._commits == reference.commit_table._commits
+    assert oracle.commit_table._aborted == reference.commit_table._aborted
+    assert oracle.stats == reference.stats
+    assert oracle.cross_partition_commits == reference.cross_partition_commits
+    assert oracle.single_partition_commits == reference.single_partition_commits
+
+
+@given(
+    batches=decision_batches(),
+    bounded=st.booleans(),
+    level=st.sampled_from(["si", "wsi"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_decide_batch_wal_replay_equivalence(batches, bounded, level):
+    # Durability leg: one group-commit record per batch must replay to
+    # exactly the state the sequential per-record WAL replays to.
+    kwargs = {"bounded": True, "max_rows": 4} if bounded else {}
+    batch_wal, seq_wal = BookKeeperWAL(), BookKeeperWAL()
+    oracle = make_oracle(level, wal=batch_wal, **kwargs)
+    reference = make_oracle(level, wal=seq_wal, **kwargs)
+    assert run_batched(oracle, batches) == run_sequential(reference, batches)
+    batch_wal.flush()
+    seq_wal.flush()
+    from_batch = make_oracle(level, **kwargs)
+    from_batch.recover_from(batch_wal)
+    from_seq = make_oracle(level, **kwargs)
+    from_seq.recover_from(seq_wal)
+    assert dict(from_batch._last_commit) == dict(from_seq._last_commit)
+    assert from_batch.commit_table._commits == from_seq.commit_table._commits
+    assert from_batch.commit_table._aborted == from_seq.commit_table._aborted
+    # and both recovered instances resume timestamps identically
+    assert from_batch.begin() == from_seq.begin()
 
 
 @given(
