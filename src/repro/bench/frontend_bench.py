@@ -63,6 +63,8 @@ class FrontendBenchResult:
     wal_records: int  # logical records appended (group record counts once)
     wal_ledger_entries: int  # physical ledger writes
     partitions: int = 0  # 0 = monolithic oracle
+    #: fraction of decisions that crossed partitions (partitioned runs).
+    cross_fraction: float = 0.0
 
     @property
     def us_per_op(self) -> float:
@@ -328,8 +330,9 @@ def make_aligned_requests(frontend, specs, partitions: int):
     """Partition-aligned commit requests for a running frontend.
 
     Spec ``i``'s rows are remapped into partition ``i % partitions``
-    (``row -> row * partitions + shard``; integer hashing makes the shard
-    assignment exact), so every transaction is single-partition — the
+    (``row -> row * partitions + shard``; ``stable_hash`` maps an
+    integer row to itself, so the shard assignment is exact and
+    process-independent), so every transaction is single-partition — the
     co-located-schema case a real deployment of §6.3 footnote 6 would
     engineer for, and the case where ``PartitionedOracle.decide_batch``
     does one bulk check/install round per shard per flush.
@@ -390,6 +393,142 @@ def bench_partition_aligned(
         wal_ledger_entries=wal.flush_count,
         partitions=partitions,
     )
+
+
+def make_cross_heavy_requests(frontend, specs, partitions: int,
+                              cross_every: int = 2):
+    """Cross-partition-heavy commit requests for a running frontend.
+
+    Spec ``i`` is forced **cross-partition** when ``i % cross_every ==
+    0``: its rows are remapped round-robin over all partitions
+    (``row -> row * partitions + (j % partitions)``, ``j`` the row's
+    index within the sorted footprint), so any footprint of two or more
+    rows spans at least two partitions.  The remaining specs are
+    partition-aligned to shard ``i % partitions``, exactly as
+    :func:`make_aligned_requests` lays them out.  With the default
+    ``cross_every=2`` at least half of the multi-row footprints are
+    multi-partition — the hash-sharded workload shape that used to break
+    every batch and fall back to per-request two-phase decisions;
+    ``cross_every=1`` makes the workload all-cross.  ``stable_hash``
+    maps an integer row to itself, so the placement is exact and
+    process-independent.
+    """
+    requests = []
+    for i, spec in enumerate(specs):
+        rows = sorted({*spec.write_rows, *spec.read_rows})
+        if i % cross_every == 0:
+            remap = {
+                row: row * partitions + (j % partitions)
+                for j, row in enumerate(rows)
+            }
+        else:
+            shard = i % partitions
+            remap = {row: row * partitions + shard for row in rows}
+        requests.append(
+            CommitRequest(
+                frontend.begin(),
+                write_set=frozenset(remap[r] for r in spec.write_rows),
+                read_set=frozenset(remap[r] for r in spec.read_rows),
+            )
+        )
+    return requests
+
+
+def _run_cross_partition(level, specs, batch_size, partitions, per_request,
+                         cross_every):
+    # Both sides run the identical engine-mode frontend; ``per_request``
+    # selects the backend's pre-protocol engine (``batch_cross=False``:
+    # cross items fall back to per-request two-phase decisions mid-run),
+    # so each pair isolates the cross-partition batch protocol itself.
+    wal = BookKeeperWAL()
+    oracle = PartitionedOracle(
+        level=level, num_partitions=partitions, batch_cross=not per_request
+    )
+    frontend = OracleFrontend(oracle, max_batch=batch_size, wal=wal)
+    requests = make_cross_heavy_requests(
+        frontend, specs, partitions, cross_every
+    )
+    submit = frontend.submit_commit_nowait
+    gc.collect()
+    t0 = time.perf_counter()
+    for request in requests:
+        submit(request)
+    frontend.flush()
+    dt = time.perf_counter() - t0
+    return dt, oracle, wal
+
+
+def bench_cross_partition(
+    level: str,
+    specs: Sequence[TransactionSpec],
+    batch_size: int = 32,
+    partitions: int = 4,
+    repeats: int = DEFAULT_REPEATS,
+    per_request: bool = False,
+    cross_every: int = 2,
+) -> FrontendBenchResult:
+    """The cross-partition-heavy workload through the partitioned
+    frontend: ``per_request=True`` runs the preserved pre-protocol
+    engine (every cross item breaks the run and takes a per-request
+    two-phase decision — benchmark E19's baseline), ``False`` the
+    cross-partition batch protocol's one-bulk-round-per-partition
+    flush."""
+    best = None
+    for _ in range(repeats):
+        run = _run_cross_partition(
+            level, specs, batch_size, partitions, per_request, cross_every
+        )
+        if best is None or run[0] < best[0]:
+            best = run
+    dt, oracle, wal = best
+    return FrontendBenchResult(
+        level=level,
+        mode="cross-per-request" if per_request else "cross-batched",
+        batch_size=batch_size,
+        ops_per_sec=len(specs) / dt,
+        commits=oracle.stats.commits,
+        aborts=oracle.stats.aborts,
+        wal_records=wal.record_count,
+        wal_ledger_entries=wal.flush_count,
+        partitions=partitions,
+        cross_fraction=oracle.cross_partition_fraction(),
+    )
+
+
+def paired_cross_speedups(
+    level: str = "wsi",
+    batch_size: int = 32,
+    pairs: int = 5,
+    num_requests: int = DEFAULT_NUM_REQUESTS,
+    keyspace: int = DEFAULT_KEYSPACE,
+    seed: int = 42,
+    partitions: int = 4,
+    cross_every: int = 2,
+) -> List[float]:
+    """Back-to-back (per-request two-phase, batch protocol) pairs on the
+    cross-partition-heavy workload.
+
+    Benchmark E19's measurement: both sides run the same engine-mode
+    partitioned frontend with the same one-group-WAL-record-per-batch
+    durability; the baseline side selects the preserved pre-protocol
+    engine (``batch_cross=False``), so each ratio isolates exactly what
+    the cross-partition batch protocol removed — one share-request
+    construction and check visit per involved partition per request,
+    plus the run break, the per-request timestamp call and commit-table
+    write — versus one bulk validation/install round per partition per
+    flush.
+    """
+    specs = make_specs(num_requests, keyspace=keyspace, seed=seed)
+    ratios = []
+    for _ in range(pairs):
+        dt_p, _, _ = _run_cross_partition(
+            level, specs, batch_size, partitions, True, cross_every
+        )
+        dt_b, _, _ = _run_cross_partition(
+            level, specs, batch_size, partitions, False, cross_every
+        )
+        ratios.append(dt_p / dt_b)
+    return ratios
 
 
 def sweep_batch_partitions(

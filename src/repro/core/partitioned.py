@@ -8,25 +8,53 @@ partition."
 :class:`PartitionedOracle` shards the ``lastCommit`` state by row hash
 across N independent conflict-detection partitions while keeping a
 single shared timestamp oracle, so timestamps still form one global
-commit order and snapshot semantics are unchanged.  Commit handling:
+commit order and snapshot semantics are unchanged.  Rows are placed with
+a process-independent hash (:func:`~repro.core.sharding.stable_hash`,
+pluggable via ``hash_fn=``): every frontend, replica and recovered
+instance must agree on which partition owns a row, which Python's salted
+builtin ``hash()`` cannot guarantee.  Commit handling:
 
 * a transaction whose footprint touches **one** partition is decided by
   that partition alone — the common case the footnote envisions, and
   the source of the throughput scaling;
 * a **cross-partition** transaction runs a two-phase decision: every
-  involved partition checks its share of the rows (phase 1); only if
-  *all* pass is the commit timestamp assigned and every partition's
-  ``lastCommit`` updated (phase 2).  Because checks precede any update
-  and the commit timestamp is allocated once, the outcome is identical
-  to what a single monolithic oracle would decide — a property the test
-  suite checks by differential execution.
+  involved partition validates its share of the checked rows through the
+  shared bulk primitive
+  (:meth:`~repro.core.status_oracle.StatusOracle.check_share`, phase 1);
+  only if *all* shares pass is the commit timestamp assigned and every
+  partition's ``lastCommit`` share installed (phase 2).  Because checks
+  precede any update and the commit timestamp is allocated once, the
+  outcome is identical to what a single monolithic oracle would decide —
+  a property the test suite checks by differential execution.
 
 * a **group-commit batch** (:meth:`PartitionedOracle.decide_batch`)
-  groups its single-partition requests per shard and gives every
-  involved partition one bulk check/install round per flush — in a
-  distributed deployment, one RPC per partition per batch instead of
-  one per request.  Cross-partition requests break the batch into runs
-  and take the two-phase path in place, preserving batch order exactly.
+  decides the *whole* batch — single-partition and cross-partition
+  requests alike — with one bulk protocol round per involved partition
+  per flush, in three phases:
+
+  1. **validate** — each involved partition checks all of its shares for
+     the batch against its ``lastCommit`` in one round (one RPC per
+     partition per flush in a distributed deployment), reporting the
+     first conflicting row per share;
+  2. **merge** — the coordinator resolves in-batch conflicts and
+     assigns commit timestamps in batch order using only batch-local
+     knowledge: rows written by an earlier *committed* batch member sit
+     in their partition's *staged install share* until phase 3, and any
+     checked row found there conflicts (every batch member began before
+     any batch commit timestamp is issued, so the writer's Tc always
+     exceeds the reader's Ts); the commit table, payloads and futures
+     are filled along the way;
+  3. **install** — every partition's staged share is bulk-installed
+     once (one install RPC per partition per flush), each row at its
+     last in-batch writer's Tc.
+
+  ``lastCommit`` never holds a provisional value, so an error escaping
+  mid-batch leaves only fully-applied prefixes behind, exactly like
+  sequential :meth:`commit` calls.  Decisions, timestamps, conflict
+  rows, per-partition stats, commit table — all land exactly as the
+  sequential path would leave them; the hypothesis suite in
+  ``tests/server`` pins this for mixed single/cross batches, client
+  aborts, read-only requests and mid-batch commit-table errors.
 
 The isolation policy (which rows are checked) is inherited per-partition
 from the usual SI/WSI oracles, so the partitioned deployment serves
@@ -36,10 +64,21 @@ either level.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.core.commit_table import CommitTable
 from repro.core.errors import OracleClosed
+from repro.core.sharding import INT_IDENTITY_BOUND, stable_hash
 from repro.core.status_oracle import (
     CLIENT_ABORT,
     CommitRequest,
@@ -53,12 +92,52 @@ from repro.core.timestamps import TimestampOracle
 RowKey = Hashable
 
 
+@dataclass
+class BatchRounds:
+    """Protocol-round counters of the batch-decide engine.
+
+    One *check round* is one per-partition bulk validation pass (phase
+    1) and one *install round* one per-partition bulk install (phase 3)
+    — each maps to a single RPC per partition per flush in a distributed
+    deployment, which is the whole point of the protocol: a flush of 32
+    requests over 4 partitions costs at most 8 rounds instead of up to
+    64 per-request partition visits.
+    """
+
+    flushes: int = 0
+    check_rounds: int = 0
+    install_rounds: int = 0
+    single_requests: int = 0
+    cross_requests: int = 0
+
+    def add(self, other: "BatchRounds") -> None:
+        self.flushes += other.flushes
+        self.check_rounds += other.check_rounds
+        self.install_rounds += other.install_rounds
+        self.single_requests += other.single_requests
+        self.cross_requests += other.cross_requests
+
+
 class PartitionedOracle:
     """N conflict-detection partitions behind one timestamp oracle.
 
     Exposes the same ``begin`` / ``commit`` / ``abort`` surface as
     :class:`~repro.core.status_oracle.StatusOracle`, so the transaction
     client and the benchmarks can use it interchangeably.
+
+    Args:
+        level: isolation level, ``"si"`` or ``"wsi"``.
+        num_partitions: how many conflict-detection shards.
+        timestamp_oracle: the shared TSO (one is created if omitted).
+        hash_fn: row-placement hash; must be deterministic across
+            processes (the default,
+            :func:`~repro.core.sharding.stable_hash`, is).  Replace it
+            for locality-aware sharding or pre-hashed keyspaces.
+        batch_cross: ``True`` (default) decides group-commit batches
+            through the cross-partition batch protocol; ``False``
+            restores the pre-protocol engine — cross-partition items
+            break the batch and fall back to per-request two-phase
+            decisions — kept as benchmark E19's baseline.
     """
 
     def __init__(
@@ -66,11 +145,14 @@ class PartitionedOracle:
         level: str = "wsi",
         num_partitions: int = 4,
         timestamp_oracle: Optional[TimestampOracle] = None,
+        hash_fn: Optional[Callable[[RowKey], int]] = None,
+        batch_cross: bool = True,
     ) -> None:
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
         self.level = level
         self._tso = timestamp_oracle or TimestampOracle()
+        self._hash = hash_fn or stable_hash
         # Every partition shares the TSO (one global commit order) and
         # gets its own lastCommit + stats; their private commit tables
         # are unused — the partitioned deployment keeps one authoritative
@@ -82,21 +164,52 @@ class PartitionedOracle:
         self.commit_table = CommitTable()
         self.stats = OracleStats()
         self.cross_partition_commits = 0
+        self.cross_partition_aborts = 0
         self.single_partition_commits = 0
+        self.single_partition_aborts = 0
+        #: accumulated protocol rounds across every decide_batch call.
+        self.round_stats = BatchRounds()
+        #: rounds of the most recent decide_batch call (the frontend
+        #: copies this onto its FlushedBatch).
+        self.last_flush_rounds: Optional[BatchRounds] = None
+        if not batch_cross:
+            # The pre-protocol batch engine (cross-partition items fall
+            # back to per-request two-phase decisions mid-batch), kept
+            # as benchmark E19's baseline; the instance attribute
+            # shadows the method, so the frontend picks it up.
+            self._decide_batch = self._decide_batch_per_request_cross
         self._closed = False
 
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
     def partition_of(self, row: RowKey) -> int:
-        return hash(row) % len(self.partitions)
+        return self._hash(row) % len(self.partitions)
 
-    def _split(self, rows: FrozenSet[RowKey]) -> Dict[int, Set[RowKey]]:
-        num = len(self.partitions)  # hash inlined: _split is hot (E18)
-        shares: Dict[int, Set[RowKey]] = {}
+    def _split(self, rows: FrozenSet[RowKey]) -> Dict[int, List[RowKey]]:
+        num = len(self.partitions)
+        shares: Dict[int, List[RowKey]] = {}
         setdefault = shares.setdefault
-        for row in rows:
-            setdefault(hash(row) % num, set()).add(row)
+        # _split is hot (E18/E19): with the default placement, small
+        # non-negative integer rows hash to themselves, so the per-row
+        # hash_fn call is inlined away for them (stable_hash's identity
+        # rule, bound included so cross-type numeric equality holds).
+        # Shares are lists (the input is a set, so rows are already
+        # unique): they are cheaper to build and to scan than sets, and
+        # their order — the footprint's iteration order restricted to
+        # the partition — is what both decision paths scan, keeping
+        # conflict rows identical across them.
+        if self._hash is stable_hash:
+            for row in rows:
+                if type(row) is int and 0 <= row < INT_IDENTITY_BOUND:
+                    p = row % num
+                else:
+                    p = stable_hash(row) % num
+                setdefault(p, []).append(row)
+        else:
+            h = self._hash
+            for row in rows:
+                setdefault(h(row) % num, []).append(row)
         return shares
 
     # ------------------------------------------------------------------
@@ -136,16 +249,26 @@ class PartitionedOracle:
         num = len(self.partitions)
         if num == 1:
             return 0
+        # Same inlined integer fast path as _split: this scan runs for
+        # every non-read-only request, batched or not.
+        fast = self._hash is stable_hash
+        h = self._hash
         pid = -1
         for row in request.write_set:
-            p = hash(row) % num
+            if fast and type(row) is int and 0 <= row < INT_IDENTITY_BOUND:
+                p = row % num
+            else:
+                p = h(row) % num
             if pid < 0:
                 pid = p
             elif p != pid:
                 return -1
         if self.level == "wsi":
             for row in request.read_set:
-                p = hash(row) % num
+                if fast and type(row) is int and 0 <= row < INT_IDENTITY_BOUND:
+                    p = row % num
+                else:
+                    p = h(row) % num
                 if pid < 0:
                     pid = p
                 elif p != pid:
@@ -171,6 +294,7 @@ class PartitionedOracle:
             reason = "rw-conflict" if self.level == "wsi" else "ww-conflict"
             self.stats.aborts += 1
             self.stats.conflict_aborts += 1
+            self.single_partition_aborts += 1
             self.commit_table.record_abort(start)
             return CommitResult(
                 False, start, reason=reason, conflict_row=conflict_row
@@ -185,33 +309,40 @@ class PartitionedOracle:
         return CommitResult(True, start, commit_ts=commit_ts)
 
     def _commit_cross(self, request: CommitRequest) -> CommitResult:
-        """Two-phase decision for a cross-partition footprint."""
-        check_shares = self._split(self._rows_to_check(request))
-        write_shares = self._split(request.write_set)
-        involved = set(check_shares) | set(write_shares)
+        """Two-phase decision for one cross-partition footprint.
 
-        # Phase 1: every involved partition validates its share.  For SI
-        # the checked rows are the write share (== check share); for WSI
-        # the read share — partition.rows_to_check dispatches correctly.
-        for pid in sorted(involved):
+        Phase 1 hands each involved partition its share of the checked
+        rows through the shared bulk primitive
+        (:meth:`~repro.core.status_oracle.StatusOracle.check_share`);
+        phase 2 assigns Tc once and installs every write share.  The
+        batch engine runs the same share validation, amortized over a
+        whole flush (one round per partition per batch instead of one
+        visit per partition per request).
+        """
+        start = request.start_ts
+        check_shares = self._split(self._rows_to_check(request))
+        # Under SI the checked rows *are* the write set: one split
+        # serves both phases.
+        write_shares = (
+            self._split(request.write_set)
+            if self.level == "wsi"
+            else check_shares
+        )
+
+        # Phase 1: every involved partition validates its share (for SI
+        # the write share, for WSI the read share).
+        for pid in sorted(check_shares):
             partition = self.partitions[pid]
-            share_request = CommitRequest(
-                request.start_ts,
-                write_set=frozenset(write_shares.get(pid, ())),
-                read_set=(
-                    frozenset(check_shares.get(pid, ()))
-                    if self.level == "wsi"
-                    else frozenset()
-                ),
-            )
-            conflict = partition._check(share_request)
-            if conflict is not None:
-                reason, row = conflict
+            row, checked = partition.check_share(check_shares[pid], start)
+            partition.stats.rows_checked += checked
+            if row is not None:
+                reason = "rw-conflict" if self.level == "wsi" else "ww-conflict"
                 self.stats.aborts += 1
                 self.stats.conflict_aborts += 1
-                self.commit_table.record_abort(request.start_ts)
+                self.cross_partition_aborts += 1
+                self.commit_table.record_abort(start)
                 return CommitResult(
-                    False, request.start_ts, reason=reason, conflict_row=row
+                    False, start, reason=reason, conflict_row=row
                 )
 
         # Phase 2: decision is commit — assign Tc once, install shares.
@@ -219,10 +350,10 @@ class PartitionedOracle:
         for pid, rows in write_shares.items():
             self.partitions[pid]._install(rows, commit_ts)
             self.stats.rows_updated += len(rows)
-        self.commit_table.record_commit(request.start_ts, commit_ts)
+        self.commit_table.record_commit(start, commit_ts)
         self.stats.commits += 1
         self.cross_partition_commits += 1
-        return CommitResult(True, request.start_ts, commit_ts=commit_ts)
+        return CommitResult(True, start, commit_ts=commit_ts)
 
     def abort(self, start_ts: int) -> None:
         if self._closed:
@@ -258,31 +389,35 @@ class PartitionedOracle:
 
     def _decide_batch(self, batch, payload_commits, payload_aborts, errors,
                       results=None):
-        """Batch engine: group single-partition requests per shard.
+        """Batch engine: the cross-partition batch protocol.
 
-        The batch is processed as runs of consecutive single-partition
-        (plus read-only and client-abort) items; each run is decided with
-        **one bulk check/install round per involved partition** — the
-        scale-out amortization of §6.3 footnote 6: in a distributed
-        deployment this is one RPC per partition per flush instead of one
-        per request.  A cross-partition request ends the run and takes the
-        two-phase path in place, so batch order is fully preserved.
+        The whole batch — single-partition, cross-partition, read-only
+        and client-abort items alike — is decided with **one bulk round
+        per involved partition per flush** (the module docstring walks
+        through the three phases); no item falls back to a per-request
+        decision.  In a distributed deployment this is one validation
+        RPC and one install RPC per partition per flush, instead of one
+        partition visit per request — §6.3 footnote 6's amortization,
+        now independent of workload shape.
 
-        Correctness of deferred timestamping: requests of *different*
-        partitions never read each other's state, and within a partition
-        the run preserves batch order.  A check that hits a row written
-        earlier in the same run always conflicts regardless of the
-        writer's (not yet assigned) commit timestamp — every batch member
-        began before any batch commit timestamp is issued — so the shard
-        round tracks earlier in-run write rows in a plain *pending* set
-        and consults it alongside ``lastCommit``; the assignment pass
-        then installs each committed write set exactly once, with its
-        real commit timestamp, in batch order.  ``lastCommit`` never
-        holds a provisional value, so an error escaping mid-batch leaves
-        only fully-applied prefixes behind, exactly like sequential
-        :meth:`commit` calls.  Decisions, timestamps, ``lastCommit``,
-        commit table and stats all land exactly as the sequential path
-        would leave them.
+        Correctness of deferred timestamping: a check that hits a row
+        written by an *earlier committed* batch member always conflicts
+        regardless of the writer's commit timestamp — every batch member
+        began before any batch commit timestamp is issued — so the merge
+        pass consults each partition's *staged install share* (written
+        rows awaiting the phase-3 bulk install, keyed exactly like
+        ``lastCommit``) alongside the validation round's verdicts,
+        scanning each request's checked rows in the sequential order
+        (first conflicting row and per-partition ``rows_checked`` counts
+        included).  Commit timestamps are assigned in batch order inside
+        the same pass; a row written by several batch members ends
+        staged at its last writer's Tc, which is the value the single
+        bulk install lands — as sequential installs would leave it.
+        ``lastCommit`` never holds a provisional value, so an error
+        escaping mid-batch leaves only fully-applied prefixes behind,
+        exactly like sequential :meth:`commit` calls.  Per-request
+        commit-table errors are isolated to their request, as in the
+        monolithic engines.
         """
         if self._closed:
             raise OracleClosed("partitioned oracle is closed")
@@ -290,6 +425,13 @@ class PartitionedOracle:
         if tso._closed:
             raise OracleClosed("timestamp oracle is closed")
         ct = self.commit_table
+        # Replicas subscribed to the commit table must see every decision,
+        # so only bypass its record methods when nobody is listening (the
+        # monolithic engines' fast path, duplicated here per the inline
+        # convention).
+        fast_ct = not ct._subscribers
+        ct_commits = ct._commits
+        ct_aborted = ct._aborted
         partitions = self.partitions
         num = len(partitions)
         wsi = self.level == "wsi"
@@ -297,36 +439,397 @@ class PartitionedOracle:
         pc_append = payload_commits.append
         pa_append = payload_aborts.append
         res_append = results.append if results is not None else None
+        fromkeys = dict.fromkeys
+
+        # ---- routing ------------------------------------------------
+        # One entry per item: [kind, req, fut, route, lc_conflict].
+        # kind: "ca" client abort | "ro" read-only | "sp"
+        # single-partition | "xp" cross-partition.  Entry layout (flat —
+        # one unpack per pass):
+        #   sp: [kind, req, fut, pid,          check_rows, None,         lc]
+        #   xp: [kind, req, fut, check_shares, check_pids, write_shares, lc]
+        # where lc is filled by the validation round — the first
+        # lastCommit-conflicting row (sp) or {pid: row} (xp).
+        run: List[list] = []
+        run_append = run.append
+        # Per-partition work list of the validation round, batch order.
+        shard_groups: List[Optional[list]] = [None] * num
+        single_requests = cross_requests = 0
+        for item in batch:
+            req, fut = item if item.__class__ is tuple else (item, None)
+            if req.__class__ is not CommitRequest:
+                run_append(["ca", req, fut, None, None, None, None])
+                continue
+            if not req.write_set:
+                run_append(["ro", req, fut, None, None, None, None])
+                continue
+            pid = self._single_partition_of(req)
+            if pid >= 0:
+                single_requests += 1
+                rows = req.read_set if wsi else req.write_set
+                entry = ["sp", req, fut, pid, rows, None, None]
+                run_append(entry)
+                group = shard_groups[pid]
+                if group is None:
+                    group = shard_groups[pid] = []
+                group.append((entry, rows, req.start_ts))
+                continue
+            cross_requests += 1
+            check_shares = self._split(
+                req.read_set if wsi else req.write_set
+            )
+            write_shares = self._split(req.write_set) if wsi else check_shares
+            entry = [
+                "xp", req, fut,
+                check_shares, sorted(check_shares), write_shares,
+                None,
+            ]
+            run_append(entry)
+            start = req.start_ts
+            for spid, share in check_shares.items():
+                group = shard_groups[spid]
+                if group is None:
+                    group = shard_groups[spid] = []
+                group.append((entry, share, start))
+
+        # ---- phase 1: one bulk validation round per partition -------
+        # Each involved partition checks all of its shares for the batch
+        # against lastCommit (the state as of batch start — installs
+        # happen in phase 3, so round order between partitions is
+        # irrelevant), and the first conflicting row per share is
+        # recorded on the entry.  The scan is StatusOracle.check_share
+        # inlined with the round's state locally bound (the engines'
+        # established inline convention), plus a C-speed ``isdisjoint``
+        # prefilter: a share touching no ever-written row — the common
+        # case under a large keyspace — costs one membership sweep.
+        # rows_checked is NOT counted here: the merge pass attributes it
+        # in sequential-equivalent order, stopping where a sequential
+        # scan would have stopped.
+        check_rounds = 0
+        for pid in range(num):
+            group = shard_groups[pid]
+            if group is None:
+                continue
+            check_rounds += 1
+            lc = partitions[pid]._last_commit
+            lc_get = lc.get
+            lc_isdisjoint = lc.keys().isdisjoint
+            for entry, share, start in group:
+                if lc_isdisjoint(share):
+                    continue
+                for row in share:
+                    last = lc_get(row)
+                    if last is not None and last > start:
+                        if entry[0] == "sp":
+                            entry[6] = row
+                        else:
+                            conf = entry[6]
+                            if conf is None:
+                                conf = entry[6] = {}
+                            conf[pid] = row
+                        break
+
+        # ---- phase 2: merge + assignment in batch order -------------
+        # installs[pid] doubles as the staged install share *and* the
+        # in-batch pending state: a key is a row some earlier committed
+        # batch member wrote, so finding a checked row there is a
+        # conflict; its value is the last writer's Tc, which phase 3
+        # bulk-installs.  checked_by[pid] counts rows examined exactly
+        # as the sequential scan would (early stop at the first
+        # conflict, later partitions of a cross request unvisited).
+        installs: List[Optional[Dict[RowKey, int]]] = [None] * num
+        # Union of every staged row across partitions: one C-speed
+        # membership sweep decides the no-in-batch-conflict common case
+        # per request (a row lives in exactly one partition, so a hit in
+        # the union is always a hit in the row's own partition).
+        staged: Set[RowKey] = set()
+        staged_iso = staged.isdisjoint
+        staged_update = staged.update
+        checked_by = [0] * num
         st = self.stats
         commits = conflict_aborts = client_aborts = ro_commits = 0
-        single_commits = rows_updated = 0
+        single_commits = single_aborts = cross_commits = cross_aborts = 0
+        rows_updated = 0
+        nxt = tso._next
+        reserved = tso._reserved_until
+        issued = 0
+        try:
+            for kind, req, fut, a, b, c, lc_conf in run:
+                if kind == "ca":
+                    try:
+                        if fast_ct:
+                            if req in ct_commits:
+                                raise ValueError(
+                                    f"txn {req} already committed; "
+                                    "cannot abort"
+                                )
+                            ct_aborted.add(req)
+                        else:
+                            ct.record_abort(req)
+                    except Exception as exc:
+                        errors.append((req, exc))
+                        if fut is not None:
+                            fut._error = exc
+                        if res_append is not None:
+                            res_append(None)
+                        continue
+                    client_aborts += 1
+                    pa_append(req)
+                    if fut is not None:
+                        fut._reason = CLIENT_ABORT
+                    if res_append is not None:
+                        res_append(
+                            CommitResult(False, req, reason=CLIENT_ABORT)
+                        )
+                    continue
+                start = req.start_ts
+                if kind == "ro":
+                    ro_commits += 1
+                    if fut is not None:
+                        fut._committed = True
+                    if res_append is not None:
+                        res_append(CommitResult(True, start, commit_ts=None))
+                    continue
+                # merge: decide against the validation verdict plus the
+                # staged installs of earlier committed batch members.
+                conflict_row = None
+                if kind == "sp":
+                    pid = a
+                    rows = b
+                    if lc_conf is None and staged_iso(rows):
+                        checked_by[pid] += len(rows)
+                    else:
+                        inst = installs[pid]
+                        checked = 0
+                        for row in rows:
+                            checked += 1
+                            if (inst is not None and row in inst) or (
+                                lc_conf is not None and row == lc_conf
+                            ):
+                                conflict_row = row
+                                break
+                        checked_by[pid] += checked
+                else:
+                    check_shares, check_pids, write_shares = a, b, c
+                    if lc_conf is None and staged_iso(
+                        req.read_set if wsi else req.write_set
+                    ):
+                        for pid in check_pids:
+                            checked_by[pid] += len(check_shares[pid])
+                    else:
+                        # Suspected conflict: re-scan in the sequential
+                        # order (sorted partitions, share order within)
+                        # so the conflict row and per-partition
+                        # rows_checked land exactly as commit() would.
+                        for pid in check_pids:
+                            share = check_shares[pid]
+                            lc_row = (
+                                None if lc_conf is None else lc_conf.get(pid)
+                            )
+                            inst = installs[pid]
+                            checked = 0
+                            for row in share:
+                                checked += 1
+                                if (inst is not None and row in inst) or (
+                                    lc_row is not None and row == lc_row
+                                ):
+                                    conflict_row = row
+                                    break
+                            checked_by[pid] += checked
+                            if conflict_row is not None:
+                                break
+                if conflict_row is not None:
+                    try:
+                        if fast_ct:
+                            if start in ct_commits:
+                                raise ValueError(
+                                    f"txn {start} already committed; "
+                                    "cannot abort"
+                                )
+                            ct_aborted.add(start)
+                        else:
+                            ct.record_abort(start)
+                    except Exception as exc:
+                        errors.append((start, exc))
+                        if fut is not None:
+                            fut._error = exc
+                        if res_append is not None:
+                            res_append(None)
+                        continue
+                    conflict_aborts += 1
+                    if kind == "sp":
+                        single_aborts += 1
+                    else:
+                        cross_aborts += 1
+                    pa_append(start)
+                    if fut is not None:
+                        fut._reason = reason_tag
+                        fut._row = conflict_row
+                    if res_append is not None:
+                        res_append(
+                            CommitResult(
+                                False, start,
+                                reason=reason_tag, conflict_row=conflict_row,
+                            )
+                        )
+                    continue
+                # commit: assign Tc (inlined tso.next with the same
+                # reservation protocol), stage the install shares.
+                if nxt > reserved:
+                    tso._next = nxt
+                    tso._reserve()
+                    reserved = tso._reserved_until
+                cts = nxt
+                nxt += 1
+                issued += 1
+                ws = req.write_set
+                staged_update(ws)
+                if kind == "sp":
+                    inst = installs[a]
+                    if inst is None:
+                        installs[a] = fromkeys(ws, cts)
+                    else:
+                        inst.update(fromkeys(ws, cts))
+                else:
+                    # write shares are tiny (a few rows each): direct
+                    # assignment beats a fromkeys dict per share.
+                    for pid, share in write_shares.items():
+                        inst = installs[pid]
+                        if inst is None:
+                            inst = installs[pid] = {}
+                        for row in share:
+                            inst[row] = cts
+                rows_updated += len(ws)
+                try:
+                    if fast_ct:
+                        if cts <= start:
+                            raise ValueError(
+                                f"commit_ts {cts} must exceed start_ts {start}"
+                            )
+                        if start in ct_aborted:
+                            raise ValueError(
+                                f"txn {start} already aborted; cannot commit"
+                            )
+                        ct_commits[start] = cts
+                    else:
+                        ct.record_commit(start, cts)
+                except Exception as exc:
+                    # Same partial effects as the unbatched oracle, which
+                    # installs the write set and consumes Tc before its
+                    # commit-table write raises — but here the error stays
+                    # with this request instead of killing the batch.
+                    errors.append((start, exc))
+                    if fut is not None:
+                        fut._error = exc
+                    if res_append is not None:
+                        res_append(None)
+                    continue
+                commits += 1
+                if kind == "sp":
+                    single_commits += 1
+                else:
+                    cross_commits += 1
+                pc_append((start, cts, ws))
+                if fut is not None:
+                    fut._committed = True
+                    fut._commit_ts = cts
+                if res_append is not None:
+                    res_append(CommitResult(True, start, commit_ts=cts))
+        finally:
+            # ---- phase 3: one bulk install round per partition ------
+            # As in the monolithic engines, this runs even if an error
+            # escapes mid-batch (e.g. a timestamp-reservation WAL
+            # failure): the staged prefix is exactly what sequential
+            # commit() calls would have installed before failing.
+            install_rounds = 0
+            for pid in range(num):
+                inst = installs[pid]
+                if inst is not None:
+                    install_rounds += 1
+                    partitions[pid]._last_commit.update(inst)
+                n = checked_by[pid]
+                if n:
+                    partitions[pid].stats.rows_checked += n
+            tso._next = nxt
+            tso._issued += issued
+            st.commits += commits + ro_commits
+            st.read_only_commits += ro_commits
+            st.aborts += conflict_aborts + client_aborts
+            st.conflict_aborts += conflict_aborts
+            st.rows_updated += rows_updated
+            self.single_partition_commits += single_commits
+            self.cross_partition_commits += cross_commits
+            self.single_partition_aborts += single_aborts
+            self.cross_partition_aborts += cross_aborts
+            rounds = BatchRounds(
+                flushes=1,
+                check_rounds=check_rounds,
+                install_rounds=install_rounds,
+                single_requests=single_requests,
+                cross_requests=cross_requests,
+            )
+            self.last_flush_rounds = rounds
+            self.round_stats.add(rounds)
+        return (
+            commits + ro_commits,
+            conflict_aborts + client_aborts,
+            sum(checked_by),
+            rows_updated,
+        )
+
+    def _decide_batch_per_request_cross(self, batch, payload_commits,
+                                        payload_aborts, errors, results=None):
+        """The pre-protocol batch engine, kept as benchmark E19's baseline.
+
+        This is the engine shape the cross-partition batch protocol
+        replaced (selected via ``batch_cross=False``), preserved — like
+        the frontend's per-request flush is for E18 — to quantify what
+        the protocol removes: the batch is processed as runs of
+        consecutive single-partition (plus read-only and client-abort)
+        items decided with one bulk round per shard, but every
+        **cross-partition** request breaks the run and takes a
+        per-request two-phase decision in place — one share-request
+        construction and one ``_check`` visit per involved partition
+        per request, one ``tso.next()`` and commit-table call per
+        request.  Decisions and final state are identical to the batch
+        protocol's; only the cost differs (plus scan-order detail: a
+        conflicting share is scanned in the share-request's frozenset
+        order here, so the reported conflict row and the rows-examined
+        count may differ from the protocol's footprint-order scan).
+        """
+        if self._closed:
+            raise OracleClosed("partitioned oracle is closed")
+        tso = self._tso
+        if tso._closed:
+            raise OracleClosed("timestamp oracle is closed")
+        # No protocol rounds to report for this engine.
+        self.last_flush_rounds = None
+        ct = self.commit_table
+        partitions = self.partitions
+        wsi = self.level == "wsi"
+        reason_tag = "rw-conflict" if wsi else "ww-conflict"
+        pc_append = payload_commits.append
+        pa_append = payload_aborts.append
+        res_append = results.append if results is not None else None
+        st = self.stats
+        commits = conflict_aborts = client_aborts = ro_commits = 0
+        single_commits = single_aborts = rows_updated = 0
         # Whole-batch delta of the per-partition rows_checked counters
-        # (covers shard rounds and cross-partition checks alike) — summed
-        # once per batch, not once per item.
+        # (covers shard rounds and cross-partition checks alike).
         checked_at_start = sum(p.stats.rows_checked for p in partitions)
 
-        # One run entry per item: [kind, req, fut, pid, decision]
-        # kind: "ca" client abort | "ro" read-only | "sp" single-partition
-        # decision (sp only): None until checked, then True (commit) or
-        # ("abort", reason, row).
+        # One run entry per item: [kind, req, fut, pid, decision].
         run: List[list] = []
 
         def flush_run():
             nonlocal commits, conflict_aborts, client_aborts, ro_commits
-            nonlocal single_commits, rows_updated
+            nonlocal single_commits, single_aborts, rows_updated
             if not run:
                 return
-            # Phase A: group the run's commit requests per shard,
-            # preserving batch order within each shard.
             groups: Dict[int, List[list]] = {}
             for entry in run:
                 if entry[0] == "sp":
                     groups.setdefault(entry[3], []).append(entry)
-            # Phase B: one bulk check round per involved shard.  Rows
-            # written by earlier committed-in-run requests live in the
-            # shard's `pending` set until the assignment pass installs
-            # them — any hit there is a conflict (the writer's commit
-            # timestamp, once assigned, exceeds every batch start).
             for pid, group in groups.items():
                 partition = partitions[pid]
                 lc_get = partition._last_commit.get
@@ -352,9 +855,6 @@ class PartitionedOracle:
                         entry[4] = True
                         pending_update(req.write_set)
                 partition.stats.rows_checked += shard_checked
-            # Phase C: assignment in batch order — commit timestamps,
-            # the (single) real installs, commit table, payloads,
-            # futures/results.
             nxt = tso._next
             reserved = tso._reserved_until
             issued = 0
@@ -401,6 +901,7 @@ class PartitionedOracle:
                                 res_append(None)
                             continue
                         conflict_aborts += 1
+                        single_aborts += 1
                         pa_append(start)
                         if fut is not None:
                             fut._reason = reason
@@ -413,7 +914,6 @@ class PartitionedOracle:
                                 )
                             )
                         continue
-                    # committed single-partition request
                     if nxt > reserved:
                         tso._next = nxt
                         tso._reserve()
@@ -446,11 +946,44 @@ class PartitionedOracle:
                 tso._issued += issued
             run.clear()
 
-        # Cross-partition items go through _commit_cross, which counts
-        # itself in self.stats / cross_partition_commits directly; these
-        # tallies only feed the returned whole-batch counters.
-        cross_commits = cross_aborts = cross_rows_updated = 0
+        def commit_cross_per_request(request):
+            # The pre-protocol two-phase decision: one share request and
+            # one _check visit per involved partition, per request.
+            check_shares = self._split(self._rows_to_check(request))
+            write_shares = self._split(request.write_set)
+            involved = set(check_shares) | set(write_shares)
+            for pid in sorted(involved):
+                partition = partitions[pid]
+                share_request = CommitRequest(
+                    request.start_ts,
+                    write_set=frozenset(write_shares.get(pid, ())),
+                    read_set=(
+                        frozenset(check_shares.get(pid, ()))
+                        if wsi
+                        else frozenset()
+                    ),
+                )
+                conflict = partition._check(share_request)
+                if conflict is not None:
+                    reason, row = conflict
+                    st.aborts += 1
+                    st.conflict_aborts += 1
+                    self.cross_partition_aborts += 1
+                    ct.record_abort(request.start_ts)
+                    return CommitResult(
+                        False, request.start_ts,
+                        reason=reason, conflict_row=row,
+                    )
+            commit_ts = tso.next()
+            for pid, rows in write_shares.items():
+                partitions[pid]._install(rows, commit_ts)
+                st.rows_updated += len(rows)
+            ct.record_commit(request.start_ts, commit_ts)
+            st.commits += 1
+            self.cross_partition_commits += 1
+            return CommitResult(True, request.start_ts, commit_ts=commit_ts)
 
+        cross_commits = cross_aborts = cross_rows_updated = 0
         try:
             for item in batch:
                 req, fut = item if item.__class__ is tuple else (item, None)
@@ -468,7 +1001,7 @@ class PartitionedOracle:
                 # after everything queued before it has taken effect.
                 flush_run()
                 try:
-                    result = self._commit_cross(req)
+                    result = commit_cross_per_request(req)
                 except Exception as exc:
                     errors.append((req.start_ts, exc))
                     if fut is not None:
@@ -489,21 +1022,17 @@ class PartitionedOracle:
                     if fut is not None:
                         fut._reason = result.reason
                         fut._row = result.conflict_row
-                if fut is not None:
-                    fut._result = result
                 if res_append is not None:
                     res_append(result)
             flush_run()
         finally:
-            # As in the monolithic engines: even if an error escapes
-            # mid-batch (e.g. a timestamp-reservation WAL failure), the
-            # work already applied stays counted.
             st.commits += commits + ro_commits
             st.read_only_commits += ro_commits
             st.aborts += conflict_aborts + client_aborts
             st.conflict_aborts += conflict_aborts
             st.rows_updated += rows_updated
             self.single_partition_commits += single_commits
+            self.single_partition_aborts += single_aborts
         rows_checked = (
             sum(p.stats.rows_checked for p in partitions) - checked_at_start
         )
@@ -529,8 +1058,18 @@ class PartitionedOracle:
         return len(self.partitions)
 
     def cross_partition_fraction(self) -> float:
-        total = self.cross_partition_commits + self.single_partition_commits
-        return self.cross_partition_commits / total if total else 0.0
+        """Fraction of *decisions* (commits and conflict aborts alike)
+        whose footprint crossed partitions.  Counting only commits would
+        report a misleading ~0 on a heavily-conflicting cross-partition
+        workload; read-only commits and client aborts involve no
+        partition and are excluded."""
+        cross = self.cross_partition_commits + self.cross_partition_aborts
+        total = (
+            cross
+            + self.single_partition_commits
+            + self.single_partition_aborts
+        )
+        return cross / total if total else 0.0
 
     def close(self) -> None:
         self._closed = True

@@ -1,0 +1,89 @@
+"""Deterministic row hashing for shard and block routing.
+
+Python's builtin ``hash()`` is salted per process for ``str``/``bytes``
+(``PYTHONHASHSEED``), so any placement derived from it — which conflict
+partition owns a row, which cache block a row falls into — silently
+changes from one process to the next.  For a single in-process oracle
+that is merely a reproducibility nuisance; for the distributed
+deployment §6.3 footnote 6 envisions it is a correctness bug: two
+frontends hashing the same row to *different* partitions would each
+consult a ``lastCommit`` shard that never saw the other's commits.
+
+:func:`stable_hash` is the process-independent replacement used by
+:class:`~repro.core.partitioned.PartitionedOracle` and the HBase-model
+block cache.  Properties:
+
+* deterministic across processes, interpreters and ``PYTHONHASHSEED``
+  values (pinned by ``tests/core/test_sharding.py`` via subprocesses);
+* **equal keys hash equal**, numeric cross-type equality included:
+  ``2 == 2.0 == Decimal(2)`` must all route to the same shard, exactly
+  as builtin ``hash()`` guarantees — otherwise a conflict between two
+  transactions writing the "same" row under different numeric types
+  would be checked against different ``lastCommit`` shards and missed.
+  Numbers therefore defer to Python's *numeric* hash, which is
+  cross-type consistent and never salted; small non-negative integers
+  (below CPython's numeric-hash modulus, :data:`INT_IDENTITY_BOUND`)
+  are their own hash, so integer keyspaces shard exactly like
+  ``row % num_partitions`` and benchmark workloads can *construct* a
+  row for a target shard (see ``make_aligned_requests``);
+* strings and bytes go through ``zlib.crc32`` over their UTF-8 bytes —
+  cheap, stable, and well-mixed for modulo placement; tuples hash
+  recursively over their elements (so ``(1,)`` and ``(1.0,)`` — equal
+  keys — share a shard, like every other equal pair);
+* any other hashable key falls back to CRC-32 of its ``repr()``, which
+  is canonical for the scalar keys used in this repository (containers
+  whose ``repr`` order is itself salt-dependent, e.g. a frozenset of
+  strings, should not be used as row keys).
+
+Callers that need a different placement (locality-aware sharding, a
+keyspace already pre-hashed) pass their own ``hash_fn=`` instead.
+"""
+
+from __future__ import annotations
+
+import numbers
+import zlib
+from typing import Hashable
+
+__all__ = ["INT_IDENTITY_BOUND", "stable_hash"]
+
+#: CPython's numeric-hash modulus (2**61 - 1): below it, a non-negative
+#: int is its own ``hash()``, so identity-hashing stays consistent with
+#: the numeric hash every other number type reduces to.
+INT_IDENTITY_BOUND = (1 << 61) - 1
+
+
+def stable_hash(row: Hashable) -> int:
+    """A non-negative, process-independent hash of a row key."""
+    tp = type(row)
+    if tp is int:
+        if 0 <= row < INT_IDENTITY_BOUND:
+            return row
+        # Huge or negative ints join the numeric-hash rule below so
+        # they agree with any equal float/Decimal/Fraction key.
+        h = hash(row)
+        return h if h >= 0 else -h
+    if tp is str:
+        return zlib.crc32(row.encode("utf-8"))
+    if tp is bytes:
+        return zlib.crc32(row)
+    if isinstance(row, numbers.Number):
+        # Python's numeric hash is unsalted and equal across numeric
+        # types for equal values (2 == 2.0 == Decimal(2) == Fraction(2)
+        # share one hash) — the invariant shard routing depends on.
+        h = hash(row)
+        return h if h >= 0 else -h
+    if isinstance(row, tuple):
+        # Recurse so equal tuples hash equal even when elements differ
+        # in numeric type — (1,) == (1.0,) must share a shard; a repr()
+        # of the tuple would split them.  Every stable_hash result fits
+        # 8 bytes (crc32 < 2**32, numeric hashes < 2**61), so the
+        # element hashes concatenate into a canonical byte string.
+        return zlib.crc32(
+            b"".join(stable_hash(item).to_bytes(8, "little") for item in row)
+        )
+    if isinstance(row, str):
+        return zlib.crc32(row.encode("utf-8"))
+    if isinstance(row, bytes):
+        return zlib.crc32(row)
+    return zlib.crc32(repr(row).encode("utf-8"))

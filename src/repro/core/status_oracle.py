@@ -608,6 +608,40 @@ class StatusOracle:
         self.stats.rows_checked += checked
         return None
 
+    def check_share(
+        self, rows: Iterable[RowKey], start_ts: int
+    ) -> Tuple[Optional[RowKey], int]:
+        """Validate one *share* of a footprint against ``lastCommit``.
+
+        The bulk share-check primitive of the partitioned deployment
+        (§6.3 footnote 6): a coordinator hands each involved partition
+        the rows it owns, and the partition answers with the first
+        conflicting row — scanning ``rows`` in iteration order with the
+        same early stop as a sequential :meth:`commit` — plus how many
+        rows it examined.  Returns ``(conflict_row, rows_examined)``;
+        ``conflict_row`` is ``None`` when every row passes.
+
+        Deliberately side-effect free: no stats, no state.  The caller
+        — :meth:`PartitionedOracle._commit_cross` for one request, the
+        partitioned batch protocol for a whole run of them — owns the
+        accounting, because only the caller knows whether the scan
+        "really happened" in the sequential-equivalent order (the batch
+        protocol validates shares eagerly and attributes ``rows_checked``
+        during its merge pass).  The comparison is the plain lastCommit
+        rule shared by SI and WSI; *which* rows form the share is the
+        caller's level-dependent choice.  The bounded oracle's Tmax
+        refinement is not modelled here — conflict partitions are plain
+        SI/WSI oracles.
+        """
+        lc_get = self._last_commit.get
+        checked = 0
+        for row in rows:
+            checked += 1
+            last = lc_get(row)
+            if last is not None and last > start_ts:
+                return row, checked
+        return None, checked
+
     def _install(self, rows: Iterable[RowKey], commit_ts: int) -> None:
         for row in rows:
             self._last_commit[row] = commit_ts

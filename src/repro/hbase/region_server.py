@@ -16,8 +16,9 @@ be serviced from the data already loaded into data servers").
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Hashable, Iterator, Optional
+from typing import Any, Callable, Hashable, Iterator, Optional
 
+from repro.core.sharding import stable_hash
 from repro.mvcc.store import MVCCStore
 from repro.mvcc.version import Version
 
@@ -29,19 +30,33 @@ DEFAULT_ROWS_PER_BLOCK = 64
 
 
 class BlockCache:
-    """LRU cache of row-block ids, used to classify reads hot vs cold."""
+    """LRU cache of row-block ids, used to classify reads hot vs cold.
 
-    def __init__(self, capacity_blocks: int, rows_per_block: int = DEFAULT_ROWS_PER_BLOCK) -> None:
+    Block placement uses the process-independent
+    :func:`~repro.core.sharding.stable_hash` (integer rows map to
+    themselves, so consecutive rows share a block — HBase's
+    consecutive-row regions — and hit rates are reproducible across
+    processes regardless of ``PYTHONHASHSEED``); pass ``hash_fn=`` for
+    a different placement.
+    """
+
+    def __init__(
+        self,
+        capacity_blocks: int,
+        rows_per_block: int = DEFAULT_ROWS_PER_BLOCK,
+        hash_fn: Optional[Callable[[RowKey], int]] = None,
+    ) -> None:
         if capacity_blocks < 0:
             raise ValueError("capacity_blocks must be >= 0")
         self._capacity = capacity_blocks
         self._rows_per_block = rows_per_block
+        self._hash = hash_fn or stable_hash
         self._blocks: OrderedDict[int, None] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
     def block_of(self, row: RowKey) -> int:
-        return hash(row) // self._rows_per_block
+        return self._hash(row) // self._rows_per_block
 
     def touch(self, row: RowKey) -> bool:
         """Record an access; return True on cache hit, False on miss."""

@@ -91,6 +91,14 @@ class FlushedBatch:
     durable_event: Any = None
     #: True once some future of this batch registered a done-callback.
     has_callbacks: bool = False
+    #: Per-partition protocol rounds this flush cost, when the backend
+    #: is a :class:`~repro.core.partitioned.PartitionedOracle` decided
+    #: through its batch engine (a
+    #: :class:`~repro.core.partitioned.BatchRounds`); ``None`` for
+    #: monolithic backends and per-request mode.  In a distributed
+    #: deployment each check/install round is one RPC to one partition —
+    #: this is the amortization the cross-partition batch protocol buys.
+    protocol_rounds: Any = None
 
     @property
     def size(self) -> int:
@@ -198,6 +206,13 @@ class FrontendStats:
     flushes_by_timer: int = 0
     flushes_by_force: int = 0
     max_batch_seen: int = 0
+    #: Totals of the partitioned batch protocol's per-partition rounds
+    #: (zero for monolithic backends): check rounds are phase-1 bulk
+    #: validations, install rounds phase-3 bulk installs — one RPC each
+    #: per partition per flush in a distributed deployment.
+    partition_check_rounds: int = 0
+    partition_install_rounds: int = 0
+    cross_partition_requests: int = 0
 
     def avg_batch_size(self) -> float:
         """Mean decisions per batch; 0.0 before any flush (never raises
@@ -465,6 +480,7 @@ class OracleFrontend:
         payload_commits: List[Tuple[int, int, Any]] = []
         payload_aborts: List[int] = []
         errors: List[Tuple[int, BaseException]] = []
+        rounds = None
         if self._per_request:
             counters = self._process_per_request(
                 batch, payload_commits, payload_aborts, errors
@@ -476,6 +492,10 @@ class OracleFrontend:
             counters = self._engine(
                 batch, payload_commits, payload_aborts, errors, None
             )
+            # The partitioned engine reports how many per-partition
+            # protocol rounds the flush cost (BatchRounds); monolithic
+            # engines have no such notion and leave this None.
+            rounds = getattr(self._backend, "last_flush_rounds", None)
         commits, aborts, rows_checked, rows_updated = counters
 
         # One group-commit record for the whole batch (§6.3 / Appendix A
@@ -508,6 +528,11 @@ class OracleFrontend:
             stats.flushes_by_timer += 1
         else:
             stats.flushes_by_force += 1
+        if rounds is not None:
+            stats.partition_check_rounds += rounds.check_rounds
+            stats.partition_install_rounds += rounds.install_rounds
+            stats.cross_partition_requests += rounds.cross_requests
+            cell.protocol_rounds = rounds
 
         cell.trigger = trigger
         cell.commits = commits
@@ -589,8 +614,10 @@ class OracleFrontend:
                 if fut is not None:
                     fut._reason = result.reason
                     fut._row = result.conflict_row
-            if fut is not None:
-                fut._result = result
+            # Futures are left in exactly the state the batch engines
+            # leave them: outcome fields set, ``_result`` built lazily
+            # on first read — so a resolved future is indistinguishable
+            # across decision paths (pinned by tests/server).
         return (
             commits,
             aborts,

@@ -85,6 +85,108 @@ class TestCrossPartition:
         assert oracle.cross_partition_commits == 1
         assert 0 < oracle.cross_partition_fraction() < 1
 
+    def test_fraction_counts_aborted_cross_decisions(self):
+        # A heavily-conflicting cross-partition workload used to report
+        # a misleading ~0 fraction because only *commits* were counted;
+        # the fraction is over decisions (commits + conflict aborts).
+        oracle = PartitionedOracle(level="si", num_partitions=4)
+        rows = set(range(8))  # spans all four partitions
+        ts = oracle.begin()
+        assert oracle.commit(req(ts, writes=rows)).committed
+        stale = [oracle.begin() for _ in range(4)]
+        ts = oracle.begin()
+        assert oracle.commit(req(ts, writes=rows)).committed
+        for start in stale:  # all conflict, all cross-partition
+            result = oracle.commit(req(start, writes=rows))
+            assert not result.committed
+        assert oracle.cross_partition_commits == 2
+        assert oracle.cross_partition_aborts == 4
+        assert oracle.cross_partition_fraction() == 1.0
+
+    def test_fraction_counts_single_partition_aborts(self):
+        oracle = PartitionedOracle(level="si", num_partitions=4)
+        ts = oracle.begin()
+        stale = oracle.begin()
+        assert oracle.commit(req(ts, writes={0})).committed
+        assert not oracle.commit(req(stale, writes={0})).committed
+        assert oracle.single_partition_aborts == 1
+        assert oracle.cross_partition_fraction() == 0.0
+
+    def test_fraction_ignores_read_only_and_client_aborts(self):
+        oracle = PartitionedOracle(level="wsi", num_partitions=4)
+        oracle.commit(req(oracle.begin(), reads={"a", "b"}))
+        oracle.abort(oracle.begin())
+        assert oracle.cross_partition_fraction() == 0.0
+
+    def test_fraction_same_through_decide_batch(self):
+        def drive(oracle):
+            starts = [oracle.begin() for _ in range(6)]
+            items = [
+                req(starts[0], writes={0, 1}),        # cross commit
+                req(starts[1], writes={0}),           # single commit
+                req(starts[2], writes={0, 1}),        # cross...
+                req(starts[3], writes={0}),           # single...
+                req(starts[4]),                       # read-only
+                starts[5],                            # client abort
+            ]
+            return items
+
+        seq = PartitionedOracle(level="si", num_partitions=2)
+        for item in drive(seq):
+            if isinstance(item, int):
+                seq.abort(item)
+            else:
+                seq.commit(item)
+        batched = PartitionedOracle(level="si", num_partitions=2)
+        batched.decide_batch(drive(batched))
+        assert (
+            batched.cross_partition_fraction()
+            == seq.cross_partition_fraction()
+            == 0.5
+        )
+
+
+class TestBatchProtocolRounds:
+    def test_one_round_per_involved_partition_per_flush(self):
+        oracle = PartitionedOracle(level="si", num_partitions=4)
+        starts = [oracle.begin() for _ in range(6)]
+        # Three cross requests over partitions {0,1}, {1,2}, {2,3} plus
+        # three single-partition requests on partition 0.
+        items = [
+            req(starts[0], writes={0, 1}),
+            req(starts[1], writes={5, 6}),
+            req(starts[2], writes={10, 11}),
+            req(starts[3], writes={4}),
+            req(starts[4], writes={8}),
+            req(starts[5], writes={12}),
+        ]
+        oracle.decide_batch(items)
+        rounds = oracle.last_flush_rounds
+        assert rounds.flushes == 1
+        assert rounds.cross_requests == 3
+        assert rounds.single_requests == 3
+        # Every partition was involved exactly once per phase — not once
+        # per request.
+        assert rounds.check_rounds == 4
+        assert rounds.install_rounds == 4
+        assert oracle.round_stats.check_rounds == 4
+
+    def test_rounds_accumulate_across_flushes(self):
+        oracle = PartitionedOracle(level="si", num_partitions=2)
+        for _ in range(3):
+            oracle.decide_batch([req(oracle.begin(), writes={0, 1})])
+        assert oracle.round_stats.flushes == 3
+        assert oracle.round_stats.check_rounds == 6
+        assert oracle.round_stats.cross_requests == 3
+
+    def test_per_request_fallback_reports_no_rounds(self):
+        oracle = PartitionedOracle(
+            level="si", num_partitions=2, batch_cross=False
+        )
+        oracle.decide_batch([req(oracle.begin(), writes={0, 1})])
+        assert oracle.last_flush_rounds is None
+        assert oracle.cross_partition_commits == 1
+
 
 class TestDifferentialEquivalence:
     """The partitioned oracle must decide exactly like a monolithic one."""

@@ -1,0 +1,147 @@
+"""Routing determinism: shard and block placement must not depend on the
+process (satellite of the cross-partition batch protocol PR).
+
+Python salts ``hash(str)`` per process (``PYTHONHASHSEED``), so any
+placement derived from the builtin hash silently differs between
+processes — a correctness bug for a distributed deployment of §6.3
+footnote 6 (two frontends would route the same row to different
+``lastCommit`` shards) and a reproducibility bug for every benchmark.
+These tests pin the replacement, :func:`repro.core.sharding.stable_hash`,
+and the routing built on it, including across subprocesses launched with
+different ``PYTHONHASHSEED`` values.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.partitioned import PartitionedOracle
+from repro.core.sharding import stable_hash
+from repro.hbase.region_server import BlockCache
+
+FIXED_KEYS = [
+    "row", "r0", "account:42", "user#9", "", "élève",
+    0, 1, 7, 63, 64, 1_000_003, -5,
+    b"bytes-key", ("compound", 3),
+]
+
+
+class TestStableHash:
+    def test_deterministic_within_process(self):
+        for key in FIXED_KEYS:
+            assert stable_hash(key) == stable_hash(key)
+
+    def test_non_negative(self):
+        for key in FIXED_KEYS:
+            assert stable_hash(key) >= 0
+
+    def test_integers_hash_to_themselves(self):
+        # Integer keyspaces shard exactly like row % num_partitions, so
+        # benchmark workloads can construct a row for a target shard.
+        assert stable_hash(12345) == 12345
+        assert stable_hash(0) == 0
+        assert stable_hash(-7) == 7
+
+    def test_known_string_values_pinned(self):
+        # CRC-32 of the UTF-8 bytes: pin two values so any change to the
+        # encoding rule is caught (these must never vary by process).
+        import zlib
+
+        assert stable_hash("row") == zlib.crc32(b"row")
+        assert stable_hash(b"row") == zlib.crc32(b"row")
+        assert stable_hash("row") == stable_hash(b"row")
+
+    def test_spreads_over_partitions(self):
+        buckets = {stable_hash(f"row{i}") % 4 for i in range(64)}
+        assert buckets == {0, 1, 2, 3}
+
+    def test_equal_keys_hash_equal_across_numeric_types(self):
+        # Dict/set semantics make 2, 2.0, Decimal(2) and Fraction(2)
+        # the SAME row key, so they must share a shard — exactly the
+        # invariant builtin hash() guarantees for numbers.  A split
+        # would route the "same" row to two lastCommit shards and miss
+        # conflicts.
+        from decimal import Decimal
+        from fractions import Fraction
+
+        for a, b in [
+            (2, 2.0),
+            (2, Decimal(2)),
+            (2, Fraction(2)),
+            (1, True),
+            (0, False),
+            (-7, -7.0),
+            (2**64, 2.0**64),  # above the int-identity bound
+            ((1,), (1.0,)),  # equal tuples with mixed element types
+            (("k", 2, (3,)), ("k", 2.0, (3.0,))),  # nested
+        ]:
+            assert a == b
+            assert stable_hash(a) == stable_hash(b), (a, b)
+
+    def test_mixed_numeric_types_conflict_like_a_monolith(self):
+        # The end-to-end consequence of the invariant above: a write to
+        # row 2.0 must conflict with a concurrent write to row 2 under
+        # the partitioned oracle exactly as under a monolithic one.
+        from repro.core.status_oracle import CommitRequest, make_oracle
+
+        def drive(oracle):
+            t_old = oracle.begin()
+            t_new = oracle.begin()
+            assert oracle.commit(
+                CommitRequest(t_new, write_set=frozenset({2.0}))
+            ).committed
+            return oracle.commit(
+                CommitRequest(t_old, write_set=frozenset({2}))
+            ).committed
+
+        mono = drive(make_oracle("si"))
+        part = drive(PartitionedOracle(level="si", num_partitions=4))
+        assert part == mono is False
+
+
+def _routing_fingerprint():
+    """Shard + block placement of the fixed keys, as one string."""
+    oracle = PartitionedOracle(level="wsi", num_partitions=5)
+    cache = BlockCache(capacity_blocks=4)
+    shards = [oracle.partition_of(key) for key in FIXED_KEYS]
+    blocks = [cache.block_of(key) for key in FIXED_KEYS]
+    return ",".join(map(str, shards + blocks))
+
+
+SUBPROCESS_SNIPPET = """
+import sys
+sys.path.insert(0, {src!r})
+from tests.core.test_sharding import _routing_fingerprint
+sys.stdout.write(_routing_fingerprint())
+"""
+
+
+class TestRoutingIsProcessIndependent:
+    @pytest.mark.parametrize("hashseed", ["0", "1", "31337"])
+    def test_same_routing_under_any_pythonhashseed(self, hashseed):
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        src = os.path.join(repo_root, "src")
+        env = dict(os.environ, PYTHONHASHSEED=hashseed)
+        env["PYTHONPATH"] = repo_root + os.pathsep + src
+        out = subprocess.run(
+            [sys.executable, "-c", SUBPROCESS_SNIPPET.format(src=src)],
+            env=env,
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout == _routing_fingerprint()
+
+    def test_pluggable_hash_fn(self):
+        oracle = PartitionedOracle(
+            level="si", num_partitions=4, hash_fn=lambda row: 2
+        )
+        for key in FIXED_KEYS:
+            assert oracle.partition_of(key) == 2
+        cache = BlockCache(capacity_blocks=4, hash_fn=lambda row: 128)
+        assert cache.block_of("anything") == 128 // 64

@@ -27,6 +27,7 @@ record must replay to the same state as the sequential per-record log.
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.partitioned import PartitionedOracle
@@ -276,6 +277,19 @@ def test_decide_batch_bounded_equivalence(batches, max_rows, level):
     assert_same_final_state(oracle, reference, check_lru=True)
 
 
+def assert_same_partitioned_state(oracle, reference):
+    for partition, ref_partition in zip(oracle.partitions, reference.partitions):
+        assert partition._last_commit == ref_partition._last_commit
+        assert partition.stats == ref_partition.stats
+    assert oracle.commit_table._commits == reference.commit_table._commits
+    assert oracle.commit_table._aborted == reference.commit_table._aborted
+    assert oracle.stats == reference.stats
+    assert oracle.cross_partition_commits == reference.cross_partition_commits
+    assert oracle.cross_partition_aborts == reference.cross_partition_aborts
+    assert oracle.single_partition_commits == reference.single_partition_commits
+    assert oracle.single_partition_aborts == reference.single_partition_aborts
+
+
 @given(
     batches=decision_batches(),
     num_partitions=st.integers(min_value=1, max_value=4),
@@ -286,14 +300,235 @@ def test_decide_batch_partitioned_equivalence(batches, num_partitions, level):
     oracle = PartitionedOracle(level=level, num_partitions=num_partitions)
     reference = PartitionedOracle(level=level, num_partitions=num_partitions)
     assert run_batched(oracle, batches) == run_sequential(reference, batches)
-    for partition, ref_partition in zip(oracle.partitions, reference.partitions):
-        assert partition._last_commit == ref_partition._last_commit
-        assert partition.stats == ref_partition.stats
-    assert oracle.commit_table._commits == reference.commit_table._commits
-    assert oracle.commit_table._aborted == reference.commit_table._aborted
-    assert oracle.stats == reference.stats
-    assert oracle.cross_partition_commits == reference.cross_partition_commits
-    assert oracle.single_partition_commits == reference.single_partition_commits
+    assert_same_partitioned_state(oracle, reference)
+
+
+# ----------------------------------------------------------------------
+# mixed single/cross batches: the cross-partition batch protocol
+# ----------------------------------------------------------------------
+#
+# Rows are integers constructed per target shard (stable_hash maps an
+# integer to itself, so ``shard + k * PARTS`` lands exactly on
+# ``shard``): each generated footprint is explicitly partition-aligned
+# or explicitly spanning, so every batch genuinely mixes
+# single-partition runs with cross-partition members — the shape the
+# batch protocol decides with one bulk round per partition per flush.
+
+PARTS = 3
+
+
+@st.composite
+def mixed_partition_batches(draw):
+    batches = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        batch = []
+        for _ in range(draw(st.integers(min_value=0, max_value=10))):
+            client_abort = draw(st.booleans()) and draw(st.booleans())  # ~25 %
+            if client_abort:
+                batch.append((frozenset(), frozenset(), True))
+                continue
+            kind = draw(st.sampled_from(["aligned", "cross", "ro"]))
+            if kind == "ro":
+                reads = {
+                    draw(st.integers(min_value=0, max_value=11))
+                    for _ in range(draw(st.integers(min_value=0, max_value=2)))
+                }
+                batch.append((frozenset(reads), frozenset(), False))
+                continue
+            if kind == "aligned":
+                shard = draw(st.integers(min_value=0, max_value=PARTS - 1))
+                shards = [shard]
+            else:
+                shards = list(range(PARTS))
+            rows = st.sampled_from(
+                [s + k * PARTS for s in shards for k in range(4)]
+            )
+            writes = draw(st.sets(rows, min_size=1, max_size=4))
+            reads = draw(st.sets(rows, max_size=4))
+            batch.append((frozenset(reads), frozenset(writes), False))
+        batches.append(batch)
+    return batches
+
+
+@given(
+    batches=mixed_partition_batches(),
+    level=st.sampled_from(["si", "wsi"]),
+    bounded=st.booleans(),
+)
+@settings(max_examples=100, deadline=None)
+def test_decide_batch_mixed_footprints_plain_and_bounded(batches, level, bounded):
+    # The same mixed single/cross workload must also decide identically
+    # on the monolithic oracles (there the distinction is invisible —
+    # which is the point: partitioning never changes decisions).
+    kwargs = {"bounded": True, "max_rows": 5} if bounded else {}
+    oracle = make_oracle(level, **kwargs)
+    reference = make_oracle(level, **kwargs)
+    assert run_batched(oracle, batches) == run_sequential(reference, batches)
+    assert_same_final_state(oracle, reference, check_lru=bounded)
+
+
+@given(
+    batches=mixed_partition_batches(),
+    num_partitions=st.sampled_from([1, 2, PARTS, 5]),
+    level=st.sampled_from(["si", "wsi"]),
+)
+@settings(max_examples=120, deadline=None)
+def test_decide_batch_mixed_footprints_partitioned(
+    batches, num_partitions, level
+):
+    oracle = PartitionedOracle(level=level, num_partitions=num_partitions)
+    reference = PartitionedOracle(level=level, num_partitions=num_partitions)
+    assert run_batched(oracle, batches) == run_sequential(reference, batches)
+    assert_same_partitioned_state(oracle, reference)
+
+
+@given(
+    batches=mixed_partition_batches(),
+    num_partitions=st.sampled_from([2, PARTS]),
+    level=st.sampled_from(["si", "wsi"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_decide_batch_cross_protocol_equals_per_request_fallback(
+    batches, num_partitions, level
+):
+    # The preserved pre-protocol engine (benchmark E19's baseline) and
+    # the batch protocol must agree on every decision and on the final
+    # state.  The reported conflict *row* and the per-partition
+    # rows-examined counts may legitimately differ: the fallback scans a
+    # conflicting share in its share-request's frozenset order, the
+    # protocol in footprint order, and a conflict stops either scan
+    # early — which row stops it is scan-order detail, not decision.
+    oracle = PartitionedOracle(level=level, num_partitions=num_partitions)
+    fallback = PartitionedOracle(
+        level=level, num_partitions=num_partitions, batch_cross=False
+    )
+    decisions = [
+        (r.committed, r.start_ts, r.commit_ts, r.reason)
+        for r in run_batched(oracle, batches)
+    ]
+    fallback_decisions = [
+        (r.committed, r.start_ts, r.commit_ts, r.reason)
+        for r in run_batched(fallback, batches)
+    ]
+    assert decisions == fallback_decisions
+    for partition, fb_partition in zip(oracle.partitions, fallback.partitions):
+        assert partition._last_commit == fb_partition._last_commit
+    assert oracle.commit_table._commits == fallback.commit_table._commits
+    assert oracle.commit_table._aborted == fallback.commit_table._aborted
+    assert oracle.stats == fallback.stats
+    assert oracle.cross_partition_commits == fallback.cross_partition_commits
+    assert oracle.cross_partition_aborts == fallback.cross_partition_aborts
+    assert oracle.single_partition_commits == fallback.single_partition_commits
+    assert oracle.single_partition_aborts == fallback.single_partition_aborts
+
+
+@given(
+    batches=mixed_partition_batches(),
+    num_partitions=st.sampled_from([2, PARTS]),
+    level=st.sampled_from(["si", "wsi"]),
+    bad_positions=st.sets(st.integers(min_value=0, max_value=9), max_size=2),
+)
+@settings(max_examples=80, deadline=None)
+def test_decide_batch_mid_batch_errors_isolated(
+    batches, num_partitions, level, bad_positions
+):
+    # Commit-table protocol errors (aborting an already-committed
+    # transaction) mid-batch must be isolated to the offending request:
+    # the rest of the batch decides exactly as if the bad item were
+    # skipped, and the first error re-raises afterwards — for the batch
+    # protocol and the sequential path alike.
+    oracle = PartitionedOracle(level=level, num_partitions=num_partitions)
+    reference = PartitionedOracle(level=level, num_partitions=num_partitions)
+
+    # Pre-commit one transaction on both oracles; aborting it later is
+    # the protocol error injected mid-batch.
+    committed_req = CommitRequest(
+        oracle.begin(), write_set=frozenset([0, 1, PARTS])
+    )
+    assert oracle.commit(committed_req).committed
+    ref_req = CommitRequest(
+        reference.begin(), write_set=frozenset([0, 1, PARTS])
+    )
+    assert reference.commit(ref_req).committed
+    bad_start = committed_req.start_ts
+
+    for batch in batches:
+        items, ref_items = [], []
+        for i, (reads, writes, client_abort) in enumerate(batch):
+            start = oracle.begin()
+            ref_start = reference.begin()
+            if i in bad_positions:
+                items.append(bad_start)
+                ref_items.append(bad_start)
+            elif client_abort:
+                items.append(start)
+                ref_items.append(ref_start)
+            else:
+                items.append(
+                    CommitRequest(start, write_set=writes, read_set=reads)
+                )
+                ref_items.append(
+                    CommitRequest(ref_start, write_set=writes, read_set=reads)
+                )
+        expect_error = any(i < len(batch) for i in bad_positions)
+        if expect_error:
+            with pytest.raises(ValueError, match="already committed"):
+                oracle.decide_batch(items)
+        else:
+            oracle.decide_batch(items)
+        for item in ref_items:
+            if isinstance(item, int):
+                try:
+                    reference.abort(item)
+                except ValueError:
+                    assert item == bad_start
+            else:
+                reference.commit(item)
+    assert_same_partitioned_state(oracle, reference)
+
+
+@given(
+    batches=mixed_partition_batches(),
+    num_partitions=st.sampled_from([2, PARTS]),
+    level=st.sampled_from(["si", "wsi"]),
+    max_batch=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_partitioned_group_commit_wal_replay(
+    batches, num_partitions, level, max_batch
+):
+    # Durability leg for the partitioned deployment: the frontend's
+    # group-commit records over a mixed single/cross workload must
+    # replay — on a *monolithic* oracle — to exactly the union of the
+    # partitions' lastCommit shares and the same commit table.
+    wal = BookKeeperWAL()
+    oracle = PartitionedOracle(level=level, num_partitions=num_partitions)
+    frontend = OracleFrontend(oracle, max_batch=max_batch, wal=wal)
+    for batch in batches:
+        for reads, writes, client_abort in batch:
+            start = frontend.begin()
+            if client_abort:
+                frontend.submit_abort(start)
+            else:
+                frontend.submit_commit(
+                    CommitRequest(start, write_set=writes, read_set=reads)
+                )
+        frontend.flush()
+    wal.flush()
+    recovered = make_oracle(level)
+    recovered.recover_from(wal)
+    union = {}
+    for partition in oracle.partitions:
+        union.update(partition._last_commit)
+    assert dict(recovered._last_commit) == union
+    assert recovered.commit_table._commits == oracle.commit_table._commits
+    assert recovered.commit_table._aborted == oracle.commit_table._aborted
+    # and the recovered oracle resumes timestamps above everything used
+    assert recovered.begin() > max(
+        [0]
+        + list(oracle.commit_table._commits)
+        + list(oracle.commit_table._commits.values())
+    )
 
 
 @given(

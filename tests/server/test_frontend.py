@@ -349,3 +349,136 @@ class TestClientSession:
         frontend.flush()
         assert session.aborts == 1
         assert oracle.commit_table.is_aborted(start)
+
+
+class TestFutureStateParity:
+    """A resolved future must be indistinguishable across decision paths
+    (batch engines, the per-request fallback path, single- and
+    cross-partition branches of the partitioned engine)."""
+
+    FUTURE_SLOTS = (
+        "_done", "_committed", "_commit_ts", "_reason", "_row", "_error"
+    )
+
+    def _snapshot(self, future):
+        # _result is built lazily on first read in every path; force it
+        # so the comparison covers the full resolved surface.
+        result = future.result() if future._error is None else None
+        return (
+            tuple(getattr(future, slot) for slot in self.FUTURE_SLOTS),
+            result,
+        )
+
+    def _drive(self, frontend):
+        """One commit, one conflict abort, one cross-partition commit,
+        one client abort — resolved futures returned in that order."""
+        t1 = frontend.begin()
+        stale = frontend.begin()
+        f_commit = frontend.submit_commit(req(t1, writes={0, 1, 2, 3}))
+        frontend.flush()
+        f_conflict = frontend.submit_commit(
+            req(stale, writes={0}, reads={0})
+        )
+        t3 = frontend.begin()
+        f_cross = frontend.submit_commit(req(t3, writes={4, 5, 6, 7}))
+        t4 = frontend.begin()
+        f_client = frontend.submit_abort(t4)
+        frontend.flush()
+        return [f_commit, f_conflict, f_cross, f_client]
+
+    def test_partitioned_engine_vs_per_request_mode(self):
+        from repro.core.partitioned import PartitionedOracle
+
+        snapshots = []
+        for per_request in (False, True):
+            oracle = PartitionedOracle(level="wsi", num_partitions=4)
+            frontend = OracleFrontend(
+                oracle, max_batch=32, wal=BookKeeperWAL(),
+                per_request=per_request,
+            )
+            futures = self._drive(frontend)
+            snapshots.append([self._snapshot(f) for f in futures])
+        engine_state, per_request_state = snapshots
+        assert engine_state == per_request_state
+
+    @pytest.mark.parametrize("level", ["si", "wsi"])
+    def test_monolithic_engine_vs_per_request_mode(self, level):
+        snapshots = []
+        for per_request in (False, True):
+            oracle = make_oracle(level)
+            frontend = OracleFrontend(
+                oracle, max_batch=32, wal=BookKeeperWAL(),
+                per_request=per_request,
+            )
+            futures = self._drive(frontend)
+            snapshots.append([self._snapshot(f) for f in futures])
+        assert snapshots[0] == snapshots[1]
+
+    def test_single_and_cross_commit_futures_identical_shape(self):
+        from repro.core.partitioned import PartitionedOracle
+
+        oracle = PartitionedOracle(level="wsi", num_partitions=4)
+        frontend = OracleFrontend(oracle, max_batch=32, wal=BookKeeperWAL())
+        t1, t2 = frontend.begin(), frontend.begin()
+        f_single = frontend.submit_commit(req(t1, writes={0}))
+        f_cross = frontend.submit_commit(req(t2, writes={1, 2, 3}))
+        frontend.flush()
+        assert oracle.single_partition_commits == 1
+        assert oracle.cross_partition_commits == 1
+        for future in (f_single, f_cross):
+            # Identical resolution state: fields set, no eager _result.
+            assert future._committed is True
+            assert future._commit_ts is not None
+            assert future._result is None  # built lazily...
+            assert future.result().committed  # ...on first read
+            assert future._result is not None
+
+
+class TestProtocolRounds:
+    def test_partitioned_flush_reports_rounds(self):
+        from repro.core.partitioned import PartitionedOracle
+
+        oracle = PartitionedOracle(level="wsi", num_partitions=4)
+        frontend = OracleFrontend(oracle, max_batch=8, wal=BookKeeperWAL())
+        cells = []
+        frontend.on_flush(cells.append)
+        t1, t2 = frontend.begin(), frontend.begin()
+        # WSI checks the read set, so read what is written.
+        frontend.submit_commit(
+            req(t1, writes={0, 1, 2, 3}, reads={0, 1, 2, 3})  # all 4 shards
+        )
+        frontend.submit_commit(req(t2, writes={4}, reads={4}))  # shard 0
+        frontend.flush()
+        (cell,) = cells
+        rounds = cell.protocol_rounds
+        assert rounds is not None
+        assert rounds.cross_requests == 1
+        assert rounds.single_requests == 1
+        assert rounds.check_rounds == 4
+        assert rounds.install_rounds == 4
+        stats = frontend.stats
+        assert stats.partition_check_rounds == 4
+        assert stats.partition_install_rounds == 4
+        assert stats.cross_partition_requests == 1
+
+    def test_monolithic_flush_reports_none(self):
+        frontend, _, _ = make_frontend(max_batch=8)
+        cells = []
+        frontend.on_flush(cells.append)
+        frontend.submit_commit(req(frontend.begin(), writes={"a"}))
+        frontend.flush()
+        assert cells[0].protocol_rounds is None
+        assert frontend.stats.partition_check_rounds == 0
+
+    def test_per_request_mode_reports_none(self):
+        from repro.core.partitioned import PartitionedOracle
+
+        oracle = PartitionedOracle(level="wsi", num_partitions=2)
+        frontend = OracleFrontend(
+            oracle, max_batch=8, wal=BookKeeperWAL(), per_request=True
+        )
+        cells = []
+        frontend.on_flush(cells.append)
+        frontend.submit_commit(req(frontend.begin(), writes={0, 1}))
+        frontend.flush()
+        assert cells[0].protocol_rounds is None
