@@ -18,24 +18,31 @@ test-fast:
 bench:
 	$(PYTEST) benchmarks -q -s
 
-## Fast perf sanity check: the E17/E18/E19 hot-path speedup bars at tiny
-## sizes (REPRO_BENCH_SMOKE relaxes the bars accordingly).  Runs in a
-## few seconds; `make test-fast` still skips the benchmarks directory
+## Fast perf sanity check: the E17/E18/E19/E20 hot-path speedup bars at
+## tiny sizes (REPRO_BENCH_SMOKE relaxes the bars accordingly).  Runs in
+## a few seconds; `make test-fast` still skips the benchmarks directory
 ## entirely (its conftest marks every figure benchmark @slow).
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 $(PYTEST) \
 		benchmarks/test_e17_group_commit.py::test_e17_group_commit_speedup \
 		benchmarks/test_e18_batch_decide.py::test_e18_batch_decide_speedup \
 		benchmarks/test_e19_cross_partition_batch.py::test_e19_cross_partition_batch_speedup \
+		benchmarks/test_e20_begin_lease.py::test_e20_begin_lease_speedup \
 		-q -s
 
 ## The fast suite twice under two different hash salts: routing (shard
 ## and block placement) must be identical regardless of PYTHONHASHSEED,
 ## so any decision or stat that silently depended on builtin str/bytes
-## hashing fails one of the two runs.
+## hashing fails one of the two runs.  The begin/recover no-reuse pins
+## ride in both salted runs; the explicit third pair keeps them covered
+## even if the fast-suite marker set ever changes.
 check:
 	PYTHONHASHSEED=0 $(PYTEST) -m "not slow" -q
 	PYTHONHASHSEED=31337 $(PYTEST) -m "not slow" -q
+	PYTHONHASHSEED=0 $(PYTEST) -q \
+		tests/core/test_timestamps.py tests/server/test_frontend_recovery.py
+	PYTHONHASHSEED=31337 $(PYTEST) -q \
+		tests/core/test_timestamps.py tests/server/test_frontend_recovery.py
 
 ## cProfile the batch-decide frontend microbench and print the top-20
 ## functions by cumulative time (where the critical section spends it).

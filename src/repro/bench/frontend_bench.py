@@ -119,6 +119,7 @@ def _run_batched(
     partitions: int,
     use_futures: bool,
     per_request: bool = False,
+    begin_lease: int = 1,
 ):
     # In per-request mode the backend gets no WAL of its own (its
     # commit() would otherwise append one record per decision and the
@@ -129,16 +130,20 @@ def _run_batched(
     if partitions:
         oracle = PartitionedOracle(level=level, num_partitions=partitions)
         frontend = OracleFrontend(
-            oracle, max_batch=batch_size, wal=wal, per_request=per_request
+            oracle, max_batch=batch_size, wal=wal, per_request=per_request,
+            begin_lease=begin_lease,
         )
     elif per_request:
         oracle = make_oracle(level)
         frontend = OracleFrontend(
-            oracle, max_batch=batch_size, wal=wal, per_request=True
+            oracle, max_batch=batch_size, wal=wal, per_request=True,
+            begin_lease=begin_lease,
         )
     else:
         oracle = make_oracle(level, wal=wal)
-        frontend = OracleFrontend(oracle, max_batch=batch_size)
+        frontend = OracleFrontend(
+            oracle, max_batch=batch_size, begin_lease=begin_lease
+        )
     requests = [spec.commit_request(frontend.begin()) for spec in specs]
     submit = frontend.submit_commit if use_futures else frontend.submit_commit_nowait
     gc.collect()
@@ -185,6 +190,7 @@ def bench_batched(
     partitions: int = 0,
     use_futures: bool = False,
     per_request: bool = False,
+    begin_lease: int = 1,
 ) -> FrontendBenchResult:
     """The same requests through an :class:`OracleFrontend`: one critical
     section and one group-commit WAL record per ``batch_size`` requests.
@@ -195,12 +201,16 @@ def bench_batched(
     :class:`~repro.server.CommitFuture` per request like the session API.
     ``per_request=True`` forces the pre-``decide_batch`` decision loop
     (one ``backend.commit()`` call per batch item) — benchmark E18's
-    baseline.
+    baseline.  ``begin_lease`` sets the frontend's begin-lease size; the
+    harness begins every transaction before the timed commit region, so
+    decisions are identical at any lease size (benchmark E20's equality
+    leg pins this).
     """
     best = None
     for _ in range(repeats):
         run = _run_batched(
-            level, specs, batch_size, partitions, use_futures, per_request
+            level, specs, batch_size, partitions, use_futures, per_request,
+            begin_lease,
         )
         if best is None or run[0] < best[0]:
             best = run
@@ -561,6 +571,170 @@ def sweep_batch_partitions(
                 )
             )
     return results
+
+
+# ----------------------------------------------------------------------
+# begin-path benchmarks (E20): leased begin() vs per-call begin()
+# ----------------------------------------------------------------------
+
+@dataclass
+class BeginBenchResult:
+    """Throughput of the begin path for one lease configuration."""
+
+    level: str
+    begin_lease: int
+    num_begins: int
+    begins_per_sec: float
+    #: backend lease round-trips the frontend took (0 at lease 1).
+    lease_refills: int
+    #: timestamp-reservation WAL records the TSO wrote.
+    tso_wal_writes: int
+    #: commit decisions interleaved into the run (begin-heavy mix).
+    commits: int = 0
+    aborts: int = 0
+    #: cursor position after the run minus begins+commits served: the
+    #: timestamp gap a crash at end-of-run would leave (unserved lease).
+    unserved_lease: int = 0
+
+    @property
+    def us_per_begin(self) -> float:
+        return 1e6 / self.begins_per_sec if self.begins_per_sec else 0.0
+
+    def as_row(self) -> tuple:
+        return (
+            self.level,
+            self.begin_lease,
+            f"{self.begins_per_sec:,.0f}",
+            f"{self.us_per_begin:.3f}",
+            self.lease_refills,
+            self.tso_wal_writes,
+            self.commits,
+            self.unserved_lease,
+        )
+
+
+def _run_begins(
+    level: str,
+    num_begins: int,
+    begin_lease: int,
+    commit_every: int = 0,
+    partitions: int = 0,
+    specs: Sequence[TransactionSpec] = (),
+):
+    """Time a begin-heavy loop: ``num_begins`` begins, optionally one
+    commit submission per ``commit_every`` begins (pre-drawn specs keep
+    request generation outside any per-iteration cost asymmetry)."""
+    if partitions:
+        oracle = PartitionedOracle(level=level, num_partitions=partitions)
+        frontend = OracleFrontend(
+            oracle, max_batch=32, wal=BookKeeperWAL(), begin_lease=begin_lease
+        )
+    else:
+        oracle = make_oracle(level, wal=BookKeeperWAL())
+        frontend = OracleFrontend(oracle, max_batch=32, begin_lease=begin_lease)
+    begin = frontend.begin
+    submit = frontend.submit_commit_nowait
+    gc.collect()
+    if commit_every:
+        spec_idx = 0
+        t0 = time.perf_counter()
+        for i in range(num_begins):
+            start_ts = begin()
+            if i % commit_every == 0:
+                submit(specs[spec_idx].commit_request(start_ts))
+                spec_idx += 1
+        frontend.flush()
+        dt = time.perf_counter() - t0
+    else:
+        t0 = time.perf_counter()
+        for _ in range(num_begins):
+            begin()
+        dt = time.perf_counter() - t0
+    return dt, oracle, frontend
+
+
+def bench_begins(
+    level: str,
+    num_begins: int,
+    begin_lease: int = 1,
+    repeats: int = DEFAULT_REPEATS,
+    commit_every: int = 0,
+    partitions: int = 0,
+) -> BeginBenchResult:
+    """Best-of-``repeats`` begin throughput for one lease size."""
+    specs = (
+        make_specs(num_begins // commit_every + 1) if commit_every else ()
+    )
+    best = None
+    for _ in range(repeats):
+        run = _run_begins(
+            level, num_begins, begin_lease, commit_every, partitions, specs
+        )
+        if best is None or run[0] < best[0]:
+            best = run
+    dt, oracle, frontend = best
+    return BeginBenchResult(
+        level=level,
+        begin_lease=begin_lease,
+        num_begins=num_begins,
+        begins_per_sec=num_begins / dt,
+        lease_refills=frontend.stats.begin_leases,
+        tso_wal_writes=oracle.timestamp_oracle.wal_write_count,
+        commits=oracle.stats.commits,
+        aborts=oracle.stats.aborts,
+        unserved_lease=frontend.begin_lease_remaining,
+    )
+
+
+def paired_begin_speedups(
+    level: str = "wsi",
+    begin_lease: int = 32,
+    pairs: int = 5,
+    num_begins: int = 200_000,
+    commit_every: int = 0,
+) -> List[float]:
+    """Back-to-back (per-call begin, leased begin) measurement pairs.
+
+    Benchmark E20's measurement, following the E17/E18 protocol: both
+    sides run the identical frontend loop over the same begin-heavy
+    workload; the baseline serves every begin through
+    ``backend.begin()`` (one critical-section round-trip each), the
+    leased side refills a local block once per ``begin_lease`` begins.
+    Median of the per-pair ratios is the noise-robust speedup.
+    """
+    specs = (
+        make_specs(num_begins // commit_every + 1) if commit_every else ()
+    )
+    ratios = []
+    for _ in range(pairs):
+        dt_per_call, _, _ = _run_begins(
+            level, num_begins, 1, commit_every, 0, specs
+        )
+        dt_leased, _, _ = _run_begins(
+            level, num_begins, begin_lease, commit_every, 0, specs
+        )
+        ratios.append(dt_per_call / dt_leased)
+    return ratios
+
+
+def sweep_begin_lease(
+    level: str = "wsi",
+    leases: Sequence[int] = (1, 8, 32, 128, 1024),
+    num_begins: int = 200_000,
+    repeats: int = DEFAULT_REPEATS,
+    commit_every: int = 0,
+) -> List[BeginBenchResult]:
+    """Begin throughput vs lease size (lease 1 = today's per-call path)."""
+    return [
+        bench_begins(
+            level,
+            num_begins,
+            begin_lease=lease,
+            repeats=repeats,
+            commit_every=commit_every,
+        )
+        for lease in leases
+    ]
 
 
 def profile_frontend(

@@ -220,6 +220,16 @@ class PartitionedOracle:
             raise OracleClosed("partitioned oracle is closed")
         return self._tso.next()
 
+    def lease(self, n: int) -> Tuple[int, int]:
+        """Lease a contiguous block of ``n`` start timestamps from the
+        shared TSO (the begin-side counterpart of :meth:`decide_batch`;
+        see :meth:`repro.core.status_oracle.StatusOracle.lease`).  The
+        block stays one global commit order: every partition's commit
+        timestamps are assigned from the same cursor, above the block."""
+        if self._closed:
+            raise OracleClosed("partitioned oracle is closed")
+        return self._tso.lease(n)
+
     def commit(self, request: CommitRequest) -> CommitResult:
         if self._closed:
             raise OracleClosed("partitioned oracle is closed")

@@ -168,6 +168,20 @@ class StatusOracle:
             raise OracleClosed("status oracle is closed")
         return self._tso.next()
 
+    def lease(self, n: int) -> Tuple[int, int]:
+        """Lease a contiguous block of ``n`` start timestamps.
+
+        The begin-side amortization matching :meth:`decide_batch` on the
+        commit side: a frontend serves ``begin()`` from the leased block
+        with no oracle round-trip per transaction.  Durability rides the
+        usual reservation protocol
+        (:meth:`~repro.core.timestamps.TimestampOracle.lease`), so a
+        leaseholder crash can only leave gaps, never reuse.
+        """
+        if self._closed:
+            raise OracleClosed("status oracle is closed")
+        return self._tso.lease(n)
+
     def commit(self, request: CommitRequest) -> CommitResult:
         """Process a commit request (Algorithms 1 and 2).
 
@@ -710,12 +724,25 @@ class StatusOracle:
             else:
                 raise RecoveryError(f"unknown WAL record kind {record.kind!r}")
         # Resume timestamps strictly above anything recovered — including
-        # persisted reservation marks — so no timestamp is ever reused,
-        # and keep persisting reservations if this instance has a WAL.
+        # persisted reservation marks — so no timestamp is ever reused.
+        # The floor is the current TSO's *reservation* high-water mark,
+        # not its in-memory cursor (``peek() - 1``): mid-reservation the
+        # cursor sits below the persisted mark, and timestamps up to the
+        # mark — reserved for ``next()`` batches or handed out through
+        # begin leases — may already be in client hands.
+        # Keep persisting reservations wherever this instance already
+        # did: through its own WAL if it has one, else through whatever
+        # sink the old TSO carried (e.g. a group-commit frontend's WAL
+        # adopted via ``TimestampOracle.attach_wal``) — dropping that
+        # hook would silently un-persist post-failover begin leases.
+        if self._wal is not None:
+            wal_append = self._log_ts_reservation
+        else:
+            wal_append = self._tso.reservation_sink
         self._tso = TimestampOracle.recover(
-            max(max_ts, self._tso.peek() - 1),
+            max(max_ts, self._tso.reserved_high_water),
             reservation_batch=self._tso.reservation_batch,
-            wal_append=self._log_ts_reservation if self._wal is not None else None,
+            wal_append=wal_append,
         )
 
     def close(self) -> None:

@@ -15,7 +15,7 @@ the write-ahead log").  ``TimestampOracle`` models exactly that protocol.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 from repro.core.errors import OracleClosed, RecoveryError
 
@@ -60,6 +60,7 @@ class TimestampOracle:
         self._closed = False
         self._wal_writes = 0
         self._issued = 0
+        self._leases = 0
 
     # ------------------------------------------------------------------
     # allocation
@@ -75,12 +76,41 @@ class TimestampOracle:
         self._issued += 1
         return ts
 
+    def lease(self, n: int) -> Tuple[int, int]:
+        """Hand out a contiguous block of ``n`` timestamps as ``(lo, hi)``.
+
+        The begin-lease fast path: a frontend leases a block and then
+        serves ``begin()`` from it with no oracle round-trip per
+        transaction.  The block rides the exact reservation protocol of
+        :meth:`next` — the reservation high-water mark covering ``hi``
+        is durable *before* the block is returned, so a leaseholder that
+        crashes mid-lease merely loses the unserved remainder: gaps are
+        harmless, reuse is not (recovery resumes strictly above the
+        persisted mark, see :meth:`recover`).
+        """
+        if self._closed:
+            raise OracleClosed("timestamp oracle is closed")
+        if n < 1:
+            raise ValueError("lease size must be >= 1")
+        lo = self._next
+        hi = lo + n - 1
+        if hi > self._reserved_until:
+            self._reserve(min_high=hi)
+        self._next = hi + 1
+        self._issued += n
+        self._leases += 1
+        return lo, hi
+
     def peek(self) -> int:
         """Return the timestamp ``next()`` would hand out, without advancing."""
         return self._next
 
-    def _reserve(self) -> None:
+    def _reserve(self, min_high: Optional[int] = None) -> None:
         new_high = self._next + self._batch - 1
+        if min_high is not None and min_high > new_high:
+            # A lease larger than the reservation batch is still one WAL
+            # record: the mark simply jumps to cover the whole block.
+            new_high = min_high
         if self._wal_append is not None:
             # Persist the *high-water mark* before serving any timestamp
             # from the batch; recovery resumes from above it.
@@ -122,6 +152,54 @@ class TimestampOracle:
     def issued_count(self) -> int:
         """How many timestamps have been handed out."""
         return self._issued
+
+    @property
+    def lease_count(self) -> int:
+        """How many timestamp blocks were leased out."""
+        return self._leases
+
+    @property
+    def persists_reservations(self) -> bool:
+        """Whether reservation high-water marks reach a durable sink."""
+        return self._wal_append is not None
+
+    @property
+    def reservation_sink(self) -> Optional[Callable[[int], None]]:
+        """The durable sink reservation marks are written to (``None``
+        when nothing persists them) — what a recovering host passes to a
+        replacement oracle to keep the durability chain unbroken."""
+        return self._wal_append
+
+    def attach_wal(self, wal_append: Callable[[int], None]) -> None:
+        """Start persisting reservation marks through ``wal_append``.
+
+        For a TSO created without a durability hook (the partitioned
+        oracle's shared TSO, or an explicitly-passed bare oracle) whose
+        host later gains a WAL — e.g. a group-commit frontend adopting
+        the begin path.  The *current* high-water mark is persisted
+        immediately, so everything already reserved or leased is covered
+        before another timestamp is served; without that, a crash could
+        reissue begins handed out pre-attach.
+        """
+        self._wal_append = wal_append
+        mark = self.reserved_high_water
+        if mark:
+            wal_append(mark)
+            self._wal_writes += 1
+
+    @property
+    def reserved_high_water(self) -> int:
+        """The largest timestamp any reservation ever covered.
+
+        This is the durable no-reuse promise: every timestamp up to this
+        mark may have been issued (directly or through a lease), so a
+        recovered oracle must resume strictly above it — *not* above the
+        in-memory cursor, which can sit below the mark mid-reservation.
+        """
+        issued_high = self._next - 1
+        if self._reserved_until > issued_high:
+            return self._reserved_until
+        return issued_high
 
     @property
     def wal_write_count(self) -> int:

@@ -80,6 +80,29 @@ per-request path (hash sharding makes multi-row transactions mostly
 cross-partition, so expect parity there and the win on
 partition-aligned traffic).
 
+The *begin* direction of the hot loop is amortized the same way:
+``OracleFrontend(begin_lease=n)`` leases a contiguous block of ``n``
+start timestamps from the backend (one critical-section entry, durably
+reserved through Appendix A's reservation protocol *before* any begin is
+served) and serves ``begin()`` from the block with two attribute touches
+— plus ``begin_many()`` for sessions opening transactions in bulk.  A
+WAL-owning frontend also *adopts* the reservation stream of a backend
+TSO that persists nothing itself (the partitioned oracle's shared TSO),
+so the no-reuse guarantee holds for every bundled deployment shape.
+Benchmark E20 measures it (leased begin >= 1.5x per-call at lease 32,
+typically ~2.5x).  Lease sizing is a two-sided trade-off:
+
+* a frontend crash (or close) loses the unserved remainder of its block
+  — a permanent *timestamp gap*, which is harmless for correctness
+  (recovery resumes strictly above the persisted reservation mark; reuse
+  is impossible) but wastes up to ``n - 1`` timestamps per crash;
+* a lease-served begin carries the snapshot of its *refill* time, so
+  under heavy write contention a large lease can slightly raise abort
+  rates (the transaction looks older than a per-call begin would) —
+  exactly the staleness-vs-throughput dial Omid-lineage deployments
+  tune.  The equivalence suite pins that when begins precede the
+  decided commits, decisions are identical at every lease size.
+
 How equivalence is tested
 =========================
 
@@ -93,7 +116,11 @@ client aborts, read-only requests, all four oracle kinds, WAL-replay
 equivalence against the sequential per-record log).  The stress tests
 add timestamp-uniqueness and per-batch monotonicity invariants, and the
 recovery tests crash the frontend mid-batch to check that WAL replay
-restores exactly the durable prefix.  Benchmarks E17/E18
+restores exactly the durable prefix.  The begin-lease legs assert that
+leased-begin histories match per-call-begin histories (same decisions,
+strictly increasing start timestamps) and that no timestamp is ever
+reissued across ``recover_from`` — including a crash mid-lease, where
+the unserved remainder becomes a gap, never reuse.  Benchmarks E17/E18
 (``benchmarks/test_e17_group_commit.py``, ``test_e18_batch_decide.py``)
 measure the point of it all: the batched frontend sustains multiples of
 the unbatched oracle's wall-clock ops/sec, and the batch-decide engine

@@ -175,6 +175,26 @@ class CommitFuture:
             )
         return result
 
+    def outcome(self) -> str:
+        """The resolved outcome as a public tag — ``"committed"``,
+        ``"read-only"`` (committed with no commit timestamp, §5.1),
+        ``"aborted"``, or ``"error"`` (the decision raised; the exception
+        is on :attr:`error`).
+
+        Unlike :attr:`committed` / :meth:`result`, this never re-raises
+        the decision error — tally/bookkeeping callers (e.g.
+        :meth:`~repro.server.session.ClientSession`'s done-callback) can
+        classify every resolution through one stable surface instead of
+        reading future internals.
+        """
+        if not self.done:
+            raise DecisionPending(f"txn {self.start_ts}: batch not yet flushed")
+        if self._error is not None:
+            return "error"
+        if self._committed:
+            return "read-only" if self._commit_ts is None else "committed"
+        return "aborted"
+
     def add_done_callback(self, fn: Callable[["CommitFuture"], None]) -> None:
         if self.done:
             fn(self)
@@ -202,6 +222,10 @@ class FrontendStats:
     batched_requests: int = 0
     read_only_fast_path: int = 0
     client_aborts: int = 0
+    #: How many timestamp leases were taken from the backend: one per
+    #: local lease refill plus one per ``begin_many`` shortfall (0 when
+    #: ``begin_lease=1`` and only per-call ``begin()`` is used).
+    begin_leases: int = 0
     flushes_by_count: int = 0
     flushes_by_timer: int = 0
     flushes_by_force: int = 0
@@ -240,6 +264,19 @@ class OracleFrontend:
         wal: where group-commit records go.  Defaults to the backend's
             WAL; pass one explicitly to give a WAL-less backend (e.g. the
             partitioned oracle) group durability.
+        begin_lease: how many start timestamps to lease from the backend
+            per refill of the frontend's local begin lease.  The default
+            (1) keeps per-call semantics: every ``begin()`` is one
+            ``backend.begin()`` round-trip into the critical section.
+            With ``n > 1`` the frontend takes ``backend.lease(n)`` once
+            per ``n`` begins and serves the block locally — the
+            begin-side twin of the batch-decide amortization (benchmark
+            E20).  Timestamps unserved when the frontend closes (or
+            crashes) become gaps, never reuse: the lease is durably
+            reserved before it is served — through the backend's own
+            WAL, or through this frontend's WAL for backends whose TSO
+            persists nothing itself (the partitioned oracle; see the
+            reservation-adoption block in ``__init__``).
         per_request: force the pre-``decide_batch`` decision path — one
             ``backend.commit()`` / ``backend.abort()`` call per batch item
             inside the critical section.  This is the benchmark E18
@@ -264,19 +301,52 @@ class OracleFrontend:
         clock: Optional[Callable[[], float]] = None,
         scheduler: Optional[Callable[[float, Callable[[], None]], None]] = None,
         wal: Optional[BookKeeperWAL] = None,
+        begin_lease: int = 1,
         per_request: bool = False,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if flush_interval <= 0:
             raise ValueError("flush_interval must be > 0")
+        if begin_lease < 1:
+            raise ValueError("begin_lease must be >= 1")
         self._backend = backend
+        # Begin-lease state: [_lease_next, _lease_hi] is the unserved
+        # remainder of the current lease; empty (next > hi) forces the
+        # refill path, which is also where the closed check lives —
+        # close() empties the lease, so the begin() fast path stays two
+        # attribute touches.  Foreign backends without a lease() surface
+        # degrade to per-call begins regardless of ``begin_lease``.
+        self._lease_fn = getattr(backend, "lease", None)
+        self._begin_lease = begin_lease if self._lease_fn is not None else 1
+        self._lease_next = 1
+        self._lease_hi = 0
         self._max_batch = max_batch
         self._flush_interval = flush_interval
         self._manual_time = 0.0
         self._clock = clock or (lambda: self._manual_time)
         self._scheduler = scheduler
         self._wal = wal if wal is not None else getattr(backend, "_wal", None)
+        # Begin-path durability: a backend TSO that persists no
+        # reservation marks (the partitioned oracle's shared TSO, or an
+        # explicitly-passed bare TimestampOracle) would let recovery
+        # reissue served begins — including lease blocks.  When this
+        # frontend owns the WAL, adopt the TSO's reservation stream into
+        # it: ts-reserve records, flushed before any covered timestamp
+        # is served, exactly like StatusOracle._log_ts_reservation.
+        tso = getattr(backend, "timestamp_oracle", None)
+        if (
+            self._wal is not None
+            and tso is not None
+            and not tso.persists_reservations
+        ):
+            frontend_wal = self._wal
+
+            def _log_reservation(high_water: int) -> None:
+                frontend_wal.append("ts-reserve", high_water, size=8)
+                frontend_wal.flush()
+
+            tso.attach_wal(_log_reservation)
         # The backend's batch-decide engine (StatusOracle subclasses and
         # PartitionedOracle); foreign backends fall back to per-request.
         self._engine = (
@@ -327,17 +397,70 @@ class OracleFrontend:
     def pending_count(self) -> int:
         return len(self._pending)
 
+    @property
+    def begin_lease_remaining(self) -> int:
+        """Unserved timestamps left in the local begin lease."""
+        remaining = self._lease_hi - self._lease_next + 1
+        return remaining if remaining > 0 else 0
+
     def session(self, name: Optional[str] = None) -> "ClientSession":
         from repro.server.session import ClientSession
 
         return ClientSession(self, name=name)
 
     def begin(self) -> int:
-        """Serve a start timestamp immediately (begins are not batched:
-        the paper already amortizes their persistence, Appendix A)."""
+        """Serve a start timestamp immediately.
+
+        With the default ``begin_lease=1`` every call is one
+        ``backend.begin()`` round-trip (the paper already amortizes the
+        *persistence* of begins, Appendix A; the round-trip itself is
+        what the lease removes).  With ``begin_lease=n`` the common case
+        is two attribute touches on the local lease; one
+        ``backend.lease(n)`` refill pays for the next ``n`` begins.
+        """
+        ts = self._lease_next
+        if ts <= self._lease_hi:
+            self._lease_next = ts + 1
+            return ts
         if self._closed:
             raise OracleClosed("oracle frontend is closed")
-        return self._backend.begin()
+        if self._begin_lease == 1:
+            return self._backend.begin()
+        lo, hi = self._lease_fn(self._begin_lease)
+        self.stats.begin_leases += 1
+        self._lease_next = lo + 1
+        self._lease_hi = hi
+        return lo
+
+    def begin_many(self, n: int) -> List[int]:
+        """Serve ``n`` start timestamps in one call.
+
+        Drains the local lease first, then leases exactly the shortfall
+        in a single ``backend.lease()`` round-trip — equivalent to ``n``
+        back-to-back :meth:`begin` calls (nothing else can consume the
+        TSO mid-call), but with one critical-section entry regardless of
+        ``begin_lease``.
+        """
+        if n < 1:
+            raise ValueError("begin_many needs n >= 1")
+        nxt = self._lease_next
+        take = min(n, self._lease_hi - nxt + 1)
+        if take > 0:
+            out = list(range(nxt, nxt + take))
+            self._lease_next = nxt + take
+        else:
+            out = []
+        short = n - len(out)
+        if short:
+            if self._closed:
+                raise OracleClosed("oracle frontend is closed")
+            if self._lease_fn is None:
+                out.extend(self._backend.begin() for _ in range(short))
+            else:
+                lo, hi = self._lease_fn(short)
+                self.stats.begin_leases += 1
+                out.extend(range(lo, hi + 1))
+        return out
 
     def submit_commit(self, request: CommitRequest) -> CommitFuture:
         """Queue a commit request; returns its future.
@@ -638,6 +761,10 @@ class OracleFrontend:
         self.flush(trigger="close")
         if self._wal is not None:
             self._wal.flush()
+        # Drop the unserved lease remainder: those timestamps become
+        # gaps (they were durably reserved, so nothing can reuse them),
+        # and an emptied lease routes begin() to the closed check.
+        self._lease_next, self._lease_hi = 1, 0
         self._closed = True
 
     @property

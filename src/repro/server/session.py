@@ -13,7 +13,7 @@ reconcile against the backend's :class:`~repro.core.status_oracle.OracleStats`.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional
 
 from repro.core.errors import InvalidTransactionState
 from repro.core.status_oracle import CommitRequest
@@ -47,6 +47,20 @@ class ClientSession:
         self._last_begun = start_ts
         return start_ts
 
+    def begin_many(self, n: int) -> List[int]:
+        """Open ``n`` transactions in one frontend call.
+
+        The batched begin surface for clients that keep many
+        transactions in flight (the paper's stress setup runs 100 per
+        client, §6.3): one ``frontend.begin_many`` round-trip instead of
+        ``n`` begins.  All ``n`` are open concurrently; the last one is
+        the default target for :meth:`commit`/:meth:`abort`.
+        """
+        starts = self._frontend.begin_many(n)
+        self._open.update(starts)
+        self._last_begun = starts[-1]
+        return starts
+
     def commit(
         self,
         write_set: Iterable = (),
@@ -63,6 +77,7 @@ class ClientSession:
             ts, write_set=frozenset(write_set), read_set=frozenset(read_set)
         )
         future = self._frontend.submit_commit(request)
+        self._forget_open(ts)
         self.submitted += 1
         future.add_done_callback(self._tally)
         return future
@@ -71,32 +86,44 @@ class ClientSession:
         """Submit a client-initiated abort for an open transaction."""
         ts = self._resolve_open(start_ts)
         future = self._frontend.submit_abort(ts)
+        self._forget_open(ts)
         self.submitted += 1
         future.add_done_callback(self._tally)
         return future
 
     def _resolve_open(self, start_ts: Optional[int]) -> int:
+        """Validate (without removing) the transaction to act on."""
         ts = start_ts if start_ts is not None else self._last_begun
         if ts is None or ts not in self._open:
             raise InvalidTransactionState(
                 f"{self.name}: transaction {ts} is not open in this session"
             )
+        return ts
+
+    def _forget_open(self, ts: int) -> None:
+        """Close out a transaction *after* its request was accepted.
+
+        Deliberately separate from :meth:`_resolve_open`: if ``submit_*``
+        raises (e.g. the frontend closed), the transaction must stay
+        open in the session rather than vanish untracked — the caller
+        can retry or abort it elsewhere.
+        """
         self._open.discard(ts)
         if ts == self._last_begun:
             self._last_begun = None
-        return ts
 
     def _tally(self, future: CommitFuture) -> None:
-        if future._error is not None:
+        outcome = future.outcome()
+        if outcome == "error":
             # a decision that raised is neither a commit nor an abort —
             # the backend recorded nothing for it
             self.errors += 1
-        elif future._committed:
-            self.commits += 1
-            if future._commit_ts is None:
-                self.read_only_commits += 1
-        else:
+        elif outcome == "aborted":
             self.aborts += 1
+        else:
+            self.commits += 1
+            if outcome == "read-only":
+                self.read_only_commits += 1
 
     # ------------------------------------------------------------------
     # introspection

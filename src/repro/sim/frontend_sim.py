@@ -67,6 +67,14 @@ class GroupCommitSim:
             simulated timing is identical (the latency model prices the
             batch, not the Python loop); this flag exists so queueing
             studies can pin that both paths decide the same things.
+        begin_lease: the frontend's begin-lease size (benchmark E20's
+            lever).  As with ``per_request``, simulated timing is
+            identical at any lease size — the latency model prices
+            batches and start-timestamp service, not the Python-level
+            begin round-trip the lease removes (E20 measures that on
+            the wall clock); the flag exists so queueing studies can
+            pin that leased and per-call begin paths plumb decisions
+            identically through the engine.
     """
 
     def __init__(
@@ -82,6 +90,7 @@ class GroupCommitSim:
         warmup: float = 0.1,
         measure: float = 0.5,
         per_request: bool = False,
+        begin_lease: int = 1,
     ) -> None:
         self.level = level
         self.batch_size = batch_size
@@ -99,6 +108,7 @@ class GroupCommitSim:
             clock=lambda: self.engine.now,
             scheduler=self.engine.call_in,
             per_request=per_request,
+            begin_lease=begin_lease,
         )
         self.frontend.on_flush(self._batch_flushed)
         self.critical_section = Resource(self.engine, capacity=1, name="oracle-cs")

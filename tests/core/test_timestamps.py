@@ -1,9 +1,17 @@
-"""Unit tests for the timestamp oracle."""
+"""Unit tests for the timestamp oracle: allocation, leases, recovery.
+
+The recovery classes double as the no-reuse regression pins for the
+begin/recover path (ISSUE 4): a restarted oracle must resume strictly
+above the *persisted reservation high-water mark* — never the in-memory
+cursor, which sits below the mark mid-reservation and mid-lease.
+"""
 
 import pytest
 
 from repro.core.errors import OracleClosed, RecoveryError
+from repro.core.status_oracle import CommitRequest, make_oracle
 from repro.core.timestamps import TimestampOracle
+from repro.wal.bookkeeper import BookKeeperWAL
 
 
 class TestAllocation:
@@ -70,6 +78,82 @@ class TestBatchedDurability:
             TimestampOracle(reservation_batch=0)
 
 
+class TestLease:
+    def test_lease_returns_contiguous_block(self):
+        tso = TimestampOracle()
+        assert tso.lease(10) == (1, 10)
+        assert tso.lease(5) == (11, 15)
+
+    def test_lease_and_next_never_overlap(self):
+        tso = TimestampOracle()
+        seen = set()
+        for _ in range(5):
+            seen.add(tso.next())
+            lo, hi = tso.lease(7)
+            block = set(range(lo, hi + 1))
+            assert not (block & seen)
+            seen |= block
+        assert len(seen) == 5 * 8
+
+    def test_lease_is_reserved_before_return(self):
+        # The durability contract: the WAL record covering the block is
+        # written before lease() returns, so a leaseholder crash can
+        # only leave gaps.
+        writes = []
+        tso = TimestampOracle(reservation_batch=10, wal_append=writes.append)
+        lo, hi = tso.lease(8)
+        assert writes and writes[-1] >= hi
+
+    def test_lease_larger_than_reservation_batch_is_one_record(self):
+        writes = []
+        tso = TimestampOracle(reservation_batch=10, wal_append=writes.append)
+        lo, hi = tso.lease(35)
+        assert (lo, hi) == (1, 35)
+        assert writes == [35]  # the mark jumps to cover the whole block
+
+    def test_lease_within_existing_reservation_writes_nothing(self):
+        writes = []
+        tso = TimestampOracle(reservation_batch=100, wal_append=writes.append)
+        tso.next()  # reserves through 100
+        assert len(writes) == 1
+        tso.lease(50)
+        assert len(writes) == 1  # fully covered by the standing reservation
+
+    def test_lease_counters(self):
+        tso = TimestampOracle()
+        tso.lease(10)
+        tso.lease(3)
+        assert tso.issued_count == 13
+        assert tso.lease_count == 2
+
+    def test_invalid_lease_size_rejected(self):
+        tso = TimestampOracle()
+        with pytest.raises(ValueError):
+            tso.lease(0)
+
+    def test_closed_oracle_rejects_lease(self):
+        tso = TimestampOracle()
+        tso.close()
+        with pytest.raises(OracleClosed):
+            tso.lease(4)
+
+
+class TestReservedHighWater:
+    def test_fresh_oracle_has_zero_mark(self):
+        assert TimestampOracle().reserved_high_water == 0
+
+    def test_mark_tracks_reservation_not_cursor(self):
+        tso = TimestampOracle(reservation_batch=50)
+        tso.next()  # cursor at 2, reservation through 50
+        assert tso.peek() - 1 == 1
+        assert tso.reserved_high_water == 50
+
+    def test_mark_covers_leases(self):
+        tso = TimestampOracle(reservation_batch=10)
+        _, hi = tso.lease(32)
+        assert tso.reserved_high_water >= hi
+
+
 class TestRecovery:
     def test_recovery_resumes_above_high_water(self):
         writes = []
@@ -108,3 +192,105 @@ class TestLifecycle:
         tso = TimestampOracle()
         tso.close()
         tso.close()
+
+
+class TestRecoverFromHighWater:
+    """Regression pins for the ``recover_from`` re-seed bug: the TSO
+    floor was ``peek() - 1`` (the in-memory cursor), which sits *below*
+    the persisted reservation high-water mark mid-reservation — so a
+    recovered oracle could reissue reserved (and possibly
+    pre-crash-issued) timestamps.  The floor must be the mark."""
+
+    def test_recover_from_resumes_above_own_reservation_mark(self):
+        # A live oracle adopts a peer's WAL (the failover pattern).  Its
+        # own TSO persisted a reservation through 100 but only issued 5
+        # timestamps; the peer's WAL tops out far below the mark.
+        # Re-seeding from the cursor would re-serve 6..100 — timestamps
+        # the reservation promised away (a begin lease may hold them).
+        reservations = []
+        tso = TimestampOracle(reservation_batch=100, wal_append=reservations.append)
+        oracle = make_oracle("si", timestamp_oracle=tso)
+        issued = [oracle.begin() for _ in range(5)]
+        assert reservations[-1] == 100
+
+        peer_wal = BookKeeperWAL()
+        # The peer's TSO is passed explicitly so its reservations do NOT
+        # land in peer_wal: replay alone cannot cover the mark.
+        peer = make_oracle("si", timestamp_oracle=TimestampOracle(), wal=peer_wal)
+        assert peer.commit(
+            CommitRequest(peer.begin(), write_set=frozenset({"x"}))
+        ).committed
+        peer_wal.flush()
+
+        oracle.recover_from(peer_wal)
+        assert oracle.begin() > 100
+        assert oracle.begin() not in issued
+
+    def test_crash_mid_reservation_never_reissues(self):
+        # Crash with the reservation only partially served: the fresh
+        # instance replays the ts-reserve record and resumes above it.
+        wal = BookKeeperWAL()
+        oracle = make_oracle("si", wal=wal)
+        issued = {oracle.begin() for _ in range(7)}
+        result = oracle.commit(
+            CommitRequest(max(issued), write_set=frozenset({"a"}))
+        )
+        issued.add(result.commit_ts)
+        wal.flush()
+
+        fresh = make_oracle("si")
+        fresh.recover_from(wal)
+        fresh_mark = fresh.timestamp_oracle.peek()
+        assert fresh_mark > oracle.timestamp_oracle.reserved_high_water
+        for _ in range(50):
+            assert fresh.begin() not in issued
+
+    def test_crash_mid_lease_never_reissues(self):
+        # A begin lease taken but only partially served counts exactly
+        # like a partially-served reservation: recovery resumes above
+        # the whole block, reissuing nothing the leaseholder might have
+        # handed out pre-crash.
+        wal = BookKeeperWAL()
+        oracle = make_oracle("wsi", wal=wal)
+        lo, hi = oracle.lease(32)
+        served = {lo, lo + 1, lo + 2}  # the leaseholder got this far
+        result = oracle.commit(
+            CommitRequest(lo, write_set=frozenset({"k"}))
+        )
+        served.add(result.commit_ts)
+        wal.flush()
+
+        fresh = make_oracle("wsi")
+        fresh.recover_from(wal)
+        first = fresh.begin()
+        assert first > hi  # strictly above the lease block
+        assert first > result.commit_ts
+        assert first not in served
+
+    def test_recover_from_preserves_adopted_reservation_sink(self):
+        # A WAL-less oracle whose TSO durability was adopted elsewhere
+        # (a group-commit frontend's WAL, via attach_wal) must keep that
+        # sink across a warm recover_from — severing it would leave
+        # post-failover begin leases with no durable reservation at all.
+        sink = []
+        tso = TimestampOracle(reservation_batch=10)
+        oracle = make_oracle("wsi", timestamp_oracle=tso)
+        tso.attach_wal(sink.append)
+        oracle.begin()
+        assert sink  # the adopted sink is live
+
+        oracle.recover_from(BookKeeperWAL())  # warm failover adoption
+        assert oracle.timestamp_oracle.persists_reservations
+        before = len(sink)
+        _, hi = oracle.lease(32)
+        assert len(sink) > before
+        assert sink[-1] >= hi  # the new block is durable in the old sink
+
+    def test_recover_from_on_warm_instance_is_monotonic(self):
+        # recover_from must never move a warm instance's cursor backward
+        # even when the WAL is empty of timestamp evidence.
+        wal = BookKeeperWAL()
+        oracle = make_oracle("si", timestamp_oracle=TimestampOracle())
+        before = [oracle.begin() for _ in range(3)]
+        oracle.recover_from(wal)
+        assert oracle.begin() > max(before)

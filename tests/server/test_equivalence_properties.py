@@ -558,6 +558,204 @@ def test_decide_batch_wal_replay_equivalence(batches, bounded, level):
     assert from_batch.begin() == from_seq.begin()
 
 
+# ----------------------------------------------------------------------
+# begin leases: leased-begin histories ≡ per-call-begin histories
+# ----------------------------------------------------------------------
+#
+# ``begin_lease=n`` changes *where* a start timestamp comes from (a
+# locally-served, durably-reserved block) but never what is decided for
+# the same begin/submit schedule.  With the begins of a history issued
+# up-front (the prologue shape), leases refill back-to-back, so the
+# served begins are exactly the per-call sequence; the only permitted
+# difference is a constant timestamp *gap* in commit timestamps when the
+# last lease is partially unserved (``begin_many`` leases exactly, so
+# even the gap vanishes).  Decisions are gap-invariant: every commit
+# timestamp exceeds every prologue begin on both sides.
+
+BACKEND_KINDS = ["si", "wsi", "bounded-si", "bounded-wsi", "partitioned"]
+
+
+def make_backend(kind):
+    if kind == "partitioned":
+        return PartitionedOracle(level="wsi", num_partitions=PARTS)
+    if kind.startswith("bounded-"):
+        return make_oracle(kind.split("-", 1)[1], bounded=True, max_rows=5)
+    return make_oracle(kind)
+
+
+@st.composite
+def lease_step_scripts(draw):
+    steps = []
+    for _ in range(draw(st.integers(min_value=1, max_value=20))):
+        reads = draw(st.sets(st.sampled_from(ROWS), max_size=3))
+        writes = draw(st.sets(st.sampled_from(ROWS), max_size=3))
+        client_abort = draw(st.booleans()) and draw(st.booleans())  # ~25 %
+        steps.append((frozenset(reads), frozenset(writes), client_abort))
+    return steps
+
+
+def run_lease_history(backend, steps, begin_lease, max_batch, use_begin_many):
+    frontend = OracleFrontend(
+        backend, max_batch=max_batch, begin_lease=begin_lease
+    )
+    if use_begin_many:
+        starts = frontend.begin_many(len(steps))
+    else:
+        starts = [frontend.begin() for _ in steps]
+    futures = []
+    for start, (reads, writes, client_abort) in zip(starts, steps):
+        if client_abort:
+            futures.append(frontend.submit_abort(start))
+        else:
+            futures.append(
+                frontend.submit_commit(
+                    CommitRequest(start, write_set=writes, read_set=reads)
+                )
+            )
+    frontend.flush()
+    return starts, futures
+
+
+def normalized_history(futures):
+    """Decisions with commit timestamps rebased on the first one, plus
+    the base — so histories compare across a constant lease gap."""
+    bases = [
+        f._commit_ts
+        for f in futures
+        if f._error is None and f._committed and f._commit_ts is not None
+    ]
+    base = bases[0] if bases else 0
+    decisions = []
+    for f in futures:
+        result = f.result()
+        decisions.append(
+            (
+                result.committed,
+                result.start_ts,
+                None if result.commit_ts is None else result.commit_ts - base,
+                result.reason,
+                result.conflict_row,
+            )
+        )
+    return decisions, base
+
+
+@given(
+    steps=lease_step_scripts(),
+    begin_lease=st.integers(min_value=2, max_value=12),
+    max_batch=st.integers(min_value=1, max_value=10),
+    kind=st.sampled_from(BACKEND_KINDS),
+    use_begin_many=st.booleans(),
+)
+@settings(max_examples=120, deadline=None)
+def test_leased_begin_history_equivalence(
+    steps, begin_lease, max_batch, kind, use_begin_many
+):
+    leased = make_backend(kind)
+    reference = make_backend(kind)
+    l_starts, l_futures = run_lease_history(
+        leased, steps, begin_lease, max_batch, use_begin_many
+    )
+    r_starts, r_futures = run_lease_history(
+        reference, steps, 1, max_batch, use_begin_many
+    )
+    # identical, strictly increasing start timestamps — leases refill
+    # back-to-back in the prologue, so leased == per-call begins
+    assert l_starts == r_starts
+    assert all(b > a for a, b in zip(l_starts, l_starts[1:]))
+    l_history, l_base = normalized_history(l_futures)
+    r_history, r_base = normalized_history(r_futures)
+    assert l_history == r_history
+    gap = l_base - r_base
+    assert gap >= 0
+    if use_begin_many:
+        assert gap == 0  # begin_many leases exactly: no unserved block
+    # final state equal up to the same constant gap
+    if kind == "partitioned":
+        for partition, ref_partition in zip(
+            leased.partitions, reference.partitions
+        ):
+            assert {k: v - gap for k, v in partition._last_commit.items()} == dict(
+                ref_partition._last_commit
+            )
+        assert leased.cross_partition_commits == reference.cross_partition_commits
+        assert leased.single_partition_commits == reference.single_partition_commits
+    else:
+        assert {k: v - gap for k, v in leased._last_commit.items()} == dict(
+            reference._last_commit
+        )
+        if kind.startswith("bounded-"):
+            assert list(leased._last_commit) == list(reference._last_commit)
+            ref_tmax = reference.tmax
+            assert leased.tmax == (ref_tmax + gap if ref_tmax else 0)
+    assert {
+        s: c - gap for s, c in leased.commit_table._commits.items()
+    } == dict(reference.commit_table._commits)
+    assert leased.commit_table._aborted == reference.commit_table._aborted
+    assert leased.stats == reference.stats
+
+
+@given(
+    script=workload_scripts(),
+    max_batch=st.integers(min_value=1, max_value=8),
+    begin_lease=st.integers(min_value=1, max_value=12),
+    level=st.sampled_from(["si", "wsi"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_leased_begin_interleaved_invariants_and_recovery(
+    script, max_batch, begin_lease, level
+):
+    # Fully interleaved begins/submits/flushes: decisions may legitimately
+    # shift (a lease-served begin carries the snapshot of its refill
+    # time), but the timestamp invariants may not — begins strictly
+    # increase, never collide with commit timestamps, and nothing is
+    # ever reissued across recover_from, unserved lease included.
+    wal = BookKeeperWAL()
+    oracle = make_oracle(level, wal=wal)
+    frontend = OracleFrontend(
+        oracle, max_batch=max_batch, begin_lease=begin_lease
+    )
+    starts = []
+    pending = []
+    for step_idx, (reads, writes, gap, client_abort) in enumerate(script):
+        start_ts = frontend.begin()
+        starts.append(start_ts)
+        request = CommitRequest(start_ts, write_set=writes, read_set=reads)
+        pending.append([step_idx + gap, request, client_abort])
+        for entry in list(pending):
+            if entry[0] <= step_idx:
+                pending.remove(entry)
+                if entry[2]:
+                    frontend.submit_abort(entry[1].start_ts)
+                else:
+                    frontend.submit_commit(entry[1])
+    for entry in pending:
+        if entry[2]:
+            frontend.submit_abort(entry[1].start_ts)
+        else:
+            frontend.submit_commit(entry[1])
+    frontend.flush()
+
+    assert all(b > a for a, b in zip(starts, starts[1:]))
+    commit_timestamps = set(oracle.commit_table._commits.values())
+    assert commit_timestamps.isdisjoint(starts)
+    for start_ts, commit_ts in oracle.commit_table._commits.items():
+        assert commit_ts > start_ts
+
+    # crash now: recovery must resume strictly above the reservation
+    # mark, so served begins, commit timestamps and the unserved lease
+    # remainder alike can never come back
+    wal.flush()
+    fresh = make_oracle(level)
+    fresh.recover_from(wal)
+    used = set(starts) | commit_timestamps
+    floor = oracle.timestamp_oracle.reserved_high_water
+    for _ in range(3):
+        ts = fresh.begin()
+        assert ts > floor
+        assert ts not in used
+
+
 @given(
     script=workload_scripts(),
     max_batch=st.integers(min_value=1, max_value=12),

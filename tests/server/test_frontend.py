@@ -299,7 +299,231 @@ class TestLifecycle:
         frontend = OracleFrontend(oracle, max_batch=4, wal=wal)
         for _ in range(4):
             frontend.submit_commit(req(frontend.begin(), writes={"k"}))
-        assert wal.record_count == 1  # the partitioned oracle gained a WAL
+        # the partitioned oracle gained a WAL: one group record for the
+        # batch — and its shared TSO, which persists nothing on its own,
+        # gained reservation durability through the same WAL
+        assert len(decision_records(wal)) == 1
+        assert oracle.timestamp_oracle.persists_reservations
+
+
+class TestBeginLease:
+    """The begin-side amortization: ``begin_lease=n`` takes one backend
+    lease per ``n`` begins and serves the block locally."""
+
+    def test_default_is_per_call(self):
+        frontend, oracle, _ = make_frontend()
+        for _ in range(5):
+            frontend.begin()
+        assert frontend.stats.begin_leases == 0
+        assert oracle.timestamp_oracle.lease_count == 0
+        assert oracle.timestamp_oracle.issued_count == 5
+
+    def test_leased_begins_are_consecutive_and_refill(self):
+        frontend, oracle, _ = make_frontend(begin_lease=8)
+        starts = [frontend.begin() for _ in range(20)]
+        # No commit traffic interleaves, so leases are back-to-back and
+        # the served begins are exactly what per-call would serve.
+        assert starts == list(range(1, 21))
+        assert frontend.stats.begin_leases == 3  # ceil(20 / 8)
+        assert oracle.timestamp_oracle.lease_count == 3
+        assert frontend.begin_lease_remaining == 4
+
+    def test_leased_begins_strictly_increase_across_flushes(self):
+        frontend, oracle, _ = make_frontend(begin_lease=4, max_batch=100)
+        starts = [frontend.begin() for _ in range(3)]  # lease [1..4]
+        frontend.submit_commit(req(starts[0], writes={"a"}))
+        frontend.flush()  # Tc = 5, above the whole lease block
+        starts.append(frontend.begin())  # 4, still from the first lease
+        starts.extend(frontend.begin() for _ in range(2))  # refill above Tc
+        assert starts == [1, 2, 3, 4, 6, 7]
+        assert all(b > a for a, b in zip(starts, starts[1:]))
+        # commit timestamps and begins never collide
+        assert set(starts).isdisjoint(oracle.commit_table._commits.values())
+
+    def test_commit_ts_always_exceeds_leased_start(self):
+        frontend, oracle, _ = make_frontend(begin_lease=16, max_batch=4)
+        futures = []
+        for i in range(12):
+            futures.append(
+                frontend.submit_commit(req(frontend.begin(), writes={f"r{i}"}))
+            )
+        frontend.flush()
+        for future in futures:
+            assert future.commit_ts > future.start_ts
+
+    def test_begin_many_drains_lease_then_leases_shortfall(self):
+        frontend, oracle, _ = make_frontend(begin_lease=8)
+        assert [frontend.begin() for _ in range(3)] == [1, 2, 3]
+        starts = frontend.begin_many(10)
+        assert starts == list(range(4, 14))  # [4..8] drained + lease(5)
+        assert frontend.begin_lease_remaining == 0
+        assert frontend.stats.begin_leases == 2
+
+    def test_begin_many_at_lease_one_is_one_round_trip(self):
+        frontend, oracle, _ = make_frontend()  # begin_lease=1
+        starts = frontend.begin_many(6)
+        assert starts == list(range(1, 7))
+        assert frontend.stats.begin_leases == 1
+        assert oracle.timestamp_oracle.lease_count == 1
+
+    def test_begin_many_validates(self):
+        frontend, _, _ = make_frontend()
+        with pytest.raises(ValueError):
+            frontend.begin_many(0)
+
+    def test_constructor_rejects_bad_lease(self):
+        oracle = make_oracle("wsi")
+        with pytest.raises(ValueError):
+            OracleFrontend(oracle, begin_lease=0)
+
+    def test_close_drops_unserved_lease(self):
+        frontend, oracle, _ = make_frontend(begin_lease=8)
+        frontend.begin()
+        assert frontend.begin_lease_remaining == 7
+        frontend.close()
+        assert frontend.begin_lease_remaining == 0
+        with pytest.raises(OracleClosed):
+            frontend.begin()
+        with pytest.raises(OracleClosed):
+            frontend.begin_many(2)
+        # the dropped remainder is a gap, never reused: the backend's
+        # cursor already moved past the whole block
+        assert oracle.begin() > 8
+
+    def test_foreign_backend_degrades_to_per_call(self):
+        class ForeignOracle:
+            def __init__(self):
+                self.backing = make_oracle("wsi")
+                self.stats = self.backing.stats
+                self.naive_read_only = False
+
+            def begin(self):
+                return self.backing.begin()
+
+            def commit(self, request):
+                return self.backing.commit(request)
+
+            def abort(self, start_ts):
+                self.backing.abort(start_ts)
+
+        frontend = OracleFrontend(
+            ForeignOracle(), wal=BookKeeperWAL(), begin_lease=8
+        )
+        assert [frontend.begin() for _ in range(3)] == [1, 2, 3]
+        assert frontend.stats.begin_leases == 0  # no lease surface
+        assert frontend.begin_many(3) == [4, 5, 6]
+
+
+class TestCommitFutureOutcome:
+    """The public outcome surface (``outcome()``): what the session tally
+    reads instead of future internals — pinned against the private
+    fields across decision paths."""
+
+    def test_pending_outcome_raises(self):
+        frontend, _, _ = make_frontend(max_batch=10)
+        future = frontend.submit_commit(req(frontend.begin(), writes={"a"}))
+        with pytest.raises(DecisionPending):
+            future.outcome()
+
+    def test_outcome_tags(self):
+        frontend, _, _ = make_frontend(level="wsi", max_batch=100)
+        ro = frontend.submit_commit(req(frontend.begin()))
+        assert ro.outcome() == "read-only"  # resolves at submit
+        stale = frontend.begin()
+        writer = frontend.submit_commit(req(frontend.begin(), writes={"x"}))
+        conflict = frontend.submit_commit(req(stale, writes={"y"}, reads={"x"}))
+        client = frontend.submit_abort(frontend.begin())
+        frontend.flush()
+        assert writer.outcome() == "committed"
+        assert conflict.outcome() == "aborted"
+        assert client.outcome() == "aborted"
+
+    def test_error_outcome_does_not_raise(self):
+        frontend, _, _ = make_frontend(max_batch=100)
+        done = frontend.submit_commit(req(frontend.begin(), writes={"a"}))
+        frontend.flush()
+        bad = frontend.submit_abort(done.start_ts)
+        frontend.flush()
+        assert bad.outcome() == "error"  # committed/result() would raise
+        assert isinstance(bad.error, ValueError)
+
+    @pytest.mark.parametrize("per_request", [False, True])
+    def test_outcome_matches_private_state_across_paths(self, per_request):
+        oracle = make_oracle("wsi")
+        frontend = OracleFrontend(
+            oracle, max_batch=100, wal=BookKeeperWAL(), per_request=per_request
+        )
+        futures = {
+            "ro": frontend.submit_commit(req(frontend.begin())),
+        }
+        stale = frontend.begin()
+        futures["commit"] = frontend.submit_commit(
+            req(frontend.begin(), writes={"x"})
+        )
+        futures["conflict"] = frontend.submit_commit(
+            req(stale, writes={"y"}, reads={"x"})
+        )
+        futures["client"] = frontend.submit_abort(frontend.begin())
+        frontend.flush()
+        futures["error"] = frontend.submit_abort(futures["commit"].start_ts)
+        frontend.flush()
+        expected = {
+            "ro": "read-only",
+            "commit": "committed",
+            "conflict": "aborted",
+            "client": "aborted",
+            "error": "error",
+        }
+        for name, future in futures.items():
+            assert future.outcome() == expected[name]
+            # the tag is derived state, never divergent from internals
+            if expected[name] == "error":
+                assert future._error is not None
+            elif expected[name] == "aborted":
+                assert future._error is None and not future._committed
+            else:
+                assert future._committed
+                assert (future._commit_ts is None) == (
+                    expected[name] == "read-only"
+                )
+
+
+class TestSessionSubmitFailure:
+    """`_resolve_open` regression: a transaction must not vanish from the
+    session when ``submit_*`` raises — it is removed only once the
+    future is obtained."""
+
+    def test_failed_commit_submit_keeps_transaction_open(self):
+        frontend, _, _ = make_frontend(max_batch=10)
+        session = frontend.session()
+        start = session.begin()
+        frontend.close()
+        with pytest.raises(OracleClosed):
+            session.commit(write_set={"a"})
+        # Still open and still addressable — OracleClosed again, not
+        # InvalidTransactionState (which would mean it was lost).
+        assert session.open_count == 1
+        with pytest.raises(OracleClosed):
+            session.commit(write_set={"a"}, start_ts=start)
+        assert session.submitted == 0
+
+    def test_failed_abort_submit_keeps_transaction_open(self):
+        frontend, _, _ = make_frontend(max_batch=10)
+        session = frontend.session()
+        session.begin()
+        frontend.close()
+        with pytest.raises(OracleClosed):
+            session.abort()
+        assert session.open_count == 1
+        with pytest.raises(OracleClosed):
+            session.abort()
+
+    def test_unknown_transaction_still_rejected_before_submit(self):
+        frontend, _, _ = make_frontend(max_batch=10)
+        session = frontend.session()
+        with pytest.raises(InvalidTransactionState):
+            session.commit(write_set={"a"})
+        assert frontend.pending_count == 0  # nothing was submitted
 
 
 class TestClientSession:
@@ -349,6 +573,45 @@ class TestClientSession:
         frontend.flush()
         assert session.aborts == 1
         assert oracle.commit_table.is_aborted(start)
+
+    def test_session_begin_many(self):
+        frontend, _, _ = make_frontend(max_batch=100, begin_lease=8)
+        session = frontend.session()
+        starts = session.begin_many(5)
+        assert len(starts) == 5 and session.open_count == 5
+        # the last begun is the default commit target
+        default = session.commit(write_set={"a"})
+        assert default.start_ts == starts[-1]
+        for start in starts[:-1]:
+            session.commit(write_set={"b"}, start_ts=start)
+        frontend.flush()
+        assert session.commits == 5 and session.open_count == 0
+
+    @pytest.mark.parametrize("per_request", [False, True])
+    def test_session_tally_parity_across_decision_paths(self, per_request):
+        """The tally reads ``outcome()``, so it must classify the same
+        mixed traffic identically whichever engine decided it."""
+        oracle = make_oracle("wsi")
+        frontend = OracleFrontend(
+            oracle, max_batch=100, wal=BookKeeperWAL(), per_request=per_request
+        )
+        session = frontend.session()
+        session.begin()
+        session.commit()  # read-only
+        stale = session.begin()
+        session.begin()
+        session.commit(write_set={"x"})  # committed writer
+        session.commit(write_set={"y"}, read_set={"x"}, start_ts=stale)
+        session.begin()
+        session.abort()
+        frontend.flush()
+        tally = (
+            session.commits,
+            session.read_only_commits,
+            session.aborts,
+            session.errors,
+        )
+        assert tally == (2, 1, 2, 0)
 
 
 class TestFutureStateParity:

@@ -129,6 +129,81 @@ class TestMidBatchCrash:
             assert fresh.begin() not in used
 
 
+class TestBeginLeaseCrash:
+    """A frontend crash mid-lease must never lead to timestamp reuse:
+    the lease block was durably reserved before any begin was served, so
+    recovery resumes strictly above the whole block — the unserved
+    remainder becomes a gap."""
+
+    def test_crash_mid_lease_recovery_never_reissues(self):
+        wal = BookKeeperWAL(batch_bytes=1 << 20)
+        oracle = make_oracle("wsi", wal=wal)
+        frontend = OracleFrontend(oracle, max_batch=4, begin_lease=16)
+        issued = set()
+        for i in range(10):  # mid-lease: 10 of 16 served
+            start = frontend.begin()
+            issued.add(start)
+            frontend.submit_commit(req(start, writes={f"r{i}"}))
+        frontend.flush()
+        wal.flush()
+        issued.update(oracle.commit_table._commits.values())
+        assert frontend.begin_lease_remaining > 0  # the crash window
+
+        fresh = make_oracle("wsi")
+        fresh.recover_from(wal)
+        # strictly above everything the crashed deployment could have
+        # served — including the unserved lease remainder
+        floor = oracle.timestamp_oracle.reserved_high_water
+        for _ in range(20):
+            ts = fresh.begin()
+            assert ts > floor
+            assert ts not in issued
+
+    def test_partitioned_backend_leases_are_recoverable(self):
+        # The partitioned oracle's shared TSO persists nothing on its
+        # own; the frontend adopts its reservation stream into the
+        # frontend WAL, so served begins (and unserved lease remainders)
+        # survive a crash as gaps, never reuse.
+        from repro.core.partitioned import PartitionedOracle
+
+        wal = BookKeeperWAL(batch_bytes=1 << 20)
+        oracle = PartitionedOracle(level="wsi", num_partitions=3)
+        frontend = OracleFrontend(oracle, max_batch=8, wal=wal, begin_lease=16)
+        issued = set()
+        for i in range(6):  # begins served, none committed yet: the
+            issued.add(frontend.begin())  # worst case for replay-only recovery
+        future = frontend.submit_commit(req(min(issued), writes={0, 1, 2}))
+        frontend.flush()
+        wal.flush()
+        issued.add(future.commit_ts)
+
+        fresh = make_oracle("wsi")
+        fresh.recover_from(wal)
+        for _ in range(20):
+            assert fresh.begin() not in issued
+
+    def test_lease_refills_during_commits_stay_recoverable(self):
+        # Leases interleaved with group-commit flushes: every block is
+        # covered by a ts-reserve record that replay honours.
+        wal = BookKeeperWAL(batch_bytes=1 << 20)
+        oracle = make_oracle("wsi", wal=wal)
+        frontend = OracleFrontend(oracle, max_batch=2, begin_lease=3)
+        issued = set()
+        for i in range(9):  # 3 lease refills, 4+ flushes interleaved
+            start = frontend.begin()
+            issued.add(start)
+            future = frontend.submit_commit(req(start, writes={f"k{i}"}))
+            if future.done:
+                issued.add(future.commit_ts)
+        frontend.close()
+        issued.update(oracle.commit_table._commits.values())
+
+        fresh = make_oracle("wsi")
+        fresh.recover_from(wal)
+        for _ in range(20):
+            assert fresh.begin() not in issued
+
+
 class TestReadOnlyRegression:
     def test_read_only_batch_writes_no_wal_record(self):
         """§5.1: a batch containing only read-only transactions costs no
