@@ -18,27 +18,35 @@ test-fast:
 bench:
 	$(PYTEST) benchmarks -q -s
 
-## Fast perf sanity check: the E17/E18/E19/E20 hot-path speedup bars at
-## tiny sizes (REPRO_BENCH_SMOKE relaxes the bars accordingly).  Runs in
-## a few seconds; `make test-fast` still skips the benchmarks directory
-## entirely (its conftest marks every figure benchmark @slow).
+## Fast perf sanity check: the E17/E18/E19/E20/E21 hot-path speedup
+## bars at tiny sizes (REPRO_BENCH_SMOKE relaxes the bars accordingly).
+## Runs in a few seconds; `make test-fast` still skips the benchmarks
+## directory entirely (its conftest marks every figure benchmark @slow).
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 $(PYTEST) \
 		benchmarks/test_e17_group_commit.py::test_e17_group_commit_speedup \
 		benchmarks/test_e18_batch_decide.py::test_e18_batch_decide_speedup \
 		benchmarks/test_e19_cross_partition_batch.py::test_e19_cross_partition_batch_speedup \
 		benchmarks/test_e20_begin_lease.py::test_e20_begin_lease_speedup \
+		benchmarks/test_e21_parallel_partitions.py::test_e21_parallel_executor_speedup \
 		-q -s
 
 ## The fast suite twice under two different hash salts: routing (shard
 ## and block placement) must be identical regardless of PYTHONHASHSEED,
 ## so any decision or stat that silently depended on builtin str/bytes
-## hashing fails one of the two runs.  The begin/recover no-reuse pins
-## ride in both salted runs; the explicit third pair keeps them covered
-## even if the fast-suite marker set ever changes.
+## hashing fails one of the two runs.  Then the same two salted runs
+## again with REPRO_EXECUTOR=parallel, which makes every partitioned
+## oracle built without an explicit executor= fan its protocol rounds
+## over a thread pool — the threaded path must stay green under both
+## salts (executor choice is performance policy, never semantics).
+## The begin/recover no-reuse pins ride in every salted run; the
+## explicit last pair keeps them covered even if the fast-suite marker
+## set ever changes.
 check:
 	PYTHONHASHSEED=0 $(PYTEST) -m "not slow" -q
 	PYTHONHASHSEED=31337 $(PYTEST) -m "not slow" -q
+	REPRO_EXECUTOR=parallel PYTHONHASHSEED=0 $(PYTEST) -m "not slow" -q
+	REPRO_EXECUTOR=parallel PYTHONHASHSEED=31337 $(PYTEST) -m "not slow" -q
 	PYTHONHASHSEED=0 $(PYTEST) -q \
 		tests/core/test_timestamps.py tests/server/test_frontend_recovery.py
 	PYTHONHASHSEED=31337 $(PYTEST) -q \

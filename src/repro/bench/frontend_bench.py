@@ -574,6 +574,110 @@ def sweep_batch_partitions(
 
 
 # ----------------------------------------------------------------------
+# executor benchmarks (E21): parallel vs serial protocol rounds
+# ----------------------------------------------------------------------
+
+def _run_executor_rounds(level, specs, batch_size, partitions, executor,
+                         round_latency, cross_every):
+    """One cross-heavy run with the chosen round executor and an
+    injected per-round latency (the modeled per-partition commit-table
+    RPC; ``time.sleep`` releases the GIL, so overlap under the parallel
+    executor is real wall-clock, not bookkeeping)."""
+    wal = BookKeeperWAL()
+    oracle = PartitionedOracle(
+        level=level,
+        num_partitions=partitions,
+        executor=executor,
+        round_latency=round_latency,
+    )
+    frontend = OracleFrontend(oracle, max_batch=batch_size, wal=wal)
+    requests = make_cross_heavy_requests(
+        frontend, specs, partitions, cross_every
+    )
+    submit = frontend.submit_commit_nowait
+    gc.collect()
+    t0 = time.perf_counter()
+    for request in requests:
+        submit(request)
+    frontend.flush()
+    dt = time.perf_counter() - t0
+    frontend.close()  # joins an owned parallel executor's workers
+    return dt, oracle, wal, frontend
+
+
+def bench_executor_rounds(
+    level: str,
+    specs: Sequence[TransactionSpec],
+    batch_size: int = 32,
+    partitions: int = 4,
+    repeats: int = DEFAULT_REPEATS,
+    executor: str = "serial",
+    round_latency: float = 0.0,
+    cross_every: int = 1,
+) -> FrontendBenchResult:
+    """Cross-heavy partitioned frontend under one executor choice."""
+    best = None
+    for _ in range(repeats):
+        run = _run_executor_rounds(
+            level, specs, batch_size, partitions, executor, round_latency,
+            cross_every,
+        )
+        if best is None or run[0] < best[0]:
+            best = run
+    dt, oracle, wal, _ = best
+    return FrontendBenchResult(
+        level=level,
+        mode=f"rounds-{executor}",
+        batch_size=batch_size,
+        ops_per_sec=len(specs) / dt,
+        commits=oracle.stats.commits,
+        aborts=oracle.stats.aborts,
+        wal_records=wal.record_count,
+        wal_ledger_entries=wal.flush_count,
+        partitions=partitions,
+        cross_fraction=oracle.cross_partition_fraction(),
+    )
+
+
+def paired_executor_speedups(
+    level: str = "wsi",
+    batch_size: int = 32,
+    pairs: int = 3,
+    num_requests: int = 2_000,
+    keyspace: int = DEFAULT_KEYSPACE,
+    seed: int = 42,
+    partitions: int = 4,
+    round_latency: float = 1e-3,
+    cross_every: int = 1,
+) -> List[float]:
+    """Back-to-back (serial, parallel) pairs on the cross-heavy workload
+    with injected per-round latency.
+
+    Benchmark E21's measurement, following the E17—E20 protocol: both
+    sides run the identical batch-protocol frontend over the same
+    requests; only the executor differs, so each ratio isolates round
+    overlap.  With every flush touching all ``partitions`` twice (a
+    >=50 %-cross workload at batch 32 does), the serial side pays
+    ``2 * partitions`` round latencies per flush and the parallel side
+    ~2, bounding the ideal ratio at ``partitions``; thread handoff and
+    the GIL-bound merge pass eat part of that.
+    """
+    specs = make_specs(num_requests, keyspace=keyspace, seed=seed)
+    ratios = []
+    for _ in range(pairs):
+        dt_serial, _, _, _ = _run_executor_rounds(
+            level, specs, batch_size, partitions, "serial", round_latency,
+            cross_every,
+        )
+        dt_parallel, _, _, _ = _run_executor_rounds(
+            level, specs, batch_size, partitions, "parallel", round_latency,
+            cross_every,
+        )
+        ratios.append(dt_serial / dt_parallel)
+    return ratios
+
+
+# ----------------------------------------------------------------------
 # begin-path benchmarks (E20): leased begin() vs per-call begin()
 # ----------------------------------------------------------------------
 

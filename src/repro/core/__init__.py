@@ -9,6 +9,12 @@ Public surface:
   :class:`BoundedStatusOracle` (Alg. 3), :func:`make_oracle`.
 * :class:`TimestampOracle` — batched-durability timestamp server.
 * :class:`CommitTable`, :class:`ClientCommitView` — commit-state replicas.
+* :class:`PartitionedOracle` with pluggable
+  :class:`~repro.core.executor.PartitionExecutor` round drivers
+  (:class:`SerialExecutor` / :class:`ParallelExecutor`) and
+  :class:`~repro.core.sharding.ShardingPolicy` placement
+  (:class:`HashSharding` / :class:`RangeSharding` /
+  :class:`DirectorySharding`).
 * conflict predicates — the paper's §2/§4 definitions as functions.
 * the exception hierarchy in :mod:`repro.core.errors`.
 """
@@ -42,7 +48,22 @@ from repro.core.errors import (
     TransactionError,
     WALError,
 )
+from repro.core.executor import (
+    ParallelExecutor,
+    PartitionExecutor,
+    SerialExecutor,
+    make_executor,
+)
 from repro.core.isolation import IsolationLevel, TransactionalSystem, create_system
+from repro.core.partitioned import BatchRounds, PartitionedOracle
+from repro.core.sharding import (
+    DirectorySharding,
+    HashSharding,
+    RangeSharding,
+    ShardingPolicy,
+    make_sharding,
+    stable_hash,
+)
 from repro.core.status_oracle import (
     BoundedStatusOracle,
     CommitRequest,
@@ -75,6 +96,18 @@ __all__ = [
     "CommitRequest",
     "CommitResult",
     "OracleStats",
+    "PartitionedOracle",
+    "BatchRounds",
+    "PartitionExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "ShardingPolicy",
+    "HashSharding",
+    "RangeSharding",
+    "DirectorySharding",
+    "make_sharding",
+    "stable_hash",
     "TimestampOracle",
     "CommitTable",
     "ClientCommitView",

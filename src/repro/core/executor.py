@@ -1,0 +1,187 @@
+"""Pluggable partition executors: who drives a flush's protocol rounds.
+
+The cross-partition batch protocol (:mod:`repro.core.partitioned`)
+decides a whole group-commit flush with one bulk *validation* round and
+one bulk *install* round per involved partition.  In a distributed
+deployment each round is one RPC to one partition server, and nothing in
+the protocol orders rounds on *different* partitions: phase 1 only reads
+each partition's ``lastCommit`` (installs happen in phase 3, after the
+coordinator's merge barrier), and phase 3 only writes each partition's
+own staged share.  The seed coordinator nevertheless drove every round
+inline, serially — partition count bought memory sharding but zero round
+overlap.
+
+A :class:`PartitionExecutor` makes that policy pluggable.  The
+partitioned oracle hands it a list of independent zero-argument *round
+closures* (one per involved partition, each taking that shard's own
+lock) and consumes the results in task order:
+
+* :class:`SerialExecutor` — the default: runs the rounds inline in
+  partition order, exactly as the pre-executor coordinator did.  Zero
+  threads, zero overhead beyond one method call per phase.
+* :class:`ParallelExecutor` — fans the rounds out over a lazily-created
+  :class:`concurrent.futures.ThreadPoolExecutor` and joins at the
+  phase barrier.  Round work that *releases the GIL* — a real
+  commit-table RPC, or the injected ``time.sleep`` latency benchmark
+  E21 uses to model one — overlaps across partitions, so a flush costs
+  roughly one round-trip per *phase* instead of one per partition.
+  Pure-Python dict scans do **not** overlap under the GIL; the executor
+  choice never changes decisions either way (the hypothesis suite pins
+  parallel ≡ serial exactly), so ``serial`` remains the right default
+  for in-process deployments.
+
+Error contract: a round closure that raises aborts the phase — the first
+failing task's exception (in task order) propagates after the join.
+Under :class:`ParallelExecutor` later rounds may still have run; the
+protocol's rounds are written to tolerate that (phase 1 is read-only,
+phase 3 rounds touch disjoint shards).
+
+Selection: pass ``executor="serial"`` / ``"parallel"`` (or an instance)
+to :class:`~repro.core.partitioned.PartitionedOracle`.  When omitted,
+the ``REPRO_EXECUTOR`` environment variable picks the default — the
+hook ``make check`` uses to run the whole fast suite over the threaded
+path.  An oracle that *built* its executor owns it and shuts it down on
+``close()``; a passed-in instance stays the caller's to shut down.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+__all__ = [
+    "EXECUTOR_ENV_VAR",
+    "PartitionExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+]
+
+#: Environment variable naming the default executor ("serial"/"parallel")
+#: for oracles constructed without an explicit ``executor=``.
+EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
+
+RoundTask = Callable[[], Any]
+
+
+class PartitionExecutor:
+    """How a flush's independent per-partition rounds are driven.
+
+    Implementations must return one result per task, in task order, and
+    propagate the first (task-order) exception after the phase completes
+    or is abandoned.  ``run`` is called once per protocol phase per
+    flush, from the coordinator thread only.
+    """
+
+    #: short tag used in stats tables and factory specs.
+    name = "base"
+
+    def run(self, tasks: Sequence[RoundTask]) -> List[Any]:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release any worker resources (idempotent; no-op by default)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(PartitionExecutor):
+    """Inline rounds in partition order — the pre-executor coordinator,
+    byte-identical in behaviour and state evolution."""
+
+    name = "serial"
+
+    def run(self, tasks: Sequence[RoundTask]) -> List[Any]:
+        return [task() for task in tasks]
+
+
+class ParallelExecutor(PartitionExecutor):
+    """Thread-pool rounds joined at the phase barrier.
+
+    The pool is created lazily on the first multi-round phase (a
+    single-task phase runs inline — no handoff cost) and sized by
+    ``max_workers`` (the partitioned oracle passes its partition count).
+    ``shutdown()`` joins the workers; the executor can be reused only
+    before shutdown.
+    """
+
+    name = "parallel"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self._max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._shutdown = False
+
+    @property
+    def pool_started(self) -> bool:
+        """Whether worker threads exist yet (the pool is lazy)."""
+        return self._pool is not None
+
+    def run(self, tasks: Sequence[RoundTask]) -> List[Any]:
+        # Fail fast even for phases the pool wouldn't touch: a shut-down
+        # executor that kept serving single-round flushes would turn
+        # misuse into a data-dependent intermittent error.
+        if self._shutdown:
+            raise RuntimeError("ParallelExecutor is shut down")
+        if len(tasks) <= 1:
+            # One round cannot overlap with anything: skip the handoff.
+            return [task() for task in tasks]
+        pool = self._pool
+        if pool is None:
+            pool = self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="repro-partition",
+            )
+        futures = [pool.submit(task) for task in tasks]
+        # result() re-raises a failed round's exception; iterating in
+        # task order keeps the error contract of SerialExecutor (first
+        # failing task wins) while still joining every future.
+        results: List[Any] = []
+        first_error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+                results.append(None)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def shutdown(self) -> None:
+        self._shutdown = True
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+ExecutorSpec = Union[None, str, PartitionExecutor]
+
+
+def make_executor(
+    spec: ExecutorSpec = None, max_workers: Optional[int] = None
+) -> PartitionExecutor:
+    """Resolve an executor spec to an instance.
+
+    ``None`` consults ``REPRO_EXECUTOR`` (defaulting to serial), a string
+    names a kind, and an instance passes through unchanged — callers that
+    need to distinguish owned from borrowed executors should test for a
+    :class:`PartitionExecutor` instance *before* calling this.
+    """
+    if isinstance(spec, PartitionExecutor):
+        return spec
+    if spec is None:
+        spec = os.environ.get(EXECUTOR_ENV_VAR) or SerialExecutor.name
+    kind = spec.strip().lower()
+    if kind == SerialExecutor.name:
+        return SerialExecutor()
+    if kind == ParallelExecutor.name:
+        return ParallelExecutor(max_workers=max_workers)
+    raise ValueError(
+        f"unknown partition executor {spec!r}; choose 'serial' or 'parallel'"
+    )

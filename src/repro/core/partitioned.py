@@ -59,11 +59,38 @@ builtin ``hash()`` cannot guarantee.  Commit handling:
 The isolation policy (which rows are checked) is inherited per-partition
 from the usual SI/WSI oracles, so the partitioned deployment serves
 either level.
+
+Two axes of the deployment are pluggable (the pluggable-executor PR),
+and they are deliberately orthogonal — placement policy vs round
+mechanism, the narrow interface the MetaSys line of work argues for:
+
+* **who drives the rounds** — the batch protocol's per-partition
+  validation and install rounds are extracted into closures dispatched
+  through a :class:`~repro.core.executor.PartitionExecutor`.  Each
+  partition shard carries its own lock, so rounds on *different*
+  partitions are safe to overlap: :class:`~repro.core.executor.SerialExecutor`
+  (default) runs them inline exactly as before, while
+  :class:`~repro.core.executor.ParallelExecutor` fans them out over a
+  thread pool and joins at the existing merge barrier.  Round work that
+  releases the GIL — a real per-partition RPC, or the ``round_latency``
+  sleep benchmark E21 injects to model one — then overlaps for real
+  wall-clock; the executor choice never changes decisions.
+* **where a row lives** — routing goes through a
+  :class:`~repro.core.sharding.ShardingPolicy` (``sharding=``):
+  :class:`~repro.core.sharding.HashSharding` (the default, identical to
+  the old bare ``hash_fn=`` hook, which still works),
+  :class:`~repro.core.sharding.RangeSharding` (contiguous key bands),
+  or :class:`~repro.core.sharding.DirectorySharding` (explicit group
+  affinity) — the lever that converts cross-partition traffic into
+  aligned traffic instead of merely amortizing it.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass
+from time import perf_counter
 from typing import (
     Any,
     Callable,
@@ -78,7 +105,17 @@ from typing import (
 
 from repro.core.commit_table import CommitTable
 from repro.core.errors import OracleClosed
-from repro.core.sharding import INT_IDENTITY_BOUND, stable_hash
+from repro.core.executor import (
+    PartitionExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.core.sharding import (
+    INT_IDENTITY_BOUND,
+    HashSharding,
+    ShardingPolicy,
+    stable_hash,
+)
 from repro.core.status_oracle import (
     CLIENT_ABORT,
     CommitRequest,
@@ -109,6 +146,16 @@ class BatchRounds:
     install_rounds: int = 0
     single_requests: int = 0
     cross_requests: int = 0
+    #: most rounds driven on any one partition this flush (<= 2 under
+    #: the protocol: one validation plus one install) — the per-flush
+    #: occupancy bound that makes E21's overlap claim observable: with a
+    #: parallel executor the flush's round wall-clock tracks this, not
+    #: check_rounds + install_rounds.
+    max_partition_rounds: int = 0
+    #: executor wall-clock of the phase-1 validation fan-out (seconds).
+    validate_wall: float = 0.0
+    #: executor wall-clock of the phase-3 install fan-out (seconds).
+    install_wall: float = 0.0
 
     def add(self, other: "BatchRounds") -> None:
         self.flushes += other.flushes
@@ -116,6 +163,10 @@ class BatchRounds:
         self.install_rounds += other.install_rounds
         self.single_requests += other.single_requests
         self.cross_requests += other.cross_requests
+        if other.max_partition_rounds > self.max_partition_rounds:
+            self.max_partition_rounds = other.max_partition_rounds
+        self.validate_wall += other.validate_wall
+        self.install_wall += other.install_wall
 
 
 class PartitionedOracle:
@@ -131,8 +182,27 @@ class PartitionedOracle:
         timestamp_oracle: the shared TSO (one is created if omitted).
         hash_fn: row-placement hash; must be deterministic across
             processes (the default,
-            :func:`~repro.core.sharding.stable_hash`, is).  Replace it
-            for locality-aware sharding or pre-hashed keyspaces.
+            :func:`~repro.core.sharding.stable_hash`, is).  Kept as the
+            legacy shim — it wraps into
+            :class:`~repro.core.sharding.HashSharding`; prefer
+            ``sharding=`` for anything beyond a custom hash.
+        sharding: a :class:`~repro.core.sharding.ShardingPolicy`
+            (mutually exclusive with ``hash_fn``); defaults to
+            ``HashSharding()``, the seed behaviour.
+        executor: who drives the batch protocol's per-partition rounds —
+            ``"serial"`` (default), ``"parallel"``, or a
+            :class:`~repro.core.executor.PartitionExecutor` instance.
+            When omitted, the ``REPRO_EXECUTOR`` environment variable
+            picks the default.  An executor *built here* is owned and
+            shut down by :meth:`close`; a passed-in instance stays the
+            caller's.  Executor choice never changes decisions.
+        round_latency: injected latency (seconds) slept at the start of
+            every batch-protocol validation/install round, modeling the
+            per-partition commit-table RPC of a distributed deployment
+            (``time.sleep`` releases the GIL, so a parallel executor
+            overlaps it for real — benchmark E21's lever).  Zero
+            (default) keeps rounds free; the per-request ``commit()``
+            path never sleeps.
         batch_cross: ``True`` (default) decides group-commit batches
             through the cross-partition batch protocol; ``False``
             restores the pre-protocol engine — cross-partition items
@@ -147,12 +217,34 @@ class PartitionedOracle:
         timestamp_oracle: Optional[TimestampOracle] = None,
         hash_fn: Optional[Callable[[RowKey], int]] = None,
         batch_cross: bool = True,
+        sharding: Optional[ShardingPolicy] = None,
+        executor: Any = None,
+        round_latency: float = 0.0,
     ) -> None:
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
+        if hash_fn is not None and sharding is not None:
+            raise ValueError("pass hash_fn= or sharding=, not both")
+        if round_latency < 0:
+            raise ValueError("round_latency must be >= 0")
         self.level = level
         self._tso = timestamp_oracle or TimestampOracle()
-        self._hash = hash_fn or stable_hash
+        self._sharding = sharding or HashSharding(hash_fn)
+        self._hash = (
+            self._sharding.hash_fn
+            if isinstance(self._sharding, HashSharding)
+            else None
+        )
+        # Routing fast path: hash placement over stable_hash lets the
+        # per-row policy call inline away for small non-negative ints.
+        self._fast_hash = self._hash is stable_hash
+        self.round_latency = round_latency
+        # The executor drives the batch protocol's per-partition rounds;
+        # only an executor built *here* is owned (shut down on close).
+        self._owns_executor = not isinstance(executor, PartitionExecutor)
+        self._executor: PartitionExecutor = make_executor(
+            executor, max_workers=num_partitions
+        )
         # Every partition shares the TSO (one global commit order) and
         # gets its own lastCommit + stats; their private commit tables
         # are unused — the partitioned deployment keeps one authoritative
@@ -160,6 +252,14 @@ class PartitionedOracle:
         self.partitions: List[StatusOracle] = [
             make_oracle(level, timestamp_oracle=self._tso)
             for _ in range(num_partitions)
+        ]
+        # One lock per shard, held for the duration of that shard's
+        # round closure: rounds on different partitions may overlap
+        # freely (the parallel executor's licence), rounds on the same
+        # partition serialize.  The coordinator itself (merge pass,
+        # per-request commit()) stays single-threaded by construction.
+        self._shard_locks: List[threading.Lock] = [
+            threading.Lock() for _ in range(num_partitions)
         ]
         self.commit_table = CommitTable()
         self.stats = OracleStats()
@@ -184,7 +284,7 @@ class PartitionedOracle:
     # routing
     # ------------------------------------------------------------------
     def partition_of(self, row: RowKey) -> int:
-        return self._hash(row) % len(self.partitions)
+        return self._sharding.partition_of(row, len(self.partitions))
 
     def _split(self, rows: FrozenSet[RowKey]) -> Dict[int, List[RowKey]]:
         num = len(self.partitions)
@@ -199,17 +299,21 @@ class PartitionedOracle:
         # their order — the footprint's iteration order restricted to
         # the partition — is what both decision paths scan, keeping
         # conflict rows identical across them.
-        if self._hash is stable_hash:
+        if self._fast_hash:
             for row in rows:
                 if type(row) is int and 0 <= row < INT_IDENTITY_BOUND:
                     p = row % num
                 else:
                     p = stable_hash(row) % num
                 setdefault(p, []).append(row)
-        else:
+        elif self._hash is not None:
             h = self._hash
             for row in rows:
                 setdefault(h(row) % num, []).append(row)
+        else:
+            p_of = self._sharding.partition_of
+            for row in rows:
+                setdefault(p_of(row, num), []).append(row)
         return shares
 
     # ------------------------------------------------------------------
@@ -259,10 +363,28 @@ class PartitionedOracle:
         num = len(self.partitions)
         if num == 1:
             return 0
+        h = self._hash
+        if h is None:
+            # Non-hash policy: every row through partition_of.
+            p_of = self._sharding.partition_of
+            pid = -1
+            for row in request.write_set:
+                p = p_of(row, num)
+                if pid < 0:
+                    pid = p
+                elif p != pid:
+                    return -1
+            if self.level == "wsi":
+                for row in request.read_set:
+                    p = p_of(row, num)
+                    if pid < 0:
+                        pid = p
+                    elif p != pid:
+                        return -1
+            return pid
         # Same inlined integer fast path as _split: this scan runs for
         # every non-read-only request, batched or not.
-        fast = self._hash is stable_hash
-        h = self._hash
+        fast = self._fast_hash
         pid = -1
         for row in request.write_set:
             if fast and type(row) is int and 0 <= row < INT_IDENTITY_BOUND:
@@ -375,6 +497,108 @@ class PartitionedOracle:
         if self.level == "si":
             return request.write_set
         return request.read_set
+
+    # ------------------------------------------------------------------
+    # per-partition round closures: the executor's unit of work
+    # ------------------------------------------------------------------
+    def _validation_round(self, pid: int, group: list) -> Callable[[], list]:
+        """Build one partition's phase-1 bulk validation round.
+
+        The closure sleeps the injected ``round_latency`` (the modeled
+        per-partition RPC), takes its shard's lock, and scans every
+        share of the batch against this shard's ``lastCommit`` — the
+        :meth:`StatusOracle.check_share` scan inlined with locally-bound
+        state plus the C-speed ``isdisjoint`` prefilter (a share
+        touching no ever-written row, the common case under a large
+        keyspace, costs one membership sweep).  It returns ``(entry,
+        pid, conflict_row)`` verdicts instead of writing entry slots so
+        all entry mutation stays on the coordinator thread.
+        """
+        partition = self.partitions[pid]
+        lock = self._shard_locks[pid]
+        delay = self.round_latency
+
+        def validation_round() -> list:
+            if delay:
+                time.sleep(delay)
+            verdicts = []
+            with lock:
+                lc = partition._last_commit
+                lc_get = lc.get
+                lc_isdisjoint = lc.keys().isdisjoint
+                for entry, share, start in group:
+                    if lc_isdisjoint(share):
+                        continue
+                    for row in share:
+                        last = lc_get(row)
+                        if last is not None and last > start:
+                            verdicts.append((entry, pid, row))
+                            break
+            return verdicts
+
+        return validation_round
+
+    def _install_round(
+        self, pid: int, staged: Dict[RowKey, int]
+    ) -> Callable[[], None]:
+        """Build one partition's phase-3 bulk install round: sleep the
+        injected round latency, take the shard lock, land the staged
+        share in one ``dict.update``."""
+        partition = self.partitions[pid]
+        lock = self._shard_locks[pid]
+        delay = self.round_latency
+
+        def install_round() -> None:
+            if delay:
+                time.sleep(delay)
+            with lock:
+                partition._last_commit.update(staged)
+
+        return install_round
+
+    def _shard_decision_round(
+        self, pid: int, group: List[list], reason_tag: str
+    ) -> Callable[[], None]:
+        """Build one shard's decide-and-stage round for the pre-protocol
+        engine (``batch_cross=False``): decide a run of single-partition
+        requests against this shard alone, writing each entry's decision
+        slot in place.  Entries belong to exactly one shard group, so
+        the writes are disjoint across rounds; the coordinator reads
+        them only after the executor joins.  No injected round latency:
+        this engine is benchmark E19's pre-protocol baseline, kept
+        cost-faithful to what it replaced.
+        """
+        partition = self.partitions[pid]
+        lock = self._shard_locks[pid]
+        wsi = self.level == "wsi"
+
+        def shard_round() -> None:
+            with lock:
+                lc_get = partition._last_commit.get
+                pending: Set[RowKey] = set()
+                pending_update = pending.update
+                shard_checked = 0
+                for entry in group:
+                    req = entry[1]
+                    start = req.start_ts
+                    conflict_row = None
+                    for row in (req.read_set if wsi else req.write_set):
+                        shard_checked += 1
+                        if row in pending:
+                            conflict_row = row
+                            break
+                        last = lc_get(row)
+                        if last is not None and last > start:
+                            conflict_row = row
+                            break
+                    if conflict_row is not None:
+                        entry[4] = ("abort", reason_tag, conflict_row)
+                    else:
+                        entry[4] = True
+                        pending_update(req.write_set)
+                partition.stats.rows_checked += shard_checked
+
+        return shard_round
 
     # ------------------------------------------------------------------
     # the batch-decide fast path: one bulk round per partition per flush
@@ -506,30 +730,67 @@ class PartitionedOracle:
         # Each involved partition checks all of its shares for the batch
         # against lastCommit (the state as of batch start — installs
         # happen in phase 3, so round order between partitions is
-        # irrelevant), and the first conflicting row per share is
-        # recorded on the entry.  The scan is StatusOracle.check_share
-        # inlined with the round's state locally bound (the engines'
-        # established inline convention), plus a C-speed ``isdisjoint``
-        # prefilter: a share touching no ever-written row — the common
-        # case under a large keyspace — costs one membership sweep.
-        # rows_checked is NOT counted here: the merge pass attributes it
-        # in sequential-equivalent order, stopping where a sequential
-        # scan would have stopped.
+        # irrelevant) in one round *closure* dispatched through the
+        # executor — inline under SerialExecutor, overlapped across
+        # partitions under ParallelExecutor (each round holds its own
+        # shard lock and only reads its shard, so ordering between
+        # partitions never matters).  Verdicts — the first conflicting
+        # row per share — come back with the join and are applied to the
+        # entries by the coordinator, single-threaded.  rows_checked is
+        # NOT counted here: the merge pass attributes it in
+        # sequential-equivalent order, stopping where a sequential scan
+        # would have stopped.
         check_rounds = 0
-        for pid in range(num):
-            group = shard_groups[pid]
-            if group is None:
-                continue
-            check_rounds += 1
-            lc = partitions[pid]._last_commit
-            lc_get = lc.get
-            lc_isdisjoint = lc.keys().isdisjoint
-            for entry, share, start in group:
-                if lc_isdisjoint(share):
+        validate_wall = 0.0
+        # Serial rounds with no injected latency take the pre-executor
+        # inline loop — zero closure/dispatch cost on the measured hot
+        # path (E18/E19), byte-identical state evolution; any other
+        # executor/latency combination goes through the round closures.
+        # Per the engines' inline convention this duplicates the
+        # _validation_round scan: change one, change both (the
+        # hypothesis suite pins serial ≡ parallel to keep it honest).
+        serial_inline = (
+            self.round_latency == 0.0
+            and type(self._executor) is SerialExecutor
+        )
+        if serial_inline:
+            t0 = perf_counter()
+            for pid in range(num):
+                group = shard_groups[pid]
+                if group is None:
                     continue
-                for row in share:
-                    last = lc_get(row)
-                    if last is not None and last > start:
+                check_rounds += 1
+                lc = partitions[pid]._last_commit
+                lc_get = lc.get
+                lc_isdisjoint = lc.keys().isdisjoint
+                for entry, share, start in group:
+                    if lc_isdisjoint(share):
+                        continue
+                    for row in share:
+                        last = lc_get(row)
+                        if last is not None and last > start:
+                            if entry[0] == "sp":
+                                entry[6] = row
+                            else:
+                                conf = entry[6]
+                                if conf is None:
+                                    conf = entry[6] = {}
+                                conf[pid] = row
+                            break
+            validate_wall = perf_counter() - t0
+        else:
+            validate_tasks = []
+            for pid in range(num):
+                group = shard_groups[pid]
+                if group is not None:
+                    check_rounds += 1
+                    validate_tasks.append(self._validation_round(pid, group))
+            if validate_tasks:
+                t0 = perf_counter()
+                verdict_lists = self._executor.run(validate_tasks)
+                validate_wall = perf_counter() - t0
+                for verdicts in verdict_lists:
+                    for entry, pid, row in verdicts:
                         if entry[0] == "sp":
                             entry[6] = row
                         else:
@@ -537,7 +798,6 @@ class PartitionedOracle:
                             if conf is None:
                                 conf = entry[6] = {}
                             conf[pid] = row
-                        break
 
         # ---- phase 2: merge + assignment in batch order -------------
         # installs[pid] doubles as the staged install share *and* the
@@ -750,13 +1010,45 @@ class PartitionedOracle:
             # As in the monolithic engines, this runs even if an error
             # escapes mid-batch (e.g. a timestamp-reservation WAL
             # failure): the staged prefix is exactly what sequential
-            # commit() calls would have installed before failing.
+            # commit() calls would have installed before failing.  Each
+            # install is a round closure (disjoint shard, own lock) —
+            # the second executor fan-out; rows_checked attribution is
+            # coordinator-side accounting, not an RPC, so it stays
+            # inline after the join.
             install_rounds = 0
+            install_wall = 0.0
+            max_partition_rounds = 0
+            if serial_inline:
+                # Inline twin of _install_round (see the phase-1 note).
+                t0 = perf_counter()
+                for pid in range(num):
+                    inst = installs[pid]
+                    if inst is not None:
+                        install_rounds += 1
+                        partitions[pid]._last_commit.update(inst)
+                    occupancy = (
+                        (shard_groups[pid] is not None) + (inst is not None)
+                    )
+                    if occupancy > max_partition_rounds:
+                        max_partition_rounds = occupancy
+                install_wall = perf_counter() - t0
+            else:
+                install_tasks = []
+                for pid in range(num):
+                    inst = installs[pid]
+                    if inst is not None:
+                        install_rounds += 1
+                        install_tasks.append(self._install_round(pid, inst))
+                    occupancy = (
+                        (shard_groups[pid] is not None) + (inst is not None)
+                    )
+                    if occupancy > max_partition_rounds:
+                        max_partition_rounds = occupancy
+                if install_tasks:
+                    t0 = perf_counter()
+                    self._executor.run(install_tasks)
+                    install_wall = perf_counter() - t0
             for pid in range(num):
-                inst = installs[pid]
-                if inst is not None:
-                    install_rounds += 1
-                    partitions[pid]._last_commit.update(inst)
                 n = checked_by[pid]
                 if n:
                     partitions[pid].stats.rows_checked += n
@@ -777,6 +1069,9 @@ class PartitionedOracle:
                 install_rounds=install_rounds,
                 single_requests=single_requests,
                 cross_requests=cross_requests,
+                max_partition_rounds=max_partition_rounds,
+                validate_wall=validate_wall,
+                install_wall=install_wall,
             )
             self.last_flush_rounds = rounds
             self.round_stats.add(rounds)
@@ -840,31 +1135,15 @@ class PartitionedOracle:
             for entry in run:
                 if entry[0] == "sp":
                     groups.setdefault(entry[3], []).append(entry)
-            for pid, group in groups.items():
-                partition = partitions[pid]
-                lc_get = partition._last_commit.get
-                pending: Set[RowKey] = set()
-                pending_update = pending.update
-                shard_checked = 0
-                for entry in group:
-                    req = entry[1]
-                    start = req.start_ts
-                    conflict_row = None
-                    for row in (req.read_set if wsi else req.write_set):
-                        shard_checked += 1
-                        if row in pending:
-                            conflict_row = row
-                            break
-                        last = lc_get(row)
-                        if last is not None and last > start:
-                            conflict_row = row
-                            break
-                    if conflict_row is not None:
-                        entry[4] = ("abort", reason_tag, conflict_row)
-                    else:
-                        entry[4] = True
-                        pending_update(req.write_set)
-                partition.stats.rows_checked += shard_checked
+            # One decide-and-stage round closure per shard, dispatched
+            # through the executor like the batch protocol's rounds
+            # (each writes only its own group's decision slots).
+            self._executor.run(
+                [
+                    self._shard_decision_round(pid, group, reason_tag)
+                    for pid, group in groups.items()
+                ]
+            )
             nxt = tso._next
             reserved = tso._reserved_until
             issued = 0
@@ -1067,6 +1346,14 @@ class PartitionedOracle:
     def num_partitions(self) -> int:
         return len(self.partitions)
 
+    @property
+    def sharding(self) -> ShardingPolicy:
+        return self._sharding
+
+    @property
+    def executor(self) -> PartitionExecutor:
+        return self._executor
+
     def cross_partition_fraction(self) -> float:
         """Fraction of *decisions* (commits and conflict aborts alike)
         whose footprint crossed partitions.  Counting only commits would
@@ -1081,5 +1368,21 @@ class PartitionedOracle:
         )
         return cross / total if total else 0.0
 
+    def shutdown_executor(self) -> None:
+        """Join an *owned* executor's worker threads (idempotent).
+
+        The oracle stays usable afterwards: rounds fall back to a fresh
+        :class:`~repro.core.executor.SerialExecutor`, which decides
+        identically (executor choice is performance policy, never
+        semantics).  A passed-in executor instance is left running — its
+        creator owns its lifecycle.  :meth:`close` calls this, and
+        :meth:`repro.server.OracleFrontend.close` propagates it, so no
+        worker thread dangles after tests tear a deployment down.
+        """
+        if self._owns_executor and not isinstance(self._executor, SerialExecutor):
+            self._executor.shutdown()
+            self._executor = SerialExecutor()
+
     def close(self) -> None:
         self._closed = True
+        self.shutdown_executor()

@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Iterator, Optional
 
-from repro.core.sharding import stable_hash
+from repro.core.sharding import ShardingPolicy, stable_hash
 from repro.mvcc.store import MVCCStore
 from repro.mvcc.version import Version
 
@@ -37,7 +37,11 @@ class BlockCache:
     themselves, so consecutive rows share a block — HBase's
     consecutive-row regions — and hit rates are reproducible across
     processes regardless of ``PYTHONHASHSEED``); pass ``hash_fn=`` for
-    a different placement.
+    a different placement, or ``sharding=`` to share one
+    :class:`~repro.core.sharding.ShardingPolicy` with the partitioned
+    oracle (the cache derives block ids from the policy's
+    ``placement_hash``, so e.g. range-sharded deployments keep
+    consecutive rows in one block).
     """
 
     def __init__(
@@ -45,12 +49,18 @@ class BlockCache:
         capacity_blocks: int,
         rows_per_block: int = DEFAULT_ROWS_PER_BLOCK,
         hash_fn: Optional[Callable[[RowKey], int]] = None,
+        sharding: Optional[ShardingPolicy] = None,
     ) -> None:
         if capacity_blocks < 0:
             raise ValueError("capacity_blocks must be >= 0")
+        if hash_fn is not None and sharding is not None:
+            raise ValueError("pass hash_fn= or sharding=, not both")
         self._capacity = capacity_blocks
         self._rows_per_block = rows_per_block
-        self._hash = hash_fn or stable_hash
+        if sharding is not None:
+            self._hash = sharding.placement_hash
+        else:
+            self._hash = hash_fn or stable_hash
         self._blocks: OrderedDict[int, None] = OrderedDict()
         self.hits = 0
         self.misses = 0

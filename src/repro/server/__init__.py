@@ -72,20 +72,70 @@ single pre-assembled group-commit record.  Benchmark E17 measures the
 batching win over the unbatched oracle (>= 3x at batch 32); benchmark
 E18 isolates the in-critical-section win of ``decide_batch`` over the
 per-request flush loop (>= 1.5x at batch 32, typically ~2x).  The
-partitioned engine additionally groups a batch's single-partition
-requests per shard — one bulk check/install round per partition per
-flush, the per-RPC amortization a distributed deployment of §6.3
-footnote 6 needs — while cross-partition requests keep the two-phase
-per-request path (hash sharding makes multi-row transactions mostly
-cross-partition, so expect parity there and the win on
-partition-aligned traffic).
+partitioned engine additionally decides the whole flush — single- and
+cross-partition requests alike — with one bulk check round and one bulk
+install round per involved partition (the cross-partition batch
+protocol), the per-RPC amortization a distributed deployment of §6.3
+footnote 6 needs.
+
+Executor choice: who drives the partition rounds
+================================================
+
+The partitioned backend's protocol rounds run through a pluggable
+:class:`~repro.core.executor.PartitionExecutor`
+(``PartitionedOracle(executor=...)``; ``REPRO_EXECUTOR`` sets the
+default).  Pick by where the round time goes:
+
+* ``serial`` (default) — rounds run inline on the coordinator.  Right
+  whenever rounds are pure Python dict scans: the GIL serializes those
+  anyway, so a thread pool would add handoff cost and win nothing.
+* ``parallel`` — rounds fan out over a thread pool and join at the
+  merge barrier (each partition shard has its own lock).  Right when a
+  round *releases the GIL* — a real per-partition RPC to a remote
+  commit-table shard, or any C-level wait — because then the flush pays
+  roughly one round-trip per *phase* instead of one per partition.
+  Benchmark E21 measures exactly this with an injected per-round
+  latency (``PartitionedOracle(round_latency=...)``): >= 1.5x at 4
+  partitions on cross-heavy workloads, typically ~3x.
+
+Either way decisions are identical — the equivalence suite pins
+parallel ≡ serial exactly — and per-flush observability rides
+``FlushedBatch.protocol_rounds`` / ``FrontendStats``: executor
+wall-clock per phase plus the max rounds any one partition drove (<= 2
+under the protocol), so overlap is measured, not inferred.
+``OracleFrontend.close()`` propagates executor shutdown to an owned
+executor, so no worker threads dangle after a deployment tears down.
+
+Sharding-policy selection: where a row lives
+============================================
+
+Row placement is a :class:`~repro.core.sharding.ShardingPolicy`
+(``PartitionedOracle(sharding=...)``), chosen by workload shape:
+
+* :class:`~repro.core.sharding.HashSharding` — uniform spread, zero
+  locality assumptions; the default.  Multi-row footprints go mostly
+  cross-partition, which the batch protocol amortizes but cannot
+  eliminate.
+* :class:`~repro.core.sharding.RangeSharding` — contiguous key bands;
+  right when co-accessed keys are *nearby* (range scans, clustered
+  schemas).  Watch for hot bands under skew.
+* :class:`~repro.core.sharding.DirectorySharding` — explicit group →
+  partition affinity; right when transactions stay inside known key
+  groups (per-user, per-tenant rows).  Converts cross traffic into
+  aligned traffic outright: E21's group-local leg drives
+  ``cross_partition_fraction()`` to ~0.
+
+Placement is policy, the protocol rounds are mechanism, and the two
+never interact — any policy composes with any executor.
 
 The *begin* direction of the hot loop is amortized the same way:
 ``OracleFrontend(begin_lease=n)`` leases a contiguous block of ``n``
 start timestamps from the backend (one critical-section entry, durably
 reserved through Appendix A's reservation protocol *before* any begin is
 served) and serves ``begin()`` from the block with two attribute touches
-— plus ``begin_many()`` for sessions opening transactions in bulk.  A
+— plus ``begin_many()`` for sessions opening transactions in bulk, and
+per-*session* leases (``ClientSession(begin_lease=n)``) that shard the
+frontend's single local block for thread-per-session deployments.  A
 WAL-owning frontend also *adopts* the reservation stream of a backend
 TSO that persists nothing itself (the partitioned oracle's shared TSO),
 so the no-reuse guarantee holds for every bundled deployment shape.

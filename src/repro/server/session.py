@@ -8,6 +8,18 @@ transactions in flight — the paper's oracle stress setup runs 100
 outstanding transactions per client (§6.3) — and tallies its own
 commit/abort outcomes via future callbacks, which the stress tests
 reconcile against the backend's :class:`~repro.core.status_oracle.OracleStats`.
+
+A session may also hold its **own begin lease**
+(``ClientSession(begin_lease=n)``): a private block of start timestamps
+refilled through one :meth:`~repro.server.frontend.OracleFrontend.begin_many`
+call per ``n`` begins.  This shards the frontend's single local lease
+block for thread-per-session deployments — each session touches only its
+own block on ``begin()``, instead of every session contending on the
+frontend's one cursor pair — at the usual lease cost: the unserved
+remainder of a dropped session becomes a permanent timestamp gap (never
+reuse; the block was durably reserved), and a lease-served begin carries
+the snapshot of its refill time.  The default (``begin_lease=1``) keeps
+per-call semantics exactly.
 """
 
 from __future__ import annotations
@@ -15,7 +27,7 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, List, Optional
 
-from repro.core.errors import InvalidTransactionState
+from repro.core.errors import InvalidTransactionState, OracleClosed
 from repro.core.status_oracle import CommitRequest
 from repro.server.frontend import CommitFuture, OracleFrontend
 
@@ -25,11 +37,23 @@ _session_ids = itertools.count(1)
 class ClientSession:
     """One logical client multiplexed onto an :class:`OracleFrontend`."""
 
-    def __init__(self, frontend: OracleFrontend, name: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        frontend: OracleFrontend,
+        name: Optional[str] = None,
+        begin_lease: int = 1,
+    ) -> None:
+        if begin_lease < 1:
+            raise ValueError("begin_lease must be >= 1")
         self._frontend = frontend
         self.name = name or f"session-{next(_session_ids)}"
         self._open: set = set()
         self._last_begun: Optional[int] = None
+        # Per-session begin lease: a reversed block served oldest-first
+        # from the tail, refilled via one frontend.begin_many(n) per n
+        # begins (the module docstring covers the trade-offs).
+        self._begin_lease = begin_lease
+        self._lease: List[int] = []
         # per-session outcome tallies, updated by future callbacks
         self.submitted = 0
         self.commits = 0
@@ -41,8 +65,29 @@ class ClientSession:
     # transaction lifecycle
     # ------------------------------------------------------------------
     def begin(self) -> int:
-        """Open a transaction; multiple may be in flight concurrently."""
-        start_ts = self._frontend.begin()
+        """Open a transaction; multiple may be in flight concurrently.
+
+        With ``begin_lease=n`` the common case is one ``list.pop`` off
+        the session's private block; one ``frontend.begin_many(n)``
+        refill pays for the next ``n`` begins.
+        """
+        # A closed frontend must refuse begins even while this session
+        # still holds leased timestamps (the frontend empties its *own*
+        # lease on close for exactly this guarantee); the remainder
+        # stays droppable via release_lease.
+        if self._frontend.closed:
+            raise OracleClosed(f"{self.name}: oracle frontend is closed")
+        lease = self._lease
+        if lease:
+            start_ts = lease.pop()
+        elif self._begin_lease == 1:
+            start_ts = self._frontend.begin()
+        else:
+            block = self._frontend.begin_many(self._begin_lease)
+            start_ts = block[0]
+            block.reverse()
+            block.pop()
+            self._lease = block
         self._open.add(start_ts)
         self._last_begun = start_ts
         return start_ts
@@ -54,12 +99,39 @@ class ClientSession:
         transactions in flight (the paper's stress setup runs 100 per
         client, §6.3): one ``frontend.begin_many`` round-trip instead of
         ``n`` begins.  All ``n`` are open concurrently; the last one is
-        the default target for :meth:`commit`/:meth:`abort`.
+        the default target for :meth:`commit`/:meth:`abort`.  The
+        session lease is drained first and the shortfall leased exactly
+        (no over-refill), mirroring the frontend's own ``begin_many``.
         """
-        starts = self._frontend.begin_many(n)
+        if n < 1:
+            raise ValueError("begin_many needs n >= 1")
+        if self._frontend.closed:
+            raise OracleClosed(f"{self.name}: oracle frontend is closed")
+        lease = self._lease
+        starts = [lease.pop() for _ in range(min(n, len(lease)))]
+        short = n - len(starts)
+        if short:
+            starts.extend(self._frontend.begin_many(short))
         self._open.update(starts)
         self._last_begun = starts[-1]
         return starts
+
+    def release_lease(self) -> int:
+        """Drop the unserved remainder of the session's begin lease.
+
+        Returns how many timestamps were dropped.  They become permanent
+        gaps, never reuse — the block was durably reserved before it was
+        served (the same crash semantics as the frontend's own lease).
+        Call this when retiring a session whose frontend lives on.
+        """
+        dropped = len(self._lease)
+        self._lease = []
+        return dropped
+
+    @property
+    def lease_remaining(self) -> int:
+        """Unserved timestamps left in the session's private lease."""
+        return len(self._lease)
 
     def commit(
         self,

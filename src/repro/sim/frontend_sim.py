@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.core.partitioned import PartitionedOracle
+from repro.core.sharding import ShardingPolicy
 from repro.core.status_oracle import make_oracle
 from repro.server.frontend import FlushedBatch, OracleFrontend
 from repro.sim.engine import Engine, Resource
@@ -75,6 +77,25 @@ class GroupCommitSim:
             the wall clock); the flag exists so queueing studies can
             pin that leased and per-call begin paths plumb decisions
             identically through the engine.
+        num_partitions: ``0`` (default) runs the monolithic oracle; a
+            positive count runs a
+            :class:`~repro.core.partitioned.PartitionedOracle` backend,
+            and each flush additionally occupies the critical section
+            for its protocol-round cost
+            (:meth:`~repro.sim.latency.LatencyModel.partition_round_cost`
+            — zero unless the latency model prices
+            ``partition_round``).
+        executor: ``"serial"`` or ``"parallel"`` — how the modeled
+            coordinator drives partition rounds.  This is a *pricing*
+            choice: serial pays one ``partition_round`` per round,
+            parallel one per phase (the overlap).  The backend itself
+            always runs the serial executor — real threads have no
+            place in a discrete-event simulation, and executor choice
+            never changes decisions (the equivalence suite pins it).
+        sharding: optional
+            :class:`~repro.core.sharding.ShardingPolicy` for the
+            partitioned backend (placement changes which rounds exist,
+            which the round pricing then reflects).
     """
 
     def __init__(
@@ -91,7 +112,12 @@ class GroupCommitSim:
         measure: float = 0.5,
         per_request: bool = False,
         begin_lease: int = 1,
+        num_partitions: int = 0,
+        executor: str = "serial",
+        sharding: Optional[ShardingPolicy] = None,
     ) -> None:
+        if executor not in ("serial", "parallel"):
+            raise ValueError("executor must be 'serial' or 'parallel'")
         self.level = level
         self.batch_size = batch_size
         self.num_clients = num_clients
@@ -100,7 +126,19 @@ class GroupCommitSim:
         self.warmup = warmup
         self.measure = measure
         self.engine = Engine()
-        self.oracle = make_oracle(level)
+        self.num_partitions = num_partitions
+        self._parallel_rounds = executor == "parallel"
+        if num_partitions:
+            # executor pinned serial (not left to REPRO_EXECUTOR): the
+            # sim prices overlap, it must never spawn real threads.
+            self.oracle = PartitionedOracle(
+                level=level,
+                num_partitions=num_partitions,
+                sharding=sharding,
+                executor="serial",
+            )
+        else:
+            self.oracle = make_oracle(level)
         self.frontend = OracleFrontend(
             self.oracle,
             max_batch=batch_size,
@@ -131,6 +169,16 @@ class GroupCommitSim:
         service = lat.oracle_service_batch(
             self.level, batch.size, batch.rows_checked, batch.rows_updated
         )
+        rounds = batch.protocol_rounds
+        if rounds is not None:
+            # Partitioned flush: add the per-partition protocol-round
+            # RPCs — serial coordinators pay every round, a parallel
+            # executor one overlapped round per phase.
+            service += lat.partition_round_cost(
+                rounds.check_rounds,
+                rounds.install_rounds,
+                self._parallel_rounds,
+            )
         yield self.critical_section.acquire()
         yield self.engine.timeout(lat.sample(service))
         self.critical_section.release()

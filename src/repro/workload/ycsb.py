@@ -23,6 +23,21 @@ A *scan* op is expanded into ``scan_length`` consecutive row reads
 "the rows that are actually read", §5); an *insert* writes a fresh row
 above the load frontier; *read-modify-write* contributes the row to both
 the read and the write set.
+
+**Group-local mode** (``num_groups=g``): the keyspace is divided into
+``g`` contiguous key groups and every transaction confines its whole
+footprint to one group — the group of its first drawn key, so group
+popularity follows the configured distribution.  This is the
+tenant/user-affinity shape locality-aware sharding exploits: pin each
+group to one partition
+(:meth:`YCSBWorkload.group_directory` feeds
+:class:`~repro.core.sharding.DirectorySharding`, or use
+:class:`~repro.core.sharding.RangeSharding` — groups are contiguous)
+and the workload's cross-partition fraction collapses to ~0 (benchmark
+E21's second leg).  In grouped mode inserts and scans stay inside the
+transaction's group (an insert rewrites a group-local row instead of
+extending the frontier; scans clamp at the group edge), so locality is
+exact by construction.
 """
 
 from __future__ import annotations
@@ -74,6 +89,10 @@ class YCSBWorkload:
         max_rows: transaction size bound, ``n ~ U[0, max_rows]`` (§6.1).
         scan_length: rows per scan operation (workload E).
         seed: RNG seed for reproducibility.
+        num_groups: ``0`` (default) draws keys over the whole keyspace;
+            a positive count switches on group-local mode (see the
+            module docstring) with ``num_groups`` contiguous key
+            groups.
     """
 
     def __init__(
@@ -83,6 +102,7 @@ class YCSBWorkload:
         max_rows: int = 20,
         scan_length: int = DEFAULT_SCAN_LENGTH,
         seed: Optional[int] = None,
+        num_groups: int = 0,
     ) -> None:
         key = name.strip().upper()
         if key not in CORE_WORKLOADS:
@@ -90,10 +110,14 @@ class YCSBWorkload:
                 f"unknown YCSB workload {name!r}; choose from "
                 f"{sorted(CORE_WORKLOADS)}"
             )
+        if num_groups < 0 or num_groups > keyspace:
+            raise ValueError("num_groups must be in [0, keyspace]")
         self.mix = CORE_WORKLOADS[key]
         self.keyspace = keyspace
         self.max_rows = max_rows
         self.scan_length = scan_length
+        self.num_groups = num_groups
+        self._group_size = keyspace // num_groups if num_groups else 0
         self._rng = random.Random(seed)
         self._keys: KeyDistribution = make_distribution(
             self.mix.distribution, keyspace, seed=self._rng.randrange(2 ** 63)
@@ -115,8 +139,74 @@ class YCSBWorkload:
             u -= p
         return "rmw"
 
+    # ------------------------------------------------------------------
+    # group-local mode
+    # ------------------------------------------------------------------
+    def group_of(self, row: int) -> int:
+        """The contiguous key group a loaded row belongs to."""
+        if not self.num_groups:
+            raise ValueError("workload has no key groups (num_groups=0)")
+        return min(row // self._group_size, self.num_groups - 1)
+
+    def group_rows(self, group: int) -> range:
+        """The contiguous row range of one key group (the last group
+        absorbs the keyspace remainder)."""
+        lo = group * self._group_size
+        hi = (
+            self.keyspace
+            if group == self.num_groups - 1
+            else lo + self._group_size
+        )
+        return range(lo, hi)
+
+    def group_directory(self, num_partitions: int) -> Dict[int, int]:
+        """Affinity map for
+        :class:`~repro.core.sharding.DirectorySharding`: every loaded
+        row pinned to its group's partition (group ``g`` to partition
+        ``g % num_partitions``), so each group's transactions become
+        single-partition outright."""
+        directory: Dict[int, int] = {}
+        for group in range(self.num_groups):
+            pid = group % num_partitions
+            for row in self.group_rows(group):
+                directory[row] = pid
+        return directory
+
+    def _next_grouped(self, n: int) -> TransactionSpec:
+        """One transaction confined to a single key group: the group of
+        the first distribution draw (group popularity follows the key
+        distribution), every key folded into it."""
+        ops: List[OperationSpec] = []
+        if n:
+            rows = self.group_rows(self.group_of(self._keys.next_key()))
+            lo, span = rows.start, len(rows)
+            for _ in range(n):
+                kind = self._draw_kind()
+                if kind == "scan":
+                    start = lo + self._keys.next_key() % span
+                    for offset in range(self.scan_length):
+                        row = start + offset
+                        if row >= rows.stop:
+                            break
+                        ops.append(OperationSpec("r", row))
+                    continue
+                row = lo + self._keys.next_key() % span
+                if kind == "read":
+                    ops.append(OperationSpec("r", row))
+                elif kind in ("update", "insert"):
+                    # grouped inserts rewrite a group-local row rather
+                    # than extend the global frontier (module docstring)
+                    ops.append(OperationSpec("w", row))
+                else:  # rmw: the row enters both sets
+                    ops.append(OperationSpec("r", row))
+                    ops.append(OperationSpec("w", row))
+        writes = any(op.kind == "w" for op in ops)
+        return TransactionSpec(tuple(ops), read_only=not writes)
+
     def next_transaction(self) -> TransactionSpec:
         n = self._rng.randint(0, self.max_rows)
+        if self.num_groups:
+            return self._next_grouped(n)
         ops: List[OperationSpec] = []
         inserts = 0
         for _ in range(n):

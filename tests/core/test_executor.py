@@ -1,0 +1,256 @@
+"""The pluggable partition executor: ordering, overlap, lifecycle.
+
+The executor is performance policy, never semantics (the hypothesis
+suite in ``tests/server`` pins parallel ≡ serial decisions exactly);
+these tests pin the executor contract itself — results in task order,
+first-task-order error propagation, real thread overlap, lazy pool
+creation, and the no-dangling-threads lifecycle rules (an owned executor
+is shut down by ``PartitionedOracle.close()`` and propagated through
+``OracleFrontend.close()``; a passed-in instance stays the caller's).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.executor import (
+    EXECUTOR_ENV_VAR,
+    ParallelExecutor,
+    PartitionExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.core.partitioned import PartitionedOracle
+from repro.core.status_oracle import CommitRequest
+from repro.server import OracleFrontend
+
+
+class TestSerialExecutor:
+    def test_runs_in_order_and_returns_results(self):
+        order = []
+
+        def task(i):
+            return lambda: (order.append(i), i)[1]
+
+        results = SerialExecutor().run([task(i) for i in range(5)])
+        assert results == [0, 1, 2, 3, 4]
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_error_propagates_and_stops(self):
+        ran = []
+
+        def ok(i):
+            return lambda: ran.append(i)
+
+        def boom():
+            raise RuntimeError("round failed")
+
+        with pytest.raises(RuntimeError, match="round failed"):
+            SerialExecutor().run([ok(0), boom, ok(2)])
+        assert ran == [0]  # serial stops at the failing round
+
+
+class TestParallelExecutor:
+    def test_results_in_task_order(self):
+        executor = ParallelExecutor(max_workers=4)
+        try:
+            # Later tasks finish first (reverse sleeps); results must
+            # still come back in task order.
+            def task(i):
+                def run():
+                    time.sleep(0.002 * (4 - i))
+                    return i
+
+                return run
+
+            assert executor.run([task(i) for i in range(4)]) == [0, 1, 2, 3]
+        finally:
+            executor.shutdown()
+
+    def test_rounds_really_overlap(self):
+        # A barrier only releases if both tasks run concurrently; a
+        # serial executor would deadlock here (hence the timeout guard).
+        executor = ParallelExecutor(max_workers=2)
+        barrier = threading.Barrier(2, timeout=5)
+        try:
+            assert executor.run([barrier.wait, barrier.wait]) in (
+                [0, 1],
+                [1, 0],
+            )
+        finally:
+            executor.shutdown()
+
+    def test_first_task_order_error_wins(self):
+        executor = ParallelExecutor(max_workers=4)
+
+        def fail(msg, delay):
+            def run():
+                time.sleep(delay)
+                raise ValueError(msg)
+
+            return run
+
+        try:
+            # The later-positioned task fails *first* in time; the
+            # task-order first failure must still be the one raised.
+            with pytest.raises(ValueError, match="first-in-order"):
+                executor.run(
+                    [fail("first-in-order", 0.01), fail("first-in-time", 0.0)]
+                )
+        finally:
+            executor.shutdown()
+
+    def test_pool_is_lazy_and_single_task_runs_inline(self):
+        executor = ParallelExecutor()
+        assert not executor.pool_started
+        assert executor.run([lambda: 7]) == [7]
+        assert not executor.pool_started  # one round: no handoff
+        assert executor.run([lambda: 1, lambda: 2]) == [1, 2]
+        assert executor.pool_started
+        executor.shutdown()
+        assert not executor.pool_started
+
+    def test_shutdown_is_idempotent_and_blocks_reuse(self):
+        executor = ParallelExecutor()
+        executor.run([lambda: 1, lambda: 2])
+        executor.shutdown()
+        executor.shutdown()
+        with pytest.raises(RuntimeError):
+            executor.run([lambda: 1, lambda: 2])
+        # fail fast for single-round (and empty) phases too — otherwise
+        # misuse only surfaces on flushes that touch 2+ partitions
+        with pytest.raises(RuntimeError):
+            executor.run([lambda: 1])
+        with pytest.raises(RuntimeError):
+            executor.run([])
+
+
+class TestMakeExecutor:
+    def test_specs(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("parallel"), ParallelExecutor)
+        instance = SerialExecutor()
+        assert make_executor(instance) is instance
+        with pytest.raises(ValueError, match="unknown partition executor"):
+            make_executor("fibers")
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv(EXECUTOR_ENV_VAR, raising=False)
+        assert isinstance(make_executor(None), SerialExecutor)
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "parallel")
+        assert isinstance(make_executor(None), ParallelExecutor)
+
+
+def drive_one_batch(oracle):
+    requests = [
+        CommitRequest(oracle.begin(), write_set=frozenset({i, i + 1}))
+        for i in range(6)
+    ]
+    return oracle.decide_batch(requests)
+
+
+class TestExecutorLifecycle:
+    def test_owned_executor_shut_down_on_close(self):
+        oracle = PartitionedOracle(
+            level="si", num_partitions=4, executor="parallel"
+        )
+        drive_one_batch(oracle)
+        parallel = oracle.executor
+        assert isinstance(parallel, ParallelExecutor)
+        assert parallel.pool_started
+        oracle.close()
+        assert not parallel.pool_started  # workers joined
+        # the swapped-in serial executor keeps shutdown idempotent
+        assert isinstance(oracle.executor, SerialExecutor)
+
+    def test_shutdown_executor_keeps_oracle_usable(self):
+        oracle = PartitionedOracle(
+            level="si", num_partitions=4, executor="parallel"
+        )
+        before = drive_one_batch(oracle)
+        oracle.shutdown_executor()
+        after = drive_one_batch(oracle)
+        assert [r.committed for r in before] == [r.committed for r in after]
+        oracle.close()
+
+    def test_passed_in_instance_stays_callers(self):
+        executor = ParallelExecutor(max_workers=2)
+        oracle = PartitionedOracle(
+            level="si", num_partitions=4, executor=executor
+        )
+        drive_one_batch(oracle)
+        oracle.close()
+        # the caller's executor was not shut down
+        assert executor.run([lambda: 1, lambda: 2]) == [1, 2]
+        executor.shutdown()
+
+    def test_frontend_close_propagates_shutdown(self):
+        oracle = PartitionedOracle(
+            level="si", num_partitions=4, executor="parallel"
+        )
+        frontend = OracleFrontend(oracle, max_batch=4)
+        for i in range(8):
+            frontend.submit_commit_nowait(
+                CommitRequest(frontend.begin(), write_set=frozenset({i, i + 1}))
+            )
+        frontend.flush()
+        parallel = oracle.executor
+        assert parallel.pool_started
+        frontend.close()
+        assert not parallel.pool_started
+        # the backend oracle stays open (the frontend is a layer, not
+        # the owner) and keeps deciding — now over serial rounds
+        assert drive_one_batch(oracle)
+        oracle.close()
+
+    def test_env_default_builds_owned_executor(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "parallel")
+        oracle = PartitionedOracle(level="wsi", num_partitions=3)
+        assert isinstance(oracle.executor, ParallelExecutor)
+        drive_one_batch(oracle)
+        oracle.close()
+        assert isinstance(oracle.executor, SerialExecutor)
+
+
+class TestRoundOccupancyStats:
+    def test_flush_reports_occupancy_and_phase_walls(self):
+        oracle = PartitionedOracle(level="si", num_partitions=4)
+        frontend = OracleFrontend(oracle, max_batch=8)
+        batches = []
+        frontend.on_flush(batches.append)
+        # every footprint spans two partitions -> both phases touch
+        # several partitions, but no partition drives more than 2 rounds
+        for i in range(8):
+            frontend.submit_commit_nowait(
+                CommitRequest(frontend.begin(), write_set=frozenset({i, i + 1}))
+            )
+        frontend.flush()
+        (cell,) = batches
+        rounds = cell.protocol_rounds
+        assert rounds is not None
+        assert 1 <= rounds.max_partition_rounds <= 2
+        assert rounds.validate_wall >= 0.0
+        assert rounds.install_wall >= 0.0
+        stats = frontend.stats
+        assert stats.max_partition_rounds_seen == rounds.max_partition_rounds
+        assert stats.partition_validate_seconds == rounds.validate_wall
+        assert stats.partition_install_seconds == rounds.install_wall
+        frontend.close()
+
+    def test_injected_round_latency_shows_in_phase_walls(self):
+        delay = 0.002
+        # pinned serial: under a parallel executor (e.g. the make-check
+        # REPRO_EXECUTOR=parallel runs) rounds overlap and the phase
+        # wall legitimately undercuts the per-round sum
+        oracle = PartitionedOracle(
+            level="si", num_partitions=2, round_latency=delay,
+            executor="serial",
+        )
+        results = drive_one_batch(oracle)
+        assert len(results) == 6  # overlapping footprints: some abort
+        rounds = oracle.last_flush_rounds
+        # serial executor: every round sleeps the injected latency
+        assert rounds.validate_wall >= delay * rounds.check_rounds
+        assert rounds.install_wall >= delay * rounds.install_rounds
+        oracle.close()

@@ -18,7 +18,13 @@ import sys
 import pytest
 
 from repro.core.partitioned import PartitionedOracle
-from repro.core.sharding import stable_hash
+from repro.core.sharding import (
+    DirectorySharding,
+    HashSharding,
+    RangeSharding,
+    make_sharding,
+    stable_hash,
+)
 from repro.hbase.region_server import BlockCache
 
 FIXED_KEYS = [
@@ -102,12 +108,26 @@ class TestStableHash:
 
 
 def _routing_fingerprint():
-    """Shard + block placement of the fixed keys, as one string."""
+    """Shard + block placement of the fixed keys — under every sharding
+    policy — as one string."""
     oracle = PartitionedOracle(level="wsi", num_partitions=5)
     cache = BlockCache(capacity_blocks=4)
     shards = [oracle.partition_of(key) for key in FIXED_KEYS]
     blocks = [cache.block_of(key) for key in FIXED_KEYS]
-    return ",".join(map(str, shards + blocks))
+    range_policy = RangeSharding(keyspace=1024)
+    directory = DirectorySharding(
+        {"row": 3, 63: 1}, fallback=RangeSharding(keyspace=1024)
+    )
+    policy_shards = [
+        policy.partition_of(key, 5)
+        for policy in (HashSharding(), range_policy, directory)
+        for key in FIXED_KEYS
+    ]
+    policy_blocks = [
+        BlockCache(capacity_blocks=4, sharding=range_policy).block_of(key)
+        for key in FIXED_KEYS
+    ]
+    return ",".join(map(str, shards + blocks + policy_shards + policy_blocks))
 
 
 SUBPROCESS_SNIPPET = """
@@ -145,3 +165,151 @@ class TestRoutingIsProcessIndependent:
             assert oracle.partition_of(key) == 2
         cache = BlockCache(capacity_blocks=4, hash_fn=lambda row: 128)
         assert cache.block_of("anything") == 128 // 64
+
+
+class TestShardingPolicies:
+    """Placement determinism and semantics of the policy hierarchy
+    (the pluggable-executor PR's locality lever).  Process-independence
+    of all three policies rides the subprocess fingerprint above."""
+
+    def test_hash_sharding_matches_bare_hash_fn(self):
+        policy = HashSharding()
+        legacy = PartitionedOracle(level="si", num_partitions=5)
+        with_policy = PartitionedOracle(
+            level="si", num_partitions=5, sharding=policy
+        )
+        for key in FIXED_KEYS:
+            assert with_policy.partition_of(key) == legacy.partition_of(key)
+            assert policy.partition_of(key, 5) == stable_hash(key) % 5
+
+    def test_range_sharding_contiguous_bands_in_key_order(self):
+        policy = RangeSharding(keyspace=100)
+        pids = [policy.partition_of(row, 4) for row in range(100)]
+        assert pids == sorted(pids)  # bands are contiguous, in key order
+        assert set(pids) == {0, 1, 2, 3}
+        assert pids.count(0) == pids.count(3) == 25  # equal bands
+        # at/above the keyspace clamps into the last band (inserts keep
+        # appending locally); non-integers take the fallback
+        assert policy.partition_of(100, 4) == 3
+        assert policy.partition_of(10 ** 9, 4) == 3
+        assert policy.partition_of("row", 4) == HashSharding().partition_of(
+            "row", 4
+        )
+
+    def test_range_sharding_equal_numeric_keys_share_a_band(self):
+        from decimal import Decimal
+        from fractions import Fraction
+
+        policy = RangeSharding(keyspace=100)
+        # Equal keys are ONE row key across numeric types (the
+        # stable_hash invariant): every equal form must take the same
+        # band as the int, or a conflict on the "same" row would be
+        # checked against two lastCommit shards and missed.
+        for a, b in [
+            (True, 1),
+            (False, 0),
+            (10.0, 10),
+            (Decimal(10), 10),
+            (Fraction(10), 10),
+            (99.0, 99),
+            (-5.0, -5),  # negatives agree through the fallback
+            (10.5, Fraction(21, 2)),  # equal non-integrals agree too
+        ]:
+            assert a == b
+            assert policy.partition_of(a, 4) == policy.partition_of(b, 4), (
+                a,
+                b,
+            )
+        # nan/inf route through the fallback without raising
+        assert 0 <= policy.partition_of(float("nan"), 4) < 4
+        assert 0 <= policy.partition_of(float("inf"), 4) < 4
+
+    def test_range_sharding_keeps_consecutive_rows_in_one_block(self):
+        cache = BlockCache(capacity_blocks=4, sharding=RangeSharding(10_000))
+        assert cache.block_of(0) == cache.block_of(63)
+        assert cache.block_of(64) == cache.block_of(0) + 1
+
+    def test_directory_sharding_pins_override_fallback(self):
+        policy = DirectorySharding({7: 2})
+        policy.pin(range(100, 110), 1)
+        assert policy.partition_of(7, 4) == 2
+        for row in range(100, 110):
+            assert policy.partition_of(row, 4) == 1
+        # pinned ids apply modulo the live partition count
+        assert policy.partition_of(7, 2) == 0
+        # unmapped keys take the fallback (hash by default)
+        assert policy.partition_of("other", 4) == HashSharding().partition_of(
+            "other", 4
+        )
+        assert policy.pinned_count == 11
+
+    def test_directory_sharding_aligns_grouped_oracle_traffic(self):
+        # the end-to-end point: pin two key groups to partitions and a
+        # transaction inside one group is single-partition outright
+        from repro.core.status_oracle import CommitRequest
+
+        policy = DirectorySharding()
+        policy.pin([0, 1, 2], 0).pin([3, 4, 5], 1)
+        oracle = PartitionedOracle(
+            level="si", num_partitions=4, sharding=policy
+        )
+        assert oracle.commit(
+            CommitRequest(oracle.begin(), write_set=frozenset({0, 1, 2}))
+        ).committed
+        assert oracle.commit(
+            CommitRequest(oracle.begin(), write_set=frozenset({3, 4, 5}))
+        ).committed
+        assert oracle.cross_partition_fraction() == 0.0
+        assert oracle.single_partition_commits == 2
+
+    def test_decisions_identical_across_policies(self):
+        # Placement never changes decisions, only traffic shape: the
+        # same script decides identically under all three policies.
+        from repro.core.status_oracle import CommitRequest
+
+        def drive(oracle):
+            outcomes = []
+            starts = [oracle.begin() for _ in range(8)]
+            for i, start in enumerate(starts):
+                result = oracle.commit(
+                    CommitRequest(
+                        start,
+                        write_set=frozenset({i % 4, i % 4 + 1}),
+                        read_set=frozenset({i % 3}),
+                    )
+                )
+                outcomes.append((result.committed, result.commit_ts))
+            return outcomes
+
+        policies = [
+            HashSharding(),
+            RangeSharding(keyspace=16),
+            DirectorySharding({i: i % 3 for i in range(8)}),
+        ]
+        runs = [
+            drive(PartitionedOracle(level="wsi", num_partitions=3, sharding=p))
+            for p in policies
+        ]
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_make_sharding_factory(self):
+        assert isinstance(make_sharding(), HashSharding)
+        assert isinstance(make_sharding("hash"), HashSharding)
+        assert isinstance(make_sharding("range", keyspace=10), RangeSharding)
+        directory = make_sharding("directory", directory={1: 0})
+        assert isinstance(directory, DirectorySharding)
+        assert directory.partition_of(1, 4) == 0
+        policy = RangeSharding(8)
+        assert make_sharding(policy) is policy
+        with pytest.raises(ValueError, match="needs keyspace"):
+            make_sharding("range")
+        with pytest.raises(ValueError, match="unknown sharding"):
+            make_sharding("consistent-hashing")
+
+    def test_mutually_exclusive_args(self):
+        with pytest.raises(ValueError, match="not both"):
+            PartitionedOracle(
+                hash_fn=lambda r: 0, sharding=HashSharding()
+            )
+        with pytest.raises(ValueError, match="not both"):
+            BlockCache(4, hash_fn=lambda r: 0, sharding=HashSharding())

@@ -1,0 +1,152 @@
+"""Per-session begin leases: each session refills a private block via
+``begin_many``, sharding the frontend's single local lease for
+thread-per-session use (the ROADMAP's remaining begin-side lever).
+
+The invariants mirror the frontend-lease tests: no timestamp is ever
+served twice across any mix of sessions and lease sizes, decisions are
+identical at any lease size, lease refills batch the frontend traffic,
+and dropping a session only ever leaves gaps.
+"""
+
+import pytest
+
+from repro.core.partitioned import PartitionedOracle
+from repro.core.status_oracle import make_oracle
+from repro.server import OracleFrontend
+
+
+def make_frontend(begin_lease=1, backend=None):
+    return OracleFrontend(
+        backend or make_oracle("wsi"), max_batch=8, begin_lease=begin_lease
+    )
+
+
+class TestSessionLease:
+    def test_default_is_per_call(self):
+        frontend = make_frontend()
+        session = frontend.session()
+        assert session.lease_remaining == 0
+        first = session.begin()
+        assert session.lease_remaining == 0  # no block was taken
+        assert session.begin() == first + 1
+
+    def test_leased_begins_are_sequential_and_unique(self):
+        frontend = make_frontend()
+        session = frontend.session(begin_lease=5)
+        starts = [session.begin() for _ in range(12)]
+        assert starts == sorted(starts)
+        assert len(set(starts)) == 12
+        # 12 begins at lease 5: two full blocks plus 2 of the third
+        assert session.lease_remaining == 3
+
+    def test_one_begin_many_refill_per_lease(self):
+        backend = make_oracle("wsi")
+        frontend = OracleFrontend(backend, max_batch=8, begin_lease=5)
+        session = frontend.session(begin_lease=5)
+        session.begin()
+        # the session block came from one frontend.begin_many, which
+        # itself leased once from the backend
+        assert frontend.stats.begin_leases == 1
+        for _ in range(4):
+            session.begin()
+        assert frontend.stats.begin_leases == 1  # still the first block
+
+    def test_sessions_never_share_a_timestamp(self):
+        frontend = make_frontend(begin_lease=4)
+        sessions = [frontend.session(begin_lease=n) for n in (1, 3, 7)]
+        starts = []
+        for round_ in range(10):
+            for session in sessions:
+                starts.append(session.begin())
+        assert len(set(starts)) == len(starts)
+
+    def test_begin_many_drains_lease_then_leases_shortfall(self):
+        frontend = make_frontend()
+        session = frontend.session(begin_lease=4)
+        session.begin()  # takes a block of 4, serves 1
+        assert session.lease_remaining == 3
+        starts = session.begin_many(5)
+        assert len(starts) == 5
+        assert session.lease_remaining == 0  # exact shortfall, no refill
+        assert len(set(starts)) == 5
+        assert session.open_count == 6
+
+    def test_commit_targets_leased_transactions(self):
+        frontend = make_frontend(begin_lease=4)
+        session = frontend.session(begin_lease=4)
+        first = session.begin()
+        second = session.begin()
+        fut_first = session.commit(write_set=["a"], start_ts=first)
+        fut_second = session.commit(write_set=["b"], start_ts=second)
+        frontend.flush()
+        assert fut_first.committed and fut_second.committed
+        assert fut_second.commit_ts > fut_first.commit_ts
+
+    def test_release_lease_leaves_gaps_never_reuse(self):
+        frontend = make_frontend()
+        session = frontend.session(begin_lease=8)
+        session.begin()
+        dropped = session.release_lease()
+        assert dropped == 7
+        assert session.lease_remaining == 0
+        # the next begin (any session) is above the dropped block
+        assert frontend.begin() > 8
+
+    def test_decisions_identical_when_begins_precede_commits(self):
+        # The prologue shape of the frontend-lease equivalence suite:
+        # with every begin issued before any commit, decisions are
+        # identical at every lease size.  (Interleaved begins may decide
+        # differently by design — a lease-served begin carries the
+        # snapshot of its refill time; see the module docstrings.)
+        def drive(begin_lease):
+            frontend = make_frontend()
+            session = frontend.session(begin_lease=begin_lease)
+            starts = [session.begin() for _ in range(10)]
+            outcomes = []
+            for i, start in enumerate(starts):
+                future = session.commit(
+                    write_set=[i % 3], read_set=[(i + 1) % 3], start_ts=start
+                )
+                frontend.flush()
+                outcomes.append(future.outcome())
+            return outcomes
+
+        assert drive(1) == drive(4) == drive(32)
+
+    def test_session_lease_over_partitioned_backend(self):
+        oracle = PartitionedOracle(level="wsi", num_partitions=3)
+        frontend = OracleFrontend(oracle, max_batch=4)
+        session = frontend.session(begin_lease=6)
+        starts = [session.begin() for _ in range(9)]
+        assert len(set(starts)) == 9
+        future = session.commit(write_set=[1, 2, 3], start_ts=starts[-1])
+        frontend.flush()
+        assert future.committed
+        frontend.close()
+
+    def test_closed_frontend_refuses_leased_begins(self):
+        # The frontend empties its own lease on close so begin() hits
+        # the closed check; a session's private block must not dodge
+        # that guard — otherwise it opens transactions that can never
+        # be submitted.
+        from repro.core.errors import OracleClosed
+
+        frontend = make_frontend()
+        session = frontend.session(begin_lease=8)
+        session.begin()
+        assert session.lease_remaining == 7
+        frontend.close()
+        with pytest.raises(OracleClosed):
+            session.begin()
+        with pytest.raises(OracleClosed):
+            session.begin_many(2)
+        assert session.open_count == 1  # nothing new was opened
+        assert session.release_lease() == 7  # remainder becomes a gap
+
+    def test_bad_lease_sizes_rejected(self):
+        frontend = make_frontend()
+        with pytest.raises(ValueError):
+            frontend.session(begin_lease=0)
+        session = frontend.session(begin_lease=2)
+        with pytest.raises(ValueError):
+            session.begin_many(0)

@@ -88,6 +88,51 @@ class TestWorkloadShapes:
         assert a == b
 
 
+class TestGroupLocalMode:
+    def test_every_transaction_stays_in_one_group(self):
+        wl = ycsb("A", keyspace=1_000, seed=3, num_groups=10)
+        for spec in wl.stream(300):
+            rows = {op.row for op in spec.ops}
+            if rows:
+                assert len({wl.group_of(row) for row in rows}) == 1
+
+    def test_grouped_scans_and_inserts_stay_in_group(self):
+        for name in ("D", "E"):  # the insert/scan-heavy presets
+            wl = ycsb(name, keyspace=640, seed=5, num_groups=8)
+            for spec in wl.stream(200):
+                rows = {op.row for op in spec.ops}
+                assert all(row < wl.keyspace for row in rows)
+                if rows:
+                    assert len({wl.group_of(row) for row in rows}) == 1
+
+    def test_group_rows_partition_the_keyspace(self):
+        wl = ycsb("A", keyspace=103, seed=1, num_groups=4)  # remainder
+        covered = []
+        for g in range(4):
+            covered.extend(wl.group_rows(g))
+        assert covered == list(range(103))
+
+    def test_group_directory_matches_group_of(self):
+        wl = ycsb("A", keyspace=120, seed=1, num_groups=6)
+        directory = wl.group_directory(num_partitions=4)
+        assert len(directory) == 120
+        for row, pid in directory.items():
+            assert pid == wl.group_of(row) % 4
+
+    def test_grouped_mode_is_deterministic(self):
+        a = ycsb("F", keyspace=500, seed=2, num_groups=5).batch(40)
+        b = ycsb("F", keyspace=500, seed=2, num_groups=5).batch(40)
+        assert a == b
+
+    def test_bad_group_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ycsb("A", keyspace=10, num_groups=11)
+        with pytest.raises(ValueError):
+            ycsb("A", keyspace=10, num_groups=-1)
+        with pytest.raises(ValueError):
+            ycsb("A", keyspace=10, seed=1).group_of(3)  # not grouped
+
+
 class TestEndToEnd:
     @pytest.mark.parametrize("name", sorted(CORE_WORKLOADS))
     def test_runs_against_real_system(self, name):
