@@ -18,17 +18,21 @@ test-fast:
 bench:
 	$(PYTEST) benchmarks -q -s
 
-## Fast perf sanity check: the E17/E18/E19/E20/E21 hot-path speedup
-## bars at tiny sizes (REPRO_BENCH_SMOKE relaxes the bars accordingly).
-## Runs in a few seconds; `make test-fast` still skips the benchmarks
-## directory entirely (its conftest marks every figure benchmark @slow).
+## Fast perf sanity check: the E17-E22 hot-path/HA bars at tiny sizes
+## (REPRO_BENCH_SMOKE relaxes the bars accordingly).  Writes the
+## headline ratios per experiment to BENCH_smoke.json (the snapshot is
+## committed, so behaviour drifts show up as a diff).  Runs in a few
+## seconds; `make test-fast` still skips the benchmarks directory
+## entirely (its conftest marks every figure benchmark @slow).
 bench-smoke:
-	REPRO_BENCH_SMOKE=1 $(PYTEST) \
+	rm -f BENCH_smoke.json
+	REPRO_BENCH_SMOKE=1 REPRO_BENCH_SNAPSHOT=BENCH_smoke.json $(PYTEST) \
 		benchmarks/test_e17_group_commit.py::test_e17_group_commit_speedup \
 		benchmarks/test_e18_batch_decide.py::test_e18_batch_decide_speedup \
 		benchmarks/test_e19_cross_partition_batch.py::test_e19_cross_partition_batch_speedup \
 		benchmarks/test_e20_begin_lease.py::test_e20_begin_lease_speedup \
 		benchmarks/test_e21_parallel_partitions.py::test_e21_parallel_executor_speedup \
+		benchmarks/test_e22_failover.py \
 		-q -s
 
 ## The fast suite twice under two different hash salts: routing (shard
@@ -39,18 +43,21 @@ bench-smoke:
 ## oracle built without an explicit executor= fan its protocol rounds
 ## over a thread pool — the threaded path must stay green under both
 ## salts (executor choice is performance policy, never semantics).
-## The begin/recover no-reuse pins ride in every salted run; the
-## explicit last pair keeps them covered even if the fast-suite marker
-## set ever changes.
+## The begin/recover no-reuse pins and the HA failover pins (warm
+## takeover, crash-mid-batch retry, no timestamp reuse across leaders)
+## ride in every salted run; the explicit last pair keeps them covered
+## even if the fast-suite marker set ever changes.
 check:
 	PYTHONHASHSEED=0 $(PYTEST) -m "not slow" -q
 	PYTHONHASHSEED=31337 $(PYTEST) -m "not slow" -q
 	REPRO_EXECUTOR=parallel PYTHONHASHSEED=0 $(PYTEST) -m "not slow" -q
 	REPRO_EXECUTOR=parallel PYTHONHASHSEED=31337 $(PYTEST) -m "not slow" -q
 	PYTHONHASHSEED=0 $(PYTEST) -q \
-		tests/core/test_timestamps.py tests/server/test_frontend_recovery.py
+		tests/core/test_timestamps.py tests/server/test_frontend_recovery.py \
+		tests/coord/test_failover.py tests/server/test_ha.py
 	PYTHONHASHSEED=31337 $(PYTEST) -q \
-		tests/core/test_timestamps.py tests/server/test_frontend_recovery.py
+		tests/core/test_timestamps.py tests/server/test_frontend_recovery.py \
+		tests/coord/test_failover.py tests/server/test_ha.py
 
 ## cProfile the batch-decide frontend microbench and print the top-20
 ## functions by cumulative time (where the critical section spends it).

@@ -24,6 +24,7 @@ import os
 import pytest
 
 from repro.bench import format_table
+from repro.bench.snapshot import record
 from repro.bench.frontend_bench import (
     bench_batched,
     bench_unbatched,
@@ -89,6 +90,7 @@ def test_e17_group_commit_speedup(benchmark, print_header):
     # Acceptance: batched frontend >= 3x the unbatched oracle at batch 32
     # (WSI, uniform workload), median of paired runs.
     assert median_speedup(ratios) >= SPEEDUP_BAR
+    record("e17", median_speedup=median_speedup(ratios), bar=SPEEDUP_BAR)
 
 
 @pytest.mark.figure("e17")

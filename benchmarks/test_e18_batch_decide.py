@@ -37,6 +37,7 @@ import os
 import pytest
 
 from repro.bench import format_table
+from repro.bench.snapshot import record
 from repro.bench.frontend_bench import (
     bench_batched,
     bench_partition_aligned,
@@ -103,6 +104,7 @@ def test_e18_batch_decide_speedup(benchmark, print_header):
     # Acceptance: batch-decide >= 1.5x the per-request frontend at batch
     # 32 (WSI, uniform workload), median of paired runs.
     assert median_speedup(ratios) >= SPEEDUP_BAR
+    record("e18", median_speedup=median_speedup(ratios), bar=SPEEDUP_BAR)
 
 
 @pytest.mark.figure("e18")

@@ -36,6 +36,7 @@ import os
 import pytest
 
 from repro.bench import format_table
+from repro.bench.snapshot import record
 from repro.bench.frontend_bench import (
     bench_cross_partition,
     make_cross_heavy_requests,
@@ -120,6 +121,7 @@ def test_e19_cross_partition_batch_speedup(benchmark, print_header):
     )
 
     assert median_speedup(ratios) >= SPEEDUP_BAR
+    record("e19", median_speedup=median_speedup(ratios), bar=SPEEDUP_BAR)
 
 
 @pytest.mark.figure("e19")

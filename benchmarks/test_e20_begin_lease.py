@@ -30,6 +30,7 @@ import os
 import pytest
 
 from repro.bench import format_table
+from repro.bench.snapshot import record
 from repro.bench.frontend_bench import (
     bench_batched,
     bench_begins,
@@ -86,6 +87,7 @@ def test_e20_begin_lease_speedup(benchmark, print_header):
     # Acceptance: leased begin >= 1.5x the per-call begin() frontend at
     # lease 32 on a begin-heavy workload, median of paired runs.
     assert median_speedup(ratios) >= SPEEDUP_BAR
+    record("e20", median_speedup=median_speedup(ratios), bar=SPEEDUP_BAR)
 
 
 @pytest.mark.figure("e20")

@@ -36,6 +36,7 @@ import os
 import pytest
 
 from repro.bench import format_table
+from repro.bench.snapshot import record
 from repro.bench.frontend_bench import (
     bench_executor_rounds,
     make_specs,
@@ -126,6 +127,7 @@ def test_e21_parallel_executor_speedup(benchmark, print_header):
         f"(acceptance bar: {SPEEDUP_BAR}x; ideal ~{PARTITIONS}x)"
     )
     assert median_speedup(ratios) >= SPEEDUP_BAR
+    record("e21", median_speedup=median_speedup(ratios), bar=SPEEDUP_BAR)
 
 
 @pytest.mark.figure("e21")

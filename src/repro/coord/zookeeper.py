@@ -280,20 +280,28 @@ class LeaderElection:
         return self.my_node.rsplit("/", 1)[1]
 
     def _check(self) -> None:
-        if not self._session.alive:
-            return  # our own session died; we are out of the election
-        children = self._session.get_children(self._path)
         me = self._my_name()
-        if not children or children[0] == me:
-            if not self.is_leader:
-                self.is_leader = True
-                if self._on_elected is not None:
-                    self._on_elected()
-            return
-        predecessor = max(c for c in children if c < me)
-        self._session.exists(
-            f"{self._path}/{predecessor}", watch=lambda event: self._check()
-        )
+        while True:
+            if not self._session.alive:
+                return  # our own session died; we are out of the election
+            children = self._session.get_children(self._path)
+            if not children or children[0] == me:
+                if not self.is_leader:
+                    self.is_leader = True
+                    if self._on_elected is not None:
+                        self._on_elected()
+                return
+            predecessor = max(c for c in children if c < me)
+            if self._session.exists(
+                f"{self._path}/{predecessor}", watch=lambda event: self._check()
+            ):
+                return
+            # The predecessor vanished between get_children and exists
+            # (deletions race with this check in a real ensemble).  The
+            # watch we just registered sits on a node that can never be
+            # re-created — sequence numbers are monotonic — so waiting on
+            # it would wedge this follower out of the election forever.
+            # Re-run the check against fresh children instead.
 
     def resign(self) -> None:
         """Step out of the election (delete our candidate node)."""

@@ -68,6 +68,26 @@ class OracleClosed(TransactionError):
     """The status oracle has been shut down and rejects new requests."""
 
 
+class Overloaded(TransactionError):
+    """The serving tier shed this request under admission control.
+
+    Raised at submit time when the frontend's pending-decision queue is
+    at its ``max_queue_depth`` bound: instead of queueing without bound
+    (and letting latency grow past any deadline), the oracle rejects the
+    request outright and the client backs off and retries — graceful
+    degradation under overload.  Retryable by construction: nothing was
+    decided, persisted, or counted for the rejected request.
+    """
+
+    def __init__(self, queue_depth: int, limit: int) -> None:
+        super().__init__(
+            f"admission control: {queue_depth} decisions in flight "
+            f"(max_queue_depth={limit})"
+        )
+        self.queue_depth = queue_depth
+        self.limit = limit
+
+
 class DecisionPending(TransactionError):
     """A batched commit decision was read before its batch flushed.
 

@@ -682,47 +682,85 @@ class StatusOracle:
             self._wal.append("ts-reserve", high_water, size=8)
             self._wal.flush()
 
-    def recover_from(self, wal: BookKeeperWAL) -> None:
+    def apply_wal_record(self, record) -> int:
+        """Apply one durable WAL record to this oracle's in-memory state.
+
+        Returns the highest timestamp the record mentions, so the caller
+        can track the recovery floor across records.  This is the single
+        record-application authority: :meth:`recover_from` loops it over
+        a full replay, and a *warm standby*
+        (:class:`~repro.coord.failover.OracleHost` tailing the leader's
+        WAL through a :class:`~repro.wal.bookkeeper.WALTail`) applies
+        records incrementally as they become durable — identical state
+        either way, which is what makes an O(delta) takeover safe.
+        A standby that has been applying records must still call
+        :meth:`seal_recovery` before serving.
+        """
+        kind = record.kind
+        if kind == "commit":
+            start_ts, commit_ts, rows = record.payload
+            return self._apply_recovered_commit(start_ts, commit_ts, rows)
+        if kind == "abort":
+            (start_ts,) = record.payload
+            return self._apply_recovered_abort(start_ts)
+        if kind == GROUP_COMMIT_RECORD:
+            # One record per frontend batch (repro.server): replay its
+            # decisions in order, exactly as the per-record path would.
+            max_ts = 0
+            commits, aborts = record.payload
+            for start_ts, commit_ts, rows in commits:
+                max_ts = max(
+                    max_ts, self._apply_recovered_commit(start_ts, commit_ts, rows)
+                )
+            for start_ts in aborts:
+                max_ts = max(max_ts, self._apply_recovered_abort(start_ts))
+            return max_ts
+        if kind == "ts-reserve":
+            return record.payload
+        raise RecoveryError(f"unknown WAL record kind {record.kind!r}")
+
+    def _apply_recovered_commit(self, start_ts: int, commit_ts: int, rows) -> int:
+        self.commit_table.record_commit(start_ts, commit_ts)
+        last_commit = self._last_commit
+        for row in rows:
+            prev = last_commit.get(row, 0)
+            last_commit[row] = max(prev, commit_ts)
+        return commit_ts
+
+    def _apply_recovered_abort(self, start_ts: int) -> int:
+        if not self.commit_table.is_aborted(start_ts):
+            self.commit_table.record_abort(start_ts)
+        return start_ts
+
+    def recover_from(self, wal: BookKeeperWAL) -> int:
         """Rebuild lastCommit and the commit table by WAL replay.
 
         "if the status oracle server fails ... another fresh instance of
         the status oracle could still recreate the memory state from the
         write-ahead log and continue servicing the commit requests"
         (Appendix A).
+
+        Returns the number of records replayed — counted during this one
+        pass, because the pass *is* the failover cost the caller wants to
+        report (a second counting replay would double recovery time).
         """
         max_ts = 0
-
-        def apply_commit(start_ts: int, commit_ts: int, rows) -> int:
-            self.commit_table.record_commit(start_ts, commit_ts)
-            for row in rows:
-                prev = self._last_commit.get(row, 0)
-                self._last_commit[row] = max(prev, commit_ts)
-            return commit_ts
-
-        def apply_abort(start_ts: int) -> int:
-            if not self.commit_table.is_aborted(start_ts):
-                self.commit_table.record_abort(start_ts)
-            return start_ts
-
+        replayed = 0
         for record in wal.replay():
-            if record.kind == "commit":
-                start_ts, commit_ts, rows = record.payload
-                max_ts = max(max_ts, apply_commit(start_ts, commit_ts, rows))
-            elif record.kind == "abort":
-                (start_ts,) = record.payload
-                max_ts = max(max_ts, apply_abort(start_ts))
-            elif record.kind == GROUP_COMMIT_RECORD:
-                # One record per frontend batch (repro.server): replay its
-                # decisions in order, exactly as the per-record path would.
-                commits, aborts = record.payload
-                for start_ts, commit_ts, rows in commits:
-                    max_ts = max(max_ts, apply_commit(start_ts, commit_ts, rows))
-                for start_ts in aborts:
-                    max_ts = max(max_ts, apply_abort(start_ts))
-            elif record.kind == "ts-reserve":
-                max_ts = max(max_ts, record.payload)
-            else:
-                raise RecoveryError(f"unknown WAL record kind {record.kind!r}")
+            max_ts = max(max_ts, self.apply_wal_record(record))
+            replayed += 1
+        self.seal_recovery(max_ts)
+        return replayed
+
+    def seal_recovery(self, max_recovered_ts: int) -> None:
+        """Re-seed the timestamp oracle after applying durable records.
+
+        ``max_recovered_ts`` is the highest timestamp any applied record
+        mentioned (the running maximum of :meth:`apply_wal_record`
+        returns).  Called by :meth:`recover_from` after a full replay and
+        by a warm standby at takeover, after its final catch-up poll.
+        """
+        max_ts = max_recovered_ts
         # Resume timestamps strictly above anything recovered — including
         # persisted reservation marks — so no timestamp is ever reused.
         # The floor is the current TSO's *reservation* high-water mark,

@@ -153,6 +153,50 @@ typically ~2.5x).  Lease sizing is a two-sided trade-off:
   tune.  The equivalence suite pins that when begins precede the
   decided commits, decisions are identical at every lease size.
 
+High availability: the replicated serving tier
+==============================================
+
+Appendix A's failure story — "another fresh instance of the status
+oracle could still recreate the memory state from the write-ahead log
+and continue servicing the commit requests" — is lifted to *this* layer
+by :class:`ReplicatedFrontend` (:mod:`repro.server.ha`): N candidate
+:class:`~repro.server.ha.FrontendHost`\\ s behind a ZooKeeper leader
+election, sharing one replicated WAL.  Three design decisions carry it:
+
+* **Settlement moves from flush to durability.**  A single frontend may
+  equate "decided" with "acknowledged" — nothing else can take over —
+  but a replicated tier must not acknowledge a decision the next leader
+  might not recover.  :class:`~repro.server.ha.HAFuture` therefore
+  resolves from the WAL-sync listener (the decision is on a ledger
+  quorum), at the cost of one WAL sync of latency.  Decision *errors*
+  still settle at flush — they are permanent and never reach the WAL.
+* **Warm standbys make takeover O(delta).**  Every standby host tails
+  the shared WAL (:class:`~repro.wal.bookkeeper.WALTail`), applying
+  records as they become durable; at promotion only the un-polled
+  suffix is replayed, then
+  :meth:`~repro.core.status_oracle.StatusOracle.seal_recovery` re-seeds
+  the timestamp oracle above everything durable.  Benchmark E22
+  measures warm vs cold takeover (>= 5x at >= 10k records; in practice
+  the gap grows with history length, since the delta does not).
+* **In-flight requests survive, exactly once.**  A request whose
+  decision never became durable — in the crashed leader's open batch,
+  or flushed but un-synced — is resubmitted against the new leader with
+  its **original start timestamp** under a bounded-exponential
+  :class:`RetryPolicy`; a request whose decision *did* sync settled
+  already and left the retry set, so nothing is ever decided twice.
+  Crashing a leader mid-lease also gaps (never reuses) the begin-lease
+  block, same as a plain frontend crash.  The hypothesis failover
+  property pins history equivalence: when begins precede decisions, a
+  crashed-and-retried run decides every request identically to an
+  uncrashed one.
+
+Admission control rides the same tier: ``max_queue_depth`` bounds the
+decisions in flight (pending + flushed-but-not-yet-durable); beyond it,
+submissions fail fast with :class:`~repro.core.errors.Overloaded` and
+:class:`ClientSession`'s retry policy backs off-and-resubmits.  E22's
+overload leg shows 2x-capacity offered load sustaining the 1x
+throughput with the queue bounded — shedding, not collapse.
+
 How equivalence is tested
 =========================
 
@@ -186,6 +230,8 @@ from repro.server.frontend import (
     FrontendStats,
     OracleFrontend,
 )
+from repro.server.ha import FrontendHost, HAFuture, ReplicatedFrontend
+from repro.server.retry import RetryPolicy, call_with_retry
 from repro.server.session import ClientSession
 
 __all__ = [
@@ -194,6 +240,11 @@ __all__ = [
     "CommitFuture",
     "FlushedBatch",
     "FrontendStats",
+    "ReplicatedFrontend",
+    "FrontendHost",
+    "HAFuture",
+    "RetryPolicy",
+    "call_with_retry",
     "CLIENT_ABORT",
     "DEFAULT_MAX_BATCH",
     "DEFAULT_FLUSH_INTERVAL",

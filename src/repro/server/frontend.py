@@ -36,7 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Tuple
 
-from repro.core.errors import DecisionPending, OracleClosed
+from repro.core.errors import DecisionPending, OracleClosed, Overloaded
 from repro.core.status_oracle import (
     CLIENT_ABORT,
     CommitRequest,
@@ -68,7 +68,11 @@ class FlushedBatch:
 
     flushed: bool = False
     seq: int = 0
-    trigger: str = ""  # "count" | "timer" | "force" | "close"
+    trigger: str = ""  # "count" | "timer" | "force" | "close" | "failed"
+    #: How many batch items (commit requests + client aborts) this batch
+    #: admitted — the admission-control unit released when the batch is
+    #: durable (read-only fast-path requests never join a batch).
+    requests: int = 0
     #: Futures of this batch, in submission order (nowait submissions
     #: contribute none); populated at submit time, emptied once the
     #: batch resolves so one retained future doesn't pin its siblings.
@@ -88,7 +92,12 @@ class FlushedBatch:
     #: to that request; the rest of the batch decides normally.
     errors: Tuple = ()
     #: Free slot for integrators (repro.sim stores the durability event).
+    #: When a flush listener sets this, the batch's admission-control
+    #: slots stay held until :meth:`OracleFrontend.mark_durable` is
+    #: called (deferred durability); otherwise they release at flush.
     durable_event: Any = None
+    #: True once this batch's admission slots were given back.
+    released: bool = False
     #: True once some future of this batch registered a done-callback.
     has_callbacks: bool = False
     #: Per-partition protocol rounds this flush cost, when the backend
@@ -229,7 +238,24 @@ class FrontendStats:
     flushes_by_count: int = 0
     flushes_by_timer: int = 0
     flushes_by_force: int = 0
+    #: ``close()``'s final flush, counted apart from explicit forces —
+    #: a deployment that sees many close-flushes is tearing frontends
+    #: down mid-batch, a different signal than callers forcing flushes.
+    flushes_by_close: int = 0
     max_batch_seen: int = 0
+    #: Batches whose flush died mid-decision or mid-WAL-append: every
+    #: future of such a batch resolves with the error (never a permanent
+    #: ``DecisionPending``), and nothing was persisted.
+    flush_failures: int = 0
+    #: Requests failed by :meth:`OracleFrontend.fail_pending` — a host
+    #: crash taking the open batch with it (the HA tier retries them
+    #: against the next leader).
+    crashed_requests: int = 0
+    #: Submissions shed by admission control (typed ``Overloaded``).
+    overload_rejections: int = 0
+    #: High-water mark of decisions in flight (pending + flushed batches
+    #: not yet durable); bounded by ``max_queue_depth`` when set.
+    max_inflight_seen: int = 0
     #: Totals of the partitioned batch protocol's per-partition rounds
     #: (zero for monolithic backends): check rounds are phase-1 bulk
     #: validations, install rounds phase-3 bulk installs — one RPC each
@@ -286,6 +312,18 @@ class OracleFrontend:
             WAL, or through this frontend's WAL for backends whose TSO
             persists nothing itself (the partitioned oracle; see the
             reservation-adoption block in ``__init__``).
+        max_queue_depth: admission-control bound on decisions in flight
+            (pending in the open batch plus flushed batches whose
+            durability is still outstanding, see :meth:`mark_durable`).
+            A submit that would exceed the bound is shed with a typed
+            :class:`~repro.core.errors.Overloaded` rejection instead of
+            queueing without bound — under sustained over-capacity
+            offered load the frontend keeps serving at capacity with
+            bounded queue depth (and hence bounded latency) while
+            clients back off and retry
+            (:class:`~repro.server.retry.RetryPolicy`).  ``None`` (the
+            default) disables admission control and costs the submit
+            path nothing.  Benchmark E22 measures the degradation mode.
         per_request: force the pre-``decide_batch`` decision path — one
             ``backend.commit()`` / ``backend.abort()`` call per batch item
             inside the critical section.  This is the benchmark E18
@@ -312,6 +350,7 @@ class OracleFrontend:
         wal: Optional[BookKeeperWAL] = None,
         begin_lease: int = 1,
         per_request: bool = False,
+        max_queue_depth: Optional[int] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -319,6 +358,8 @@ class OracleFrontend:
             raise ValueError("flush_interval must be > 0")
         if begin_lease < 1:
             raise ValueError("begin_lease must be >= 1")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None)")
         self._backend = backend
         # Begin-lease state: [_lease_next, _lease_hi] is the unserved
         # remainder of the current lease; empty (next > hi) forces the
@@ -380,6 +421,12 @@ class OracleFrontend:
         self._pending: List[Any] = []
         self._open_cell: Optional[FlushedBatch] = None
         self._batch_opened_at: Optional[float] = None
+        # Admission control: decisions admitted but not yet released
+        # (released at flush, or at mark_durable when a flush listener
+        # defers durability).  Tracked only when bounded, so the
+        # unbounded submit path pays a single attribute check.
+        self._max_queue_depth = max_queue_depth
+        self._inflight = 0
         self._batch_seq = 0
         self._flush_listeners: List[Callable[[FlushedBatch], None]] = []
         self.stats = FrontendStats()
@@ -491,6 +538,8 @@ class OracleFrontend:
             future._committed = True
             future._done = True
             return future
+        if self._max_queue_depth is not None:
+            self._admit()
         pending = self._pending
         pending.append((request, future))
         if len(pending) == 1:
@@ -521,6 +570,8 @@ class OracleFrontend:
             backend_stats.read_only_commits += 1
             self.stats.read_only_fast_path += 1
             return
+        if self._max_queue_depth is not None:
+            self._admit()
         pending = self._pending
         pending.append(request)
         if len(pending) == 1:
@@ -533,6 +584,8 @@ class OracleFrontend:
         abort record rides the same group-commit WAL write."""
         if self._closed:
             raise OracleClosed("oracle frontend is closed")
+        if self._max_queue_depth is not None:
+            self._admit()
         future = CommitFuture(start_ts)
         pending = self._pending
         pending.append((start_ts, future))
@@ -550,6 +603,8 @@ class OracleFrontend:
         """Queue a client-initiated abort without a future."""
         if self._closed:
             raise OracleClosed("oracle frontend is closed")
+        if self._max_queue_depth is not None:
+            self._admit()
         pending = self._pending
         pending.append(start_ts)
         self.stats.client_aborts += 1
@@ -557,6 +612,54 @@ class OracleFrontend:
             self._open_batch()
         if len(pending) >= self._max_batch:
             self.flush(trigger="count")
+
+    # ------------------------------------------------------------------
+    # admission control
+    # ------------------------------------------------------------------
+    def _admit(self) -> None:
+        """Claim one in-flight slot or shed the request (``Overloaded``).
+
+        Called only when ``max_queue_depth`` is set — the submit paths
+        gate on that so the unbounded configuration pays one attribute
+        check.  A slot covers the request from submit until its batch
+        is durable (flush, or :meth:`mark_durable` when a listener
+        defers durability), so the bound caps the queue *depth*, not
+        just the open batch.
+        """
+        inflight = self._inflight
+        if inflight >= self._max_queue_depth:
+            self.stats.overload_rejections += 1
+            raise Overloaded(inflight, self._max_queue_depth)
+        inflight += 1
+        self._inflight = inflight
+        if inflight > self.stats.max_inflight_seen:
+            self.stats.max_inflight_seen = inflight
+
+    def _release(self, cell: FlushedBatch) -> None:
+        """Give a batch's admission slots back (idempotent)."""
+        if self._max_queue_depth is None or cell.released:
+            return
+        cell.released = True
+        self._inflight -= cell.requests
+
+    def mark_durable(self, batch: FlushedBatch) -> None:
+        """Release a flushed batch's admission slots at durability.
+
+        When an ``on_flush`` listener sets :attr:`FlushedBatch.durable_event`
+        (the simulator modelling the WAL write), the batch's requests
+        stay counted against ``max_queue_depth`` until the integration
+        layer calls this — in flight means *not yet durable*, not merely
+        *not yet decided*.  No-op when admission control is disabled or
+        the batch already released its slots.
+        """
+        self._release(batch)
+
+    @property
+    def inflight(self) -> int:
+        """Decisions currently counted against ``max_queue_depth``
+        (pending in the open batch + flushed-not-yet-durable); stays 0
+        when admission control is disabled."""
+        return self._inflight
 
     # ------------------------------------------------------------------
     # flush triggers
@@ -610,46 +713,61 @@ class OracleFrontend:
         cell = self._open_cell
         self._open_cell = None
         self._batch_opened_at = None
+        cell.requests = len(batch)
 
         payload_commits: List[Tuple[int, int, Any]] = []
         payload_aborts: List[int] = []
         errors: List[Tuple[int, BaseException]] = []
         rounds = None
-        if self._per_request:
-            counters = self._process_per_request(
-                batch, payload_commits, payload_aborts, errors
-            )
-        else:
-            # The backend's batch-decide engine: one bulk pass over the
-            # whole batch (see StatusOracle.decide_batch).  Futures are
-            # filled in directly; payloads come back in decision order.
-            counters = self._engine(
-                batch, payload_commits, payload_aborts, errors, None
-            )
-            # The partitioned engine reports how many per-partition
-            # protocol rounds the flush cost (BatchRounds); monolithic
-            # engines have no such notion and leave this None.
-            rounds = getattr(self._backend, "last_flush_rounds", None)
-        commits, aborts, rows_checked, rows_updated = counters
+        # A crash anywhere between here and the WAL append must not
+        # strand the batch's futures in permanent DecisionPending: the
+        # unbatched oracle would have raised at the call site, so the
+        # batched one resolves every future with the error instead (the
+        # per-request errors list still isolates *decision* errors to
+        # their own request — this except is for the engine or the WAL
+        # dying, which dooms the whole batch).
+        try:
+            if self._per_request:
+                counters = self._process_per_request(
+                    batch, payload_commits, payload_aborts, errors
+                )
+            else:
+                # The backend's batch-decide engine: one bulk pass over
+                # the whole batch (see StatusOracle.decide_batch).
+                # Futures are filled in directly; payloads come back in
+                # decision order.
+                counters = self._engine(
+                    batch, payload_commits, payload_aborts, errors, None
+                )
+                # The partitioned engine reports how many per-partition
+                # protocol rounds the flush cost (BatchRounds);
+                # monolithic engines have no such notion, leaving None.
+                rounds = getattr(self._backend, "last_flush_rounds", None)
+            commits, aborts, rows_checked, rows_updated = counters
 
-        # One group-commit record for the whole batch (§6.3 / Appendix A
-        # amortization).  Batches that decided nothing durable — e.g. all
-        # requests were read-only — write no record at all; in per-request
-        # mode a WAL-owning backend already logged each decision itself.
-        # The loop-built triples are already immutable (rows stay the
-        # request's frozenset); append_decisions freezes the payload once
-        # and owns the record-size rule.
-        wal = self._wal
-        wal_written = False
-        if (
-            wal is not None
-            and (payload_commits or payload_aborts)
-            and not self._backend_logs_wal
-        ):
-            payload = wal.append_decisions(payload_commits, payload_aborts)
-            wal_written = True
-        else:
-            payload = (tuple(payload_commits), tuple(payload_aborts))
+            # One group-commit record for the whole batch (§6.3 /
+            # Appendix A amortization).  Batches that decided nothing
+            # durable — e.g. all requests were read-only — write no
+            # record at all; in per-request mode a WAL-owning backend
+            # already logged each decision itself.  The loop-built
+            # triples are already immutable (rows stay the request's
+            # frozenset); append_decisions freezes the payload once and
+            # owns the record-size rule.
+            wal = self._wal
+            wal_written = False
+            if (
+                wal is not None
+                and (payload_commits or payload_aborts)
+                and not self._backend_logs_wal
+            ):
+                payload = wal.append_decisions(payload_commits, payload_aborts)
+                wal_written = True
+            else:
+                payload = (tuple(payload_commits), tuple(payload_aborts))
+        except Exception as exc:
+            self.stats.flush_failures += 1
+            self._abandon_batch(cell, exc)
+            raise
 
         stats = self.stats
         stats.batches += 1
@@ -660,6 +778,8 @@ class OracleFrontend:
             stats.flushes_by_count += 1
         elif trigger == "timer":
             stats.flushes_by_timer += 1
+        elif trigger == "close":
+            stats.flushes_by_close += 1
         else:
             stats.flushes_by_force += 1
         if rounds is not None:
@@ -682,6 +802,11 @@ class OracleFrontend:
         cell.errors = tuple(errors)
         for listener in self._flush_listeners:
             listener(cell)
+        # Admission slots release at flush unless a listener attached a
+        # durability event — then they stay held until mark_durable(),
+        # so "in flight" spans submit through durable.
+        if cell.durable_event is None:
+            self._release(cell)
         # Group commit: this single flag resolves every future of the
         # batch at once, after the WAL record is queued (and after the
         # listeners had a chance to attach durability hooks).
@@ -694,6 +819,49 @@ class OracleFrontend:
         # future of the batch.
         cell.futures = []
         return cell
+
+    def _abandon_batch(self, cell: FlushedBatch, exc: BaseException) -> None:
+        """Resolve a doomed batch: every unresolved future gets ``exc``.
+
+        Used on the two crash paths — a flush that died mid-decision or
+        mid-WAL-append, and :meth:`fail_pending` (host crash).  Futures
+        that already carry a per-request decision error keep it; everyone
+        else resolves with the batch-level error, so no future is ever a
+        permanent ``DecisionPending``.  Nothing from the batch was made
+        durable, and its admission slots are given back.
+        """
+        cell.trigger = "failed"
+        for fut in cell.futures:
+            if fut._error is None:
+                fut._error = exc
+        cell.flushed = True
+        if cell.has_callbacks:
+            for fut in cell.futures:
+                fut._fire_callbacks()
+        cell.futures = []
+        self._release(cell)
+
+    def fail_pending(self, exc: BaseException) -> int:
+        """Crash path: fail the open batch without deciding anything.
+
+        A host crash takes the open batch with it — those requests were
+        never decided, never persisted, and would otherwise wait forever
+        on a flush that can no longer happen.  Their futures resolve
+        with ``exc`` (the HA tier then retries them against the next
+        leader with their original start timestamps).  Returns how many
+        requests were failed.
+        """
+        batch = self._pending
+        if not batch:
+            return 0
+        self._pending = []
+        cell = self._open_cell
+        self._open_cell = None
+        self._batch_opened_at = None
+        cell.requests = len(batch)
+        self.stats.crashed_requests += len(batch)
+        self._abandon_batch(cell, exc)
+        return len(batch)
 
     def _process_per_request(self, batch, payload_commits, payload_aborts,
                              errors):

@@ -1,0 +1,107 @@
+"""Client retry policy: bounded exponential backoff.
+
+Two serving-tier failure modes resolve with a *retry*, not an error:
+
+* **overload** — admission control shed the request with a typed
+  :class:`~repro.core.errors.Overloaded` rejection (the queue-depth
+  bound, benchmark E22's degradation leg).  The correct client response
+  is to back off and resubmit once the frontend has drained.
+* **failover** — the serving host died mid-request; the request was
+  never made durable, so the replicated tier resubmits it against the
+  next leader (:mod:`repro.server.ha`), pacing the retries so a slow
+  election is not hammered.
+
+Both share one policy object.  The backoff schedule is deterministic
+(no jitter): the repo's clocks are injected/simulated, and benchmarks
+pin the exact delay sequence — ``base_delay * multiplier**(attempt-1)``
+capped at ``max_delay``, for at most ``max_attempts`` attempts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Tuple, Type
+
+
+class RetryPolicy:
+    """Bounded exponential backoff schedule.
+
+    Args:
+        max_attempts: total tries including the first (>=1); the final
+            failure is re-raised to the caller.
+        base_delay: backoff before the first retry (seconds, injected
+            time).
+        multiplier: growth factor per retry (>=1).
+        max_delay: cap on any single backoff.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 5,
+        base_delay: float = 0.005,
+        multiplier: float = 2.0,
+        max_delay: float = 0.1,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff to wait after failed attempt number ``attempt``
+        (1-based) before the next try."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(
+            self.base_delay * self.multiplier ** (attempt - 1), self.max_delay
+        )
+
+    def delays(self) -> Iterator[float]:
+        """The full backoff schedule (``max_attempts - 1`` delays)."""
+        for attempt in range(1, self.max_attempts):
+            yield self.delay_for(attempt)
+
+    def total_backoff(self) -> float:
+        """Worst-case injected time spent backing off before giving up."""
+        return sum(self.delays())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, multiplier={self.multiplier}, "
+            f"max_delay={self.max_delay})"
+        )
+
+
+def call_with_retry(
+    fn: Callable[[], "object"],
+    policy: RetryPolicy,
+    retry_on: Tuple[Type[BaseException], ...],
+    sleep: Optional[Callable[[float], None]] = None,
+    on_backoff: Optional[Callable[[int, float], None]] = None,
+):
+    """Run ``fn`` under the policy; re-raise the last error when spent.
+
+    ``sleep`` receives each backoff delay (the integration layer decides
+    what a delay *means* — advance a manual clock and tick the frontend,
+    or time out in the simulator).  ``on_backoff(attempt, delay)`` is a
+    metrics hook.  Errors outside ``retry_on`` propagate immediately.
+    """
+    attempt = 1
+    while True:
+        try:
+            return fn()
+        except retry_on:
+            if attempt >= policy.max_attempts:
+                raise
+            delay = policy.delay_for(attempt)
+            if on_backoff is not None:
+                on_backoff(attempt, delay)
+            if sleep is not None:
+                sleep(delay)
+            attempt += 1

@@ -27,25 +27,47 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, List, Optional
 
-from repro.core.errors import InvalidTransactionState, OracleClosed
+from repro.core.errors import InvalidTransactionState, OracleClosed, Overloaded
 from repro.core.status_oracle import CommitRequest
 from repro.server.frontend import CommitFuture, OracleFrontend
+from repro.server.retry import RetryPolicy
 
 _session_ids = itertools.count(1)
 
 
 class ClientSession:
-    """One logical client multiplexed onto an :class:`OracleFrontend`."""
+    """One logical client multiplexed onto an :class:`OracleFrontend`.
+
+    Args:
+        frontend: the serving tier to multiplex onto (an
+            :class:`OracleFrontend` or anything duck-typing its client
+            surface, e.g. :class:`~repro.server.ha.ReplicatedFrontend`).
+        name: label for diagnostics; auto-generated when omitted.
+        begin_lease: private begin-lease block size (module docstring).
+        retry_policy: how to respond when admission control sheds a
+            submit with :class:`~repro.core.errors.Overloaded` — back
+            off per the policy and resubmit, re-raising once the policy
+            is spent.  ``None`` (default) propagates the rejection
+            immediately.
+        sleep: callable receiving each backoff delay in seconds; the
+            deployment decides what a delay means (advance the manual
+            clock and tick the frontend so it drains, or time out in
+            the simulator).  Without it retries are immediate.
+    """
 
     def __init__(
         self,
         frontend: OracleFrontend,
         name: Optional[str] = None,
         begin_lease: int = 1,
+        retry_policy: Optional[RetryPolicy] = None,
+        sleep: Optional[callable] = None,
     ) -> None:
         if begin_lease < 1:
             raise ValueError("begin_lease must be >= 1")
         self._frontend = frontend
+        self._retry_policy = retry_policy
+        self._sleep = sleep
         self.name = name or f"session-{next(_session_ids)}"
         self._open: set = set()
         self._last_begun: Optional[int] = None
@@ -60,6 +82,12 @@ class ClientSession:
         self.aborts = 0
         self.read_only_commits = 0
         self.errors = 0
+        #: Overloaded rejections absorbed by the retry policy (each one
+        #: cost a backoff; rejections that exhausted the policy re-raise
+        #: and are not counted here).
+        self.overload_retries = 0
+        #: Injected-time seconds this session spent backing off.
+        self.backoff_seconds = 0.0
 
     # ------------------------------------------------------------------
     # transaction lifecycle
@@ -148,7 +176,7 @@ class ClientSession:
         request = CommitRequest(
             ts, write_set=frozenset(write_set), read_set=frozenset(read_set)
         )
-        future = self._frontend.submit_commit(request)
+        future = self._submit(lambda: self._frontend.submit_commit(request))
         self._forget_open(ts)
         self.submitted += 1
         future.add_done_callback(self._tally)
@@ -157,11 +185,37 @@ class ClientSession:
     def abort(self, start_ts: Optional[int] = None) -> CommitFuture:
         """Submit a client-initiated abort for an open transaction."""
         ts = self._resolve_open(start_ts)
-        future = self._frontend.submit_abort(ts)
+        future = self._submit(lambda: self._frontend.submit_abort(ts))
         self._forget_open(ts)
         self.submitted += 1
         future.add_done_callback(self._tally)
         return future
+
+    def _submit(self, submit) -> CommitFuture:
+        """Run one submit under the session's overload-retry policy.
+
+        ``Overloaded`` is the only retryable error: the request was
+        *shed*, not decided, so resubmitting cannot double-decide it.
+        The transaction stays open throughout (``_forget_open`` runs
+        only after a submit is accepted), so a rejection that exhausts
+        the policy leaves it retryable elsewhere.
+        """
+        policy = self._retry_policy
+        if policy is None:
+            return submit()
+        attempt = 1
+        while True:
+            try:
+                return submit()
+            except Overloaded:
+                if attempt >= policy.max_attempts:
+                    raise
+                delay = policy.delay_for(attempt)
+                self.overload_retries += 1
+                self.backoff_seconds += delay
+                if self._sleep is not None:
+                    self._sleep(delay)
+                attempt += 1
 
     def _resolve_open(self, start_ts: Optional[int]) -> int:
         """Validate (without removing) the transaction to act on."""

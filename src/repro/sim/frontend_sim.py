@@ -12,6 +12,25 @@ This is the timing companion to the wall-clock microbench in
 :mod:`repro.bench.frontend_bench`: that one measures real CPU cost,
 this one reproduces queueing behaviour (latency vs. batch size, timer
 vs. count flushes under light vs. heavy load).
+
+Two serving-tier failure modes can be injected (benchmark E22):
+
+* **overload** — ``offered_tps`` switches the sim to an *open loop*
+  (arrivals at a fixed rate, regardless of completions) and
+  ``max_queue_depth`` bounds the frontend's queue; shed requests back
+  off per a :class:`~repro.server.retry.RetryPolicy` and are dropped
+  once it is spent.  Admission slots release at *durability*
+  (:meth:`~repro.server.frontend.OracleFrontend.mark_durable`, wired to
+  the batch's durable event), so the bound really caps decisions in
+  flight, not just the open batch.
+* **failover** — ``failover_at`` crashes the serving frontend at a sim
+  time: its open batch fails (:meth:`~repro.server.frontend.OracleFrontend.fail_pending`
+  — the satellite crash-path fix), the tier is down for
+  ``failover_downtime`` seconds, then a fresh frontend over the same
+  oracle state takes over; clients ride out the outage and resubmit
+  crashed requests with their original start timestamps.  (State
+  recovery itself — warm vs. cold — is :mod:`repro.server.ha`'s job
+  and measured on the wall clock; the sim prices the *service* gap.)
 """
 
 from __future__ import annotations
@@ -19,10 +38,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.core.errors import OracleClosed, Overloaded
 from repro.core.partitioned import PartitionedOracle
 from repro.core.sharding import ShardingPolicy
 from repro.core.status_oracle import make_oracle
-from repro.server.frontend import FlushedBatch, OracleFrontend
+from repro.server.frontend import FlushedBatch, FrontendStats, OracleFrontend
+from repro.server.retry import RetryPolicy
 from repro.sim.engine import Engine, Resource
 from repro.sim.latency import LatencyModel, paper_latency_model
 from repro.workload.generator import WorkloadGenerator, complex_workload
@@ -45,6 +66,19 @@ class GroupCommitSimResult:
     flushes_by_count: int
     flushes_by_timer: int
     oracle_utilization: float
+    #: Open-loop arrival rate (0.0 = closed loop).
+    offered_tps: float = 0.0
+    #: Requests dropped after their overload-retry budget ran out.
+    shed_requests: int = 0
+    #: Overloaded rejections the frontends issued (>= backoffs).
+    overload_rejections: int = 0
+    #: Backoffs clients served before a successful (re)submit.
+    overload_backoffs: int = 0
+    #: Requests resubmitted after dying in a crashed leader's batch.
+    crash_retries: int = 0
+    failovers: int = 0
+    #: High-water mark of decisions in flight across all frontends.
+    max_inflight_seen: int = 0
 
     def as_row(self) -> str:
         return (
@@ -96,6 +130,20 @@ class GroupCommitSim:
             :class:`~repro.core.sharding.ShardingPolicy` for the
             partitioned backend (placement changes which rounds exist,
             which the round pricing then reflects).
+        max_queue_depth: admission-control bound forwarded to the
+            frontend (decisions in flight; ``Overloaded`` sheds the
+            rest).  ``None`` queues without bound.
+        offered_tps: switch to an *open loop*: requests arrive at this
+            fixed rate whatever the completion rate (``num_clients`` /
+            ``outstanding_per_client`` are then ignored).  The E22
+            overload leg offers 2x the measured 1x capacity.
+        failover_at: crash the serving frontend at this sim time (its
+            open batch fails; crashed requests are retried against the
+            successor); ``None`` disables.
+        failover_downtime: service outage between crash and the
+            successor frontend accepting traffic.
+        retry_policy: client backoff for ``Overloaded`` rejections and
+            crashed-request resubmission.
     """
 
     def __init__(
@@ -115,9 +163,16 @@ class GroupCommitSim:
         num_partitions: int = 0,
         executor: str = "serial",
         sharding: Optional[ShardingPolicy] = None,
+        max_queue_depth: Optional[int] = None,
+        offered_tps: Optional[float] = None,
+        failover_at: Optional[float] = None,
+        failover_downtime: float = 0.002,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if executor not in ("serial", "parallel"):
             raise ValueError("executor must be 'serial' or 'parallel'")
+        if offered_tps is not None and offered_tps <= 0:
+            raise ValueError("offered_tps must be > 0 (or None)")
         self.level = level
         self.batch_size = batch_size
         self.num_clients = num_clients
@@ -128,6 +183,13 @@ class GroupCommitSim:
         self.engine = Engine()
         self.num_partitions = num_partitions
         self._parallel_rounds = executor == "parallel"
+        self.max_queue_depth = max_queue_depth
+        self.offered_tps = offered_tps
+        self.failover_at = failover_at
+        self.failover_downtime = failover_downtime
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=6, base_delay=0.001, multiplier=2.0, max_delay=0.016
+        )
         if num_partitions:
             # executor pinned serial (not left to REPRO_EXECUTOR): the
             # sim prices overlap, it must never spawn real threads.
@@ -139,16 +201,14 @@ class GroupCommitSim:
             )
         else:
             self.oracle = make_oracle(level)
-        self.frontend = OracleFrontend(
-            self.oracle,
-            max_batch=batch_size,
-            flush_interval=flush_interval,
-            clock=lambda: self.engine.now,
-            scheduler=self.engine.call_in,
-            per_request=per_request,
-            begin_lease=begin_lease,
-        )
-        self.frontend.on_flush(self._batch_flushed)
+        self._flush_interval = flush_interval
+        self._per_request = per_request
+        self._begin_lease = begin_lease
+        #: Stats of frontends retired by a failover (aggregated into
+        #: the result alongside the serving frontend's).
+        self._retired_stats: List[FrontendStats] = []
+        #: None during the failover outage window.
+        self.frontend: Optional[OracleFrontend] = self._make_frontend()
         self.critical_section = Resource(self.engine, capacity=1, name="oracle-cs")
         self.workload: WorkloadGenerator = complex_workload(
             distribution="uniform", keyspace=keyspace, seed=seed
@@ -156,15 +216,38 @@ class GroupCommitSim:
         self._latencies: List[float] = []
         self._commits = 0
         self._aborts = 0
+        self.failovers = 0
+        self._shed = 0
+        self._overload_backoffs = 0
+        self._crash_retries = 0
+
+    def _make_frontend(self) -> OracleFrontend:
+        frontend = OracleFrontend(
+            self.oracle,
+            max_batch=self.batch_size,
+            flush_interval=self._flush_interval,
+            clock=lambda: self.engine.now,
+            scheduler=self.engine.call_in,
+            per_request=self._per_request,
+            begin_lease=self._begin_lease,
+            max_queue_depth=self.max_queue_depth,
+        )
+        # Bind the owner into the listener: a batch's durability must
+        # release admission slots on the frontend that admitted it, even
+        # if a failover replaced ``self.frontend`` in between.
+        frontend.on_flush(
+            lambda cell, owner=frontend: self._batch_flushed(cell, owner)
+        )
+        return frontend
 
     # ------------------------------------------------------------------
     # batch timing: one critical-section occupancy + one WAL write
     # ------------------------------------------------------------------
-    def _batch_flushed(self, batch: FlushedBatch) -> None:
+    def _batch_flushed(self, batch: FlushedBatch, owner: OracleFrontend) -> None:
         batch.durable_event = self.engine.event()
-        self.engine.process(self._batch_timing(batch))
+        self.engine.process(self._batch_timing(batch, owner))
 
-    def _batch_timing(self, batch: FlushedBatch):
+    def _batch_timing(self, batch: FlushedBatch, owner: OracleFrontend):
         lat = self.latency
         service = lat.oracle_service_batch(
             self.level, batch.size, batch.rows_checked, batch.rows_updated
@@ -185,24 +268,81 @@ class GroupCommitSim:
         if batch.wal_written:
             yield self.engine.timeout(lat.sample(lat.wal_write))
         batch.durable_event.succeed()
+        # In flight spans submit -> durable: only now do the batch's
+        # admission slots free up (no-op when max_queue_depth is None).
+        owner.mark_durable(batch)
 
     # ------------------------------------------------------------------
-    # client process
+    # failure injection: leader crash + takeover
     # ------------------------------------------------------------------
-    def _client_stream(self):
-        engine = self.engine
-        lat = self.latency
+    def _failover_process(self):
+        yield self.engine.timeout(self.failover_at)
         frontend = self.frontend
+        self.frontend = None
+        # The open batch dies with the host: its futures resolve with
+        # the crash error (never a permanent DecisionPending), and the
+        # clients holding them resubmit with the same start timestamps.
+        frontend.fail_pending(
+            OracleClosed("simulated leader crash (failover_at)")
+        )
+        self._retired_stats.append(frontend.stats)
+        self.failovers += 1
+        yield self.engine.timeout(self.failover_downtime)
+        self.frontend = self._make_frontend()
+
+    # ------------------------------------------------------------------
+    # client processes
+    # ------------------------------------------------------------------
+    def _transact(self, started: float):
+        """Drive one transaction to a durable outcome; yields engine
+        events.  Generator-returns the resolved future, or None if the
+        request was shed (open loop only: the overload-retry budget ran
+        out before a submit was accepted)."""
+        engine = self.engine
+        policy = self.retry_policy
+        open_loop = self.offered_tps is not None
+        attempt = 1
+        request = None
         while True:
-            started = engine.now
-            yield engine.timeout(lat.sample_start_timestamp())
-            start_ts = frontend.begin()
-            spec = self.workload.next_transaction()
-            future = frontend.submit_commit(spec.commit_request(start_ts))
+            frontend = self.frontend
+            if frontend is None or frontend.closed:
+                # Failover outage: ride it out, then retry.  A begun-
+                # but-unsubmitted timestamp is abandoned as a gap (the
+                # lease was durably reserved; reuse is impossible).
+                yield engine.timeout(policy.base_delay)
+                continue
+            if request is None:
+                start_ts = frontend.begin()
+                spec = self.workload.next_transaction()
+                request = spec.commit_request(start_ts)
+            try:
+                future = frontend.submit_commit(request)
+            except Overloaded:
+                if open_loop and attempt >= policy.max_attempts:
+                    self._shed += 1
+                    return None
+                self._overload_backoffs += 1
+                yield engine.timeout(
+                    policy.delay_for(min(attempt, policy.max_attempts))
+                )
+                attempt += 1
+                continue
+            except OracleClosed:
+                continue  # crashed between the check and the submit
             if not future.done:
                 bridge = engine.event()
                 future.add_done_callback(lambda _f, ev=bridge: ev.succeed())
                 yield bridge
+            if future.outcome() == "error":
+                # The batch died in a crashed leader.  The request was
+                # never decided and never persisted, so resubmitting it
+                # — same start timestamp — cannot double-decide.
+                self._crash_retries += 1
+                yield engine.timeout(
+                    policy.delay_for(min(attempt, policy.max_attempts))
+                )
+                attempt += 1
+                continue
             batch = future.batch
             if batch is not None:
                 # group commit: acknowledged when the batch is durable
@@ -213,17 +353,52 @@ class GroupCommitSim:
                     self._commits += 1
                 else:
                     self._aborts += 1
+            return future
+
+    def _client_stream(self):
+        """Closed-loop client: think, transact, repeat."""
+        engine = self.engine
+        lat = self.latency
+        while True:
+            started = engine.now
+            yield engine.timeout(lat.sample_start_timestamp())
+            yield from self._transact(started)
+
+    def _one_request(self):
+        yield from self._transact(self.engine.now)
+
+    def _arrival_process(self):
+        """Open-loop source: fixed-rate arrivals, ignoring completions."""
+        interarrival = 1.0 / self.offered_tps
+        while True:
+            self.engine.process(self._one_request())
+            yield self.engine.timeout(interarrival)
 
     # ------------------------------------------------------------------
+    def _stat_sum(self, name: str) -> int:
+        total = sum(getattr(stats, name) for stats in self._retired_stats)
+        if self.frontend is not None:
+            total += getattr(self.frontend.stats, name)
+        return total
+
     def run(self) -> GroupCommitSimResult:
-        for _ in range(self.num_clients * self.outstanding):
-            self.engine.process(self._client_stream())
+        if self.failover_at is not None:
+            self.engine.process(self._failover_process())
+        if self.offered_tps is not None:
+            self.engine.process(self._arrival_process())
+        else:
+            for _ in range(self.num_clients * self.outstanding):
+                self.engine.process(self._client_stream())
         self.engine.run(until=self.warmup + self.measure)
         total = self._commits + self._aborts
         lat_ms = sorted(1000 * x for x in self._latencies)
         avg = sum(lat_ms) / len(lat_ms) if lat_ms else 0.0
         p99 = lat_ms[int(0.99 * (len(lat_ms) - 1))] if lat_ms else 0.0
-        stats = self.frontend.stats
+        all_stats = list(self._retired_stats)
+        if self.frontend is not None:
+            all_stats.append(self.frontend.stats)
+        batches = sum(s.batches for s in all_stats)
+        batched = sum(s.batched_requests for s in all_stats)
         return GroupCommitSimResult(
             level=self.level,
             batch_size=self.batch_size,
@@ -234,10 +409,17 @@ class GroupCommitSim:
             abort_rate=self._aborts / total if total else 0.0,
             commits=self._commits,
             aborts=self._aborts,
-            avg_batch=stats.avg_batch_size(),
-            flushes_by_count=stats.flushes_by_count,
-            flushes_by_timer=stats.flushes_by_timer,
+            avg_batch=batched / batches if batches else 0.0,
+            flushes_by_count=self._stat_sum("flushes_by_count"),
+            flushes_by_timer=self._stat_sum("flushes_by_timer"),
             oracle_utilization=self.critical_section.utilization(),
+            offered_tps=self.offered_tps or 0.0,
+            shed_requests=self._shed,
+            overload_rejections=self._stat_sum("overload_rejections"),
+            overload_backoffs=self._overload_backoffs,
+            crash_retries=self._crash_retries,
+            failovers=self.failovers,
+            max_inflight_seen=max(s.max_inflight_seen for s in all_stats),
         )
 
 

@@ -6,6 +6,8 @@ Public surface:
 * :class:`LedgerManager` / :class:`Ledger` / :class:`Bookie` — replicated
   ledger storage with quorum durability.
 * :class:`WALRecord` — the logical records the status oracle persists.
+* :class:`WALTail` — incremental durable-record cursor (warm-standby
+  catch-up: O(delta) takeover instead of a full replay).
 """
 
 from repro.wal.bookkeeper import (
@@ -16,6 +18,7 @@ from repro.wal.bookkeeper import (
     GROUP_COMMIT_RECORD,
     BookKeeperWAL,
     WALRecord,
+    WALTail,
     group_commit_payload,
 )
 from repro.wal.ledger import Bookie, Ledger, LedgerEntry, LedgerManager
@@ -23,6 +26,7 @@ from repro.wal.ledger import Bookie, Ledger, LedgerEntry, LedgerManager
 __all__ = [
     "BookKeeperWAL",
     "WALRecord",
+    "WALTail",
     "GROUP_COMMIT_RECORD",
     "GROUP_COMMIT_BYTES_PER_DECISION",
     "group_commit_payload",

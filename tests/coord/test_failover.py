@@ -121,3 +121,38 @@ class TestRecoveredServiceContinuity:
         rs.wal.flush()
         rs.kill_active()
         assert not rs.commit(req(t2, writes={"x"})).committed  # ww-conflict
+
+
+class TestSingleReplayPass:
+    """Regression: cold takeover used to replay the WAL twice — once
+    just to count records, once to apply them — doubling exactly the
+    recovery cost failover cares about.  ``recover_from`` now applies
+    and counts in one pass.
+    """
+
+    def test_cold_takeover_replays_exactly_once(self):
+        rs = OracleReplicaSet(num_hosts=2, level="wsi")
+        for i in range(20):
+            assert rs.commit(req(rs.begin(), writes={f"row{i}"})).committed
+        rs.wal.flush()
+        calls = []
+        real_replay = rs.wal.replay
+
+        def counting_replay(*args, **kwargs):
+            calls.append(1)
+            return real_replay(*args, **kwargs)
+
+        rs.wal.replay = counting_replay
+        rs.kill_active()
+        host = rs.active_host()
+        assert len(calls) == 1
+        assert host.recovered_records == sum(1 for _ in real_replay())
+
+    def test_recovered_records_matches_durable_log(self):
+        rs = OracleReplicaSet(num_hosts=3, level="wsi")
+        for i in range(7):
+            assert rs.commit(req(rs.begin(), writes={f"r{i}"})).committed
+        rs.wal.flush()
+        rs.kill_active()
+        host = rs.active_host()
+        assert host.recovered_records == sum(1 for _ in rs.wal.replay())

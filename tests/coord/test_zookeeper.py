@@ -210,3 +210,57 @@ class TestLeaderElection:
         e.resign()
         e.resign()
         assert not e.is_leader
+
+
+class TestElectionVanishedPredecessor:
+    """Regression: the predecessor can vanish between ``get_children``
+    and the ``exists`` watch registration.  The watch then sits on a
+    sequence-numbered node that can never be re-created, so the old
+    single-shot ``_check`` wedged the follower out of the election
+    forever.  ``_check`` must loop against fresh children instead.
+    """
+
+    def test_follower_recovers_when_predecessor_dies_mid_check(self, zk):
+        s1 = zk.connect()
+        e1 = LeaderElection(s1)
+        s2 = zk.connect()
+        e2 = LeaderElection(s2)
+        s3 = zk.connect()
+        # Rig s3's first get_children to return a snapshot in which s2's
+        # candidate still exists, then expire s2 before exists() runs.
+        real_get_children = s3.get_children
+        state = {"armed": True}
+
+        def racy_get_children(path, watch=None):
+            children = real_get_children(path, watch=watch)
+            if state["armed"]:
+                state["armed"] = False
+                s2.close()  # predecessor vanishes after the snapshot
+            return children
+
+        s3.get_children = racy_get_children
+        e3 = LeaderElection(s3)
+        # Pre-fix this wedged: exists() on the vanished predecessor
+        # returned False, registered an unfireable watch, and e3 never
+        # re-checked.  Post-fix e3 loops, watches e1 instead:
+        assert not e3.is_leader
+        s1.close()
+        assert e3.is_leader
+
+    def test_follower_wins_outright_if_all_predecessors_die_mid_check(self, zk):
+        s1 = zk.connect()
+        e1 = LeaderElection(s1)
+        s2 = zk.connect()
+        real_get_children = s2.get_children
+        state = {"armed": True}
+
+        def racy_get_children(path, watch=None):
+            children = real_get_children(path, watch=watch)
+            if state["armed"]:
+                state["armed"] = False
+                s1.close()  # the only predecessor — also the leader
+            return children
+
+        s2.get_children = racy_get_children
+        e2 = LeaderElection(s2)
+        assert e2.is_leader

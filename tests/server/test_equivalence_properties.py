@@ -979,3 +979,126 @@ def test_group_commit_recovery_equivalence(script, max_batch, level):
     )
     for _ in range(5):
         assert fresh.begin() not in used
+
+
+# ---------------------------------------------------------------------------
+# failover history equivalence (the HA serving tier)
+# ---------------------------------------------------------------------------
+#
+# A leader crash mid-batch must not change *what the history decides*:
+# retried requests re-decide identically against the recovered state.
+# The property holds unconditionally when every begin precedes every
+# decision — with interleaved begins a retried commit's timestamp lands
+# after later begins, which can legitimately flip an rw-conflict (the
+# transaction really is concurrent with more history on the retry), so
+# the scripts here open all transactions up front.  Non-durable flush
+# points are allowed anywhere: a flushed-but-unsynced decision is lost
+# in the crash and retried exactly like an open-batch one.
+
+from repro.server import ReplicatedFrontend, RetryPolicy
+
+
+@st.composite
+def failover_scripts(draw):
+    steps = []
+    num = draw(st.integers(min_value=1, max_value=10))
+    for _ in range(num):
+        reads = draw(st.sets(st.sampled_from(ROWS), max_size=3))
+        writes = draw(st.sets(st.sampled_from(ROWS), max_size=3))
+        client_abort = draw(st.booleans()) and draw(st.booleans())  # ~25 %
+        steps.append((frozenset(reads), frozenset(writes), client_abort))
+    flush_points = draw(
+        st.sets(st.integers(min_value=0, max_value=num - 1), max_size=3)
+    )
+    kill_after = draw(st.integers(min_value=0, max_value=num - 1))
+    return steps, flush_points, kill_after
+
+
+def _drive_script(frontend, steps, flush_points, mid_flush, crash_at=None):
+    """All begins first, then submissions in order; returns the futures.
+
+    ``mid_flush`` forces the open *batch* (not the WAL) at the given
+    submission indices; ``crash_at`` invokes the caller's crash hook
+    after that submission index.
+    """
+    starts = [frontend.begin() for _ in steps]
+    futures = []
+    for idx, (reads, writes, client_abort) in enumerate(steps):
+        if client_abort:
+            futures.append(frontend.submit_abort(starts[idx]))
+        else:
+            futures.append(
+                frontend.submit_commit(
+                    CommitRequest(starts[idx], write_set=writes, read_set=reads)
+                )
+            )
+        if idx in flush_points:
+            mid_flush()
+        if crash_at is not None and idx == crash_at:
+            crash_at = None
+            yield_crash = True
+        else:
+            yield_crash = False
+        if yield_crash:
+            yield idx
+    yield -1  # done marker
+    # futures escape via the attribute below (generators can't return
+    # values portably before the final yield)
+    _drive_script.futures = futures
+    _drive_script.starts = starts
+
+
+def _outcomes(futures):
+    return [f.outcome() for f in futures]
+
+
+@given(script=failover_scripts(), level=st.sampled_from(["si", "wsi"]))
+@settings(max_examples=60, deadline=None)
+def test_failover_history_equivalence(script, level):
+    steps, flush_points, kill_after = script
+
+    # Reference: a plain frontend, no crash, same flush points.
+    reference = OracleFrontend(make_oracle(level), max_batch=100)
+    ref_drive = _drive_script(reference, steps, flush_points, reference.flush)
+    for _ in ref_drive:
+        pass
+    reference.flush()
+    ref_futures = _drive_script.futures
+
+    # HA tier: crash the leader after submission `kill_after`; every
+    # not-yet-durable request is retried against the promoted standby.
+    rf = ReplicatedFrontend(
+        num_hosts=2,
+        level=level,
+        warm=True,
+        max_batch=100,
+        retry_policy=RetryPolicy(max_attempts=8, base_delay=0.0),
+    )
+    ha_drive = _drive_script(
+        rf,
+        steps,
+        flush_points,
+        lambda: rf.active_frontend.flush(),  # batch out, WAL NOT synced
+        crash_at=kill_after,
+    )
+    for marker in ha_drive:
+        if marker >= 0:
+            rf.standby_catch_up()
+            rf.kill_active()
+    rf.flush()
+    ha_futures = _drive_script.futures
+    ha_starts = _drive_script.starts
+
+    # Same per-request outcome, crash or no crash.
+    assert _outcomes(ha_futures) == _outcomes(ref_futures)
+
+    # And no timestamp is ever reused across the failover: begins and
+    # commit timestamps are all distinct.
+    commit_ts = [
+        f.commit_ts
+        for f in ha_futures
+        if f.outcome() == "committed" and f.commit_ts is not None
+    ]
+    seen = ha_starts + commit_ts
+    assert len(seen) == len(set(seen))
+    assert rf.failovers == 1

@@ -71,3 +71,64 @@ class TestBatchingThroughput:
         assert result.commits <= stats.commits
         assert result.aborts <= stats.aborts
         assert sim.frontend.stats.avg_batch_size() > 1
+
+
+class TestSimFailover:
+    def test_leader_crash_mid_run_retries_and_continues(self):
+        result = small_sim(
+            num_clients=4,
+            warmup=0.02,
+            measure=0.2,
+            failover_at=0.08,
+        ).run()
+        assert result.failovers == 1
+        assert result.crash_retries > 0  # in-flight requests were re-driven
+        assert result.throughput_tps > 0
+        assert result.commits > 0
+
+    def test_failover_deterministic_under_seed(self):
+        kwargs = dict(num_clients=3, warmup=0.02, measure=0.15, failover_at=0.06)
+        a = small_sim(**kwargs).run()
+        b = small_sim(**kwargs).run()
+        assert a.throughput_tps == b.throughput_tps
+        assert a.crash_retries == b.crash_retries
+
+    def test_no_failover_means_no_retries(self):
+        result = small_sim(measure=0.1).run()
+        assert result.failovers == 0
+        assert result.crash_retries == 0
+
+
+class TestSimAdmissionControl:
+    def test_queue_depth_bounded_under_overload(self):
+        result = small_sim(
+            num_clients=8,
+            outstanding_per_client=64,
+            max_queue_depth=64,
+            warmup=0.02,
+            measure=0.1,
+        ).run()
+        assert 0 < result.max_inflight_seen <= 64
+        assert result.overload_rejections > 0
+        assert result.overload_backoffs > 0
+        assert result.throughput_tps > 0
+
+    def test_open_loop_offered_load_sheds_when_saturated(self):
+        # Offer far beyond capacity with a tight bound: the closed
+        # retry budget must eventually shed rather than queue forever.
+        result = small_sim(
+            num_clients=1,  # ignored in open-loop mode
+            offered_tps=400_000,
+            max_queue_depth=32,
+            warmup=0.02,
+            measure=0.08,
+        ).run()
+        assert result.offered_tps == 400_000
+        assert result.max_inflight_seen <= 32
+        assert result.shed_requests > 0
+        assert result.throughput_tps > 0
+
+    def test_unbounded_run_reports_no_admission_activity(self):
+        result = small_sim(measure=0.1).run()
+        assert result.overload_rejections == 0
+        assert result.shed_requests == 0
