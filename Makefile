@@ -18,7 +18,7 @@ test-fast:
 bench:
 	$(PYTEST) benchmarks -q -s
 
-## Fast perf sanity check: the E17-E22 hot-path/HA bars at tiny sizes
+## Fast perf sanity check: the E17-E23 hot-path/HA bars at tiny sizes
 ## (REPRO_BENCH_SMOKE relaxes the bars accordingly).  Writes the
 ## headline ratios per experiment to BENCH_smoke.json (the snapshot is
 ## committed, so behaviour drifts show up as a diff).  Runs in a few
@@ -33,6 +33,7 @@ bench-smoke:
 		benchmarks/test_e20_begin_lease.py::test_e20_begin_lease_speedup \
 		benchmarks/test_e21_parallel_partitions.py::test_e21_parallel_executor_speedup \
 		benchmarks/test_e22_failover.py \
+		benchmarks/test_e23_engine_shootout.py \
 		-q -s
 
 ## The fast suite twice under two different hash salts: routing (shard
@@ -47,11 +48,21 @@ bench-smoke:
 ## takeover, crash-mid-batch retry, no timestamp reuse across leaders)
 ## ride in every salted run; the explicit last pair keeps them covered
 ## even if the fast-suite marker set ever changes.
+## Finally the REPRO_ENGINE axis: the serving-stack suites (engines,
+## server, sim, coord) once per non-default commit protocol, so the
+## batched/HA/sim layers stay protocol-agnostic — every entry point
+## that defaults engine=None resolves through the variable.  Tests
+## that assert oracle-specific semantics (last_commit probes, WSI
+## conflict outcomes) pin engine="oracle" and ride along unchanged.
 check:
 	PYTHONHASHSEED=0 $(PYTEST) -m "not slow" -q
 	PYTHONHASHSEED=31337 $(PYTEST) -m "not slow" -q
 	REPRO_EXECUTOR=parallel PYTHONHASHSEED=0 $(PYTEST) -m "not slow" -q
 	REPRO_EXECUTOR=parallel PYTHONHASHSEED=31337 $(PYTEST) -m "not slow" -q
+	REPRO_ENGINE=percolator PYTHONHASHSEED=0 $(PYTEST) -m "not slow" -q \
+		tests/engines tests/server tests/sim tests/coord
+	REPRO_ENGINE=ssi PYTHONHASHSEED=0 $(PYTEST) -m "not slow" -q \
+		tests/engines tests/server tests/sim tests/coord
 	PYTHONHASHSEED=0 $(PYTEST) -q \
 		tests/core/test_timestamps.py tests/server/test_frontend_recovery.py \
 		tests/coord/test_failover.py tests/server/test_ha.py

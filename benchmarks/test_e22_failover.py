@@ -34,8 +34,8 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
 #: Failover leg: durable WAL records before the leader dies.
 WAL_RECORDS = 2_000 if SMOKE else 12_000
-#: how often the warm standby polls its tail (records between polls —
-#: the takeover delta is at most this).
+#: warm-standby cadence interval in clock ticks (the loader ticks its
+#: manual clock once per commit, so the takeover delta is at most this).
 POLL_EVERY = 500
 WARM_BAR = 2.0 if SMOKE else 5.0
 
@@ -47,16 +47,27 @@ SUSTAIN_BAR = 0.7 if SMOKE else 0.8
 
 
 def _load_replica_set(warm):
-    """Drive WAL_RECORDS committed writes through a replica set; warm
-    standbys poll their tails every POLL_EVERY commits (a deployment's
-    catch-up cadence), so the takeover delta stays bounded."""
-    rs = OracleReplicaSet(num_hosts=2, level="wsi", warm=warm)
+    """Drive WAL_RECORDS committed writes through a replica set.
+
+    Warm standbys tail the shared WAL on the replica set's own
+    clock-driven :class:`~repro.coord.failover.CatchUpCadence` (a
+    manual clock the loader ticks once per commit, POLL_EVERY ticks per
+    interval): when the cadence comes due, the commit path itself
+    flushes the ledger and polls the standby tails, so the takeover
+    delta stays bounded by the cadence — not by a hand-rolled
+    commit-count modulus in the driver."""
+    clock = [0.0]
+    rs = OracleReplicaSet(
+        num_hosts=2,
+        level="wsi",
+        warm=warm,
+        catch_up_interval=POLL_EVERY if warm else None,
+        clock=lambda: clock[0],
+    )
     for i in range(WAL_RECORDS):
+        clock[0] += 1.0
         ts = rs.begin()
         rs.commit(CommitRequest(ts, write_set=frozenset({f"row{i}"})))
-        if warm and i % POLL_EVERY == POLL_EVERY - 1:
-            rs.wal.flush()
-            rs.standby_catch_up()
     rs.wal.flush()
     if warm:
         rs.standby_catch_up()

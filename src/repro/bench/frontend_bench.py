@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass
 from typing import List, Sequence
 
+from repro.core.engine import make_engine
 from repro.core.partitioned import PartitionedOracle
 from repro.core.status_oracle import CommitRequest, make_oracle
 from repro.server.frontend import OracleFrontend
@@ -243,19 +244,29 @@ def paired_speedups(
     seed: int = 42,
     use_futures: bool = False,
     durable_acks: bool = True,
+    repeats: int = 1,
 ) -> List[float]:
     """Back-to-back (unbatched, batched) measurement pairs.
 
     Returns one throughput ratio per pair; take the median for a
     noise-robust speedup estimate (a shared-machine slow phase hits both
     sides of a pair roughly equally, so ratios are far more stable than
-    the absolute numbers).
+    the absolute numbers).  Each side of a pair is the best of
+    ``repeats`` runs — noise is one-sided (contention only ever slows a
+    run down), so the minimum is the least-biased estimate and a single
+    co-scheduled burst cannot sink one side of a pair.
     """
     specs = make_specs(num_requests, keyspace=keyspace, seed=seed)
     ratios = []
     for _ in range(pairs):
-        dt_u, _, _ = _run_unbatched(level, specs, durable_acks, 0)
-        dt_b, _, _ = _run_batched(level, specs, batch_size, 0, use_futures)
+        dt_u = min(
+            _run_unbatched(level, specs, durable_acks, 0)[0]
+            for _ in range(repeats)
+        )
+        dt_b = min(
+            _run_batched(level, specs, batch_size, 0, use_futures)[0]
+            for _ in range(repeats)
+        )
         ratios.append(dt_u / dt_b)
     return ratios
 
@@ -571,6 +582,120 @@ def sweep_batch_partitions(
                 )
             )
     return results
+
+
+# ----------------------------------------------------------------------
+# engine benchmarks (E23): three commit protocols behind one frontend
+# ----------------------------------------------------------------------
+
+def _run_engine(engine, specs, batch_size, per_request):
+    """One engine run through the common frontend.
+
+    WAL placement follows the E18 methodology: the batched side attaches
+    the WAL to the engine (its inherited ``decide_batch`` writes one
+    group record per flush), the per-request side gives the WAL to the
+    frontend (same one-group-record-per-flush stream) — so each pair
+    isolates the engine's ``_decide_batch`` bulk pass against its
+    sequential ``commit()`` loop.
+
+    Unlike :func:`_run_batched`, begins interleave with submissions
+    window by window (each flush-sized window of requests begins right
+    before it is submitted, so at most one open batch of transactions
+    is active at a time).  The interleave is what keeps the SSI
+    engine's retained-footprint window at O(batch) instead of O(total
+    requests) — the shape any closed-loop deployment has.  Request
+    materialization (``commit_request`` building its frozensets) is
+    identical for every engine and both modes, so it happens *outside*
+    the timed region: the clock covers only the serving stack —
+    submit, decide, WAL.
+    """
+    wal = BookKeeperWAL()
+    if per_request:
+        backend = make_engine(engine)
+        frontend = OracleFrontend(
+            backend, max_batch=batch_size, wal=wal, per_request=True
+        )
+    else:
+        backend = make_engine(engine, wal=wal)
+        frontend = OracleFrontend(backend, max_batch=batch_size)
+    begin = frontend.begin
+    submit = frontend.submit_commit_nowait
+    flush = frontend.flush
+    perf = time.perf_counter
+    gc.collect()
+    dt = 0.0
+    for off in range(0, len(specs), batch_size):
+        requests = [
+            spec.commit_request(begin())
+            for spec in specs[off:off + batch_size]
+        ]
+        t0 = perf()
+        for request in requests:
+            submit(request)
+        flush()
+        dt += perf() - t0
+    return dt, backend, wal
+
+
+def bench_engine(
+    engine: str,
+    specs: Sequence[TransactionSpec],
+    batch_size: int = 32,
+    repeats: int = DEFAULT_REPEATS,
+    per_request: bool = False,
+) -> FrontendBenchResult:
+    """Best-of-``repeats`` throughput of one commit engine — batched
+    (``_decide_batch`` bulk pass) or per-request (sequential
+    ``commit()`` calls inside the flush loop, E18's baseline shape)."""
+    best = None
+    for _ in range(repeats):
+        run = _run_engine(engine, specs, batch_size, per_request)
+        if best is None or run[0] < best[0]:
+            best = run
+    dt, backend, wal = best
+    return FrontendBenchResult(
+        level=backend.level,
+        mode="engine-per-request" if per_request else "engine-batched",
+        batch_size=batch_size,
+        ops_per_sec=len(specs) / dt,
+        commits=backend.stats.commits,
+        aborts=backend.stats.aborts,
+        wal_records=wal.record_count,
+        wal_ledger_entries=wal.flush_count,
+    )
+
+
+def paired_engine_speedups(
+    engine: str,
+    specs: Sequence[TransactionSpec],
+    batch_size: int = 32,
+    pairs: int = 5,
+    repeats: int = 2,
+) -> List[float]:
+    """Back-to-back (per-request, batched) pairs for one engine.
+
+    Benchmark E23's per-engine measurement: both sides run the same
+    frontend over the same pre-drawn specs with identical WAL batching;
+    the ratio isolates what the engine's ``_decide_batch`` buys over
+    its sequential decision loop.  Each side of a pair is the best of
+    ``repeats`` runs (machine noise is one-sided — contention only ever
+    slows a run down — so the minimum is the least-biased estimate of
+    the true cost, the same estimator :func:`bench_engine` uses), and
+    the median of the pair ratios is the reported speedup (the E17–E21
+    protocol).
+    """
+    ratios = []
+    for _ in range(pairs):
+        dt_p = min(
+            _run_engine(engine, specs, batch_size, True)[0]
+            for _ in range(repeats)
+        )
+        dt_b = min(
+            _run_engine(engine, specs, batch_size, False)[0]
+            for _ in range(repeats)
+        )
+        ratios.append(dt_p / dt_b)
+    return ratios
 
 
 # ----------------------------------------------------------------------

@@ -5,11 +5,14 @@ Public surface:
 * :class:`ZooKeeper` / :class:`Session` — znodes, ephemerals,
   sequentials, one-shot watches.
 * :class:`LeaderElection` — the standard recipe (predecessor watching).
-* :class:`OracleReplicaSet` / :class:`OracleHost` — replicated status
-  oracle with election-driven WAL-recovery failover (Appendix A).
+* :class:`OracleReplicaSet` / :class:`OracleHost` — replicated commit
+  engine with election-driven WAL-recovery failover (Appendix A); the
+  ``engine=`` knob replicates any
+  :func:`~repro.core.engine.make_engine` protocol.
+* :class:`CatchUpCadence` — clock-driven warm-standby poll scheduling.
 """
 
-from repro.coord.failover import OracleHost, OracleReplicaSet
+from repro.coord.failover import CatchUpCadence, OracleHost, OracleReplicaSet
 from repro.coord.zookeeper import (
     BadVersionError,
     EventType,
@@ -38,4 +41,5 @@ __all__ = [
     "SessionExpiredError",
     "OracleReplicaSet",
     "OracleHost",
+    "CatchUpCadence",
 ]

@@ -33,10 +33,41 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional
 
+from repro.core.engine import CommitEngine, default_engine_kind, make_engine
 from repro.core.errors import OracleClosed
-from repro.core.status_oracle import CommitRequest, CommitResult, StatusOracle, make_oracle
+from repro.core.status_oracle import CommitRequest, CommitResult
 from repro.coord.zookeeper import LeaderElection, Session, ZooKeeper
 from repro.wal.bookkeeper import BookKeeperWAL, WALTail
+
+
+class CatchUpCadence:
+    """Clock-driven scheduling for warm-standby catch-up polls.
+
+    PR 6 drove standby polls from a commit-count modulus ("every Nth
+    commit"), which couples the poll rate to throughput: an idle
+    deployment never polls (takeover delta grows unbounded in time) and
+    a hot one polls more often than the tail needs.  The cadence is a
+    *time* policy instead: :meth:`due` answers whether ``interval``
+    seconds have elapsed on ``clock`` — wall clock, the simulator's
+    injected clock, or a test's manual counter — since the last poll it
+    approved.  :class:`OracleReplicaSet` (``catch_up_interval=``) and
+    :class:`~repro.server.ha.ReplicatedFrontend` consult it on their
+    commit/flush drive paths.
+    """
+
+    def __init__(self, interval: float, clock: Callable[[], float]) -> None:
+        if interval <= 0:
+            raise ValueError("catch-up interval must be > 0")
+        self.interval = interval
+        self._clock = clock
+        self._last = clock()
+
+    def due(self) -> bool:
+        now = self._clock()
+        if now - self._last >= self.interval:
+            self._last = now
+            return True
+        return False
 
 
 class OracleHost:
@@ -58,19 +89,21 @@ class OracleHost:
         wal: BookKeeperWAL,
         level: str = "wsi",
         warm: bool = False,
+        engine: str = "oracle",
     ) -> None:
         self.host_id = host_id
         self.level = level
+        self.engine = engine
         self.warm = warm
         self._wal = wal
         self.session: Session = zookeeper.connect()
-        self.oracle: Optional[StatusOracle] = None
+        self.oracle: Optional[CommitEngine] = None
         self.recovered_records = 0
         #: Records applied while standing by (warm mode), i.e. *before*
         #: the takeover they made cheap.
         self.standby_records = 0
         self.takeover_seconds = 0.0
-        self._standby: Optional[StatusOracle] = None
+        self._standby: Optional[CommitEngine] = None
         self._tail: Optional[WALTail] = None
         self._standby_max_ts = 0
         if warm:
@@ -82,8 +115,11 @@ class OracleHost:
             on_elected=self._become_active,
         )
 
-    def _make_oracle(self) -> StatusOracle:
-        return make_oracle(self.level, wal=self._wal)
+    def _make_oracle(self) -> CommitEngine:
+        # The engine-factory hook: every layer above speaks the
+        # CommitEngine contract, so the HA tier is protocol-agnostic —
+        # any engine with WAL recovery hooks can be replicated.
+        return make_engine(self.engine, level=self.level, wal=self._wal)
 
     # ------------------------------------------------------------------
     # warm standby
@@ -170,17 +206,37 @@ class OracleReplicaSet:
     """
 
     def __init__(
-        self, num_hosts: int = 3, level: str = "wsi", warm: bool = False
+        self,
+        num_hosts: int = 3,
+        level: str = "wsi",
+        warm: bool = False,
+        engine: Optional[str] = None,
+        catch_up_interval: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if num_hosts < 1:
             raise ValueError("num_hosts must be >= 1")
+        if engine is None:
+            engine = default_engine_kind()
         self.zookeeper = ZooKeeper()
         self.wal = BookKeeperWAL()
         self.hosts: List[OracleHost] = [
-            OracleHost(i, self.zookeeper, self.wal, level=level, warm=warm)
+            OracleHost(
+                i, self.zookeeper, self.wal, level=level, warm=warm,
+                engine=engine,
+            )
             for i in range(num_hosts)
         ]
         self.failovers = 0
+        # Clock-driven standby catch-up: when an interval is given, the
+        # commit path opportunistically flushes the WAL and polls every
+        # standby tail once the interval has elapsed on ``clock``
+        # (wall clock by default; pass the sim's clock in a simulation).
+        self._cadence: Optional[CatchUpCadence] = None
+        if catch_up_interval is not None:
+            self._cadence = CatchUpCadence(
+                catch_up_interval, clock or time.monotonic
+            )
 
     # ------------------------------------------------------------------
     # routing
@@ -195,7 +251,11 @@ class OracleReplicaSet:
         return self.active_host().oracle.begin()
 
     def commit(self, request: CommitRequest) -> CommitResult:
-        return self.active_host().oracle.commit(request)
+        result = self.active_host().oracle.commit(request)
+        if self._cadence is not None and self._cadence.due():
+            self.wal.flush()
+            self.standby_catch_up()
+        return result
 
     def standby_catch_up(self) -> int:
         """Poll every standby's WAL tail once; returns records applied."""

@@ -2,6 +2,8 @@
 
 Public surface:
 
+* :class:`CommitEngine`, :func:`make_engine` — the protocol-agnostic
+  engine contract the serving stack depends on.
 * :class:`IsolationLevel`, :func:`create_system` — one-call assembly.
 * :class:`TransactionManager`, :class:`Transaction` — the client API.
 * :class:`SnapshotIsolationOracle` (Alg. 1),
@@ -26,6 +28,7 @@ from repro.core.analytics import (
     RowRange,
 )
 from repro.core.commit_table import ClientCommitView, CommitTable
+from repro.core.engine import ENGINE_KINDS, CommitEngine, make_engine
 from repro.core.conflicts import (
     TxnFootprint,
     conflicts_under,
@@ -78,6 +81,9 @@ from repro.core.timestamps import TimestampOracle
 from repro.core.transaction import Transaction, TransactionManager, TxnState
 
 __all__ = [
+    "CommitEngine",
+    "make_engine",
+    "ENGINE_KINDS",
     "AnalyticalOracle",
     "AnalyticalCommitRequest",
     "RangeReadSet",

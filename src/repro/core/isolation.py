@@ -9,9 +9,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
-from repro.core.status_oracle import StatusOracle, make_oracle
+from repro.core.status_oracle import make_oracle
 from repro.core.timestamps import TimestampOracle
 from repro.core.transaction import TransactionManager
 from repro.mvcc.store import MVCCStore
@@ -58,13 +58,22 @@ class IsolationLevel(enum.Enum):
 
 @dataclass
 class TransactionalSystem:
-    """A fully wired single-process stack: store, oracle, manager."""
+    """A fully wired single-process stack: store, oracle, manager.
+
+    ``oracle`` is the sequential commit surface the manager speaks —
+    the engine itself in the plain assembly, or a
+    :class:`~repro.server.ha.ReplicatedOracleFacade` when the system is
+    replicated (``frontend`` then holds the underlying
+    :class:`~repro.server.ha.ReplicatedFrontend` for failure injection
+    and standby drive).
+    """
 
     level: IsolationLevel
     store: MVCCStore
-    oracle: StatusOracle
+    oracle: Any
     manager: TransactionManager
     wal: Optional[BookKeeperWAL] = None
+    frontend: Any = None
 
 
 def create_system(
@@ -72,6 +81,8 @@ def create_system(
     bounded: bool = False,
     max_rows: int = 1_000_000,
     durable: bool = False,
+    replicated: int = 0,
+    warm: bool = True,
 ) -> TransactionalSystem:
     """Assemble a transactional system in one call.
 
@@ -80,15 +91,60 @@ def create_system(
         bounded: use the Appendix-A bounded-memory oracle (Algorithm 3).
         max_rows: lastCommit capacity when ``bounded``.
         durable: attach a BookKeeper-style WAL to the oracle.
+        replicated: when > 0, serve commits through a
+            :class:`~repro.server.ha.ReplicatedFrontend` with that many
+            candidate hosts — leader election, shared replicated WAL,
+            crash-and-takeover via ``system.frontend.kill_active()``.
+            Transactions keep the exact same API; every decision the
+            manager sees is already durable on the ledger quorum.
+        warm: with ``replicated``, run standbys as WAL-tailing warm
+            replicas (O(delta) takeover) rather than cold full-replay.
 
     Example::
 
         system = create_system("wsi")
         with system.manager.begin() as txn:
             txn.write("row1", "hello")
+
+        ha = create_system("wsi", replicated=3)
+        with ha.manager.begin() as txn:
+            txn.write("row1", "hello")
+        ha.frontend.kill_active()   # transparent failover
     """
     if isinstance(level, str):
         level = IsolationLevel.parse(level)
+    if replicated:
+        if bounded:
+            raise ValueError(
+                "bounded oracles are not supported behind the "
+                "replicated tier yet"
+            )
+        # Imported lazily: core must not depend on the serving stack at
+        # import time (the serving stack depends on core).
+        from repro.server.ha import ReplicatedFrontend, ReplicatedOracleFacade
+
+        # engine= pinned: this facade's contract is the isolation
+        # *level*, so it must not drift with the REPRO_ENGINE axis.
+        frontend = ReplicatedFrontend(
+            num_hosts=replicated, level=level.value, warm=warm,
+            engine="oracle",
+        )
+        facade = ReplicatedOracleFacade(frontend)
+        store = MVCCStore()
+        # Readers query the leader's commit table per lookup (§2.2's
+        # in-oracle mapping) — a client-replica view would subscribe to
+        # one host's broadcast stream and go stale at failover.
+        manager = TransactionManager(
+            facade, store, commit_source=facade.commit_status
+        )
+        return TransactionalSystem(
+            level=level,
+            store=store,
+            oracle=facade,
+            manager=manager,
+            wal=frontend.wal,
+            frontend=frontend,
+        )
     wal = BookKeeperWAL() if durable else None
     oracle = make_oracle(
         level.value,

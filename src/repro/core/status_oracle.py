@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
 from repro.core.commit_table import CommitTable
+from repro.core.engine import CommitEngine
 from repro.core.errors import OracleClosed, RecoveryError
 from repro.core.timestamps import TimestampOracle
 from repro.wal.bookkeeper import GROUP_COMMIT_RECORD, BookKeeperWAL
@@ -108,12 +109,19 @@ class OracleStats:
         return self.aborts / total if total else 0.0
 
 
-class StatusOracle:
+class StatusOracle(CommitEngine):
     """Base class: timestamp allocation, lastCommit state, WAL, stats.
 
     Subclasses choose which rows are *checked* against ``lastCommit`` and
     which rows *update* it — that single decision is the entire difference
     between snapshot isolation and write-snapshot isolation.
+
+    The oracle is the reference implementation of the
+    :class:`~repro.core.engine.CommitEngine` contract: the
+    ``decide_batch`` / ``recover_from`` templates are inherited, and
+    this class supplies the protocol-specific pieces (sequential
+    commit/abort, the ``_decide_batch`` bulk loop, WAL record
+    application, timestamp re-seeding).
     """
 
     #: isolation level tag ("si" or "wsi"); set by subclasses.
@@ -243,50 +251,11 @@ class StatusOracle:
         self._log("abort", (start_ts,))
 
     # ------------------------------------------------------------------
-    # the batch-decide fast path (one critical section per batch)
+    # the batch-decide fast path (one critical section per batch).
+    # ``decide_batch`` itself — the public template that wraps this
+    # engine hook with group-record WAL persistence and error re-raise —
+    # is inherited from :class:`~repro.core.engine.CommitEngine`.
     # ------------------------------------------------------------------
-    def decide_batch(self, requests: Iterable[Any]) -> List[CommitResult]:
-        """Decide a whole group-commit batch in one pass.
-
-        ``requests`` is a sequence of :class:`CommitRequest` objects,
-        optionally interleaved with bare start timestamps (``int``) that
-        denote client-initiated aborts.  Returns one
-        :class:`CommitResult` per item, in order; a client abort yields
-        ``CommitResult(False, start_ts, reason=CLIENT_ABORT)``.
-
-        Semantics are identical to feeding the items one at a time
-        through :meth:`commit` / :meth:`abort` — same decisions, commit
-        timestamps, ``lastCommit``, commit table and stats (the property
-        suite in ``tests/server`` pins this for every oracle kind) — but
-        the per-request interpreter overhead is amortized: one decision
-        loop with locally-bound state, bulk installs, batched stats
-        accounting, and a **single** group-commit WAL record instead of
-        one record per decision (replayed by :meth:`recover_from`).
-
-        Protocol misuse (e.g. committing an already-aborted transaction)
-        is isolated to the offending request: the rest of the batch is
-        still decided and persisted, then the first such error re-raises.
-        """
-        if self._closed:
-            raise OracleClosed("status oracle is closed")
-        payload_commits: List[Tuple[int, int, Any]] = []
-        payload_aborts: List[int] = []
-        errors: List[Tuple[int, BaseException]] = []
-        results: List[Optional[CommitResult]] = []
-        try:
-            self._decide_batch(
-                list(requests), payload_commits, payload_aborts, errors, results
-            )
-        finally:
-            # Mirror the sequential path: decisions made before an error
-            # were already appended per-record there, so they must be
-            # durable here too.
-            if self._wal is not None and (payload_commits or payload_aborts):
-                self._wal.append_decisions(payload_commits, payload_aborts)
-        if errors:
-            raise errors[0][1]
-        return results
-
     def _decide_batch(self, batch, payload_commits, payload_aborts, errors,
                       results=None):
         """The batch decision engine behind :meth:`decide_batch` and
@@ -732,26 +701,6 @@ class StatusOracle:
             self.commit_table.record_abort(start_ts)
         return start_ts
 
-    def recover_from(self, wal: BookKeeperWAL) -> int:
-        """Rebuild lastCommit and the commit table by WAL replay.
-
-        "if the status oracle server fails ... another fresh instance of
-        the status oracle could still recreate the memory state from the
-        write-ahead log and continue servicing the commit requests"
-        (Appendix A).
-
-        Returns the number of records replayed — counted during this one
-        pass, because the pass *is* the failover cost the caller wants to
-        report (a second counting replay would double recovery time).
-        """
-        max_ts = 0
-        replayed = 0
-        for record in wal.replay():
-            max_ts = max(max_ts, self.apply_wal_record(record))
-            replayed += 1
-        self.seal_recovery(max_ts)
-        return replayed
-
     def seal_recovery(self, max_recovered_ts: int) -> None:
         """Re-seed the timestamp oracle after applying durable records.
 
@@ -782,11 +731,6 @@ class StatusOracle:
             reservation_batch=self._tso.reservation_batch,
             wal_append=wal_append,
         )
-
-    def close(self) -> None:
-        if self._wal is not None:
-            self._wal.flush()
-        self._closed = True
 
     # ------------------------------------------------------------------
     # introspection

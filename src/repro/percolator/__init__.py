@@ -6,8 +6,12 @@ Public surface:
   — client-run 2PC over lock and write columns.
 * :class:`PercolatorStore` — data + lock + write columns.
 * :class:`LockPolicy` — wait / abort-self / force-abort-holder.
+* :class:`PercolatorEngine` — the batch-capable
+  :class:`~repro.core.engine.CommitEngine` adapter that puts this
+  protocol behind the group-commit/HA serving stack.
 """
 
+from repro.percolator.engine import PercolatorEngine
 from repro.percolator.percolator import (
     Lock,
     LockPolicy,
@@ -18,6 +22,7 @@ from repro.percolator.percolator import (
 )
 
 __all__ = [
+    "PercolatorEngine",
     "PercolatorTransactionManager",
     "PercolatorTransaction",
     "PercolatorStore",

@@ -52,6 +52,47 @@ Design rules
    default 32-request batch fills exactly one 1 KB ledger entry, mapping
    one frontend flush onto one BookKeeper write.
 
+The CommitEngine contract: what a backend must provide
+======================================================
+
+The frontend is written against
+:class:`~repro.core.engine.CommitEngine`, not against any particular
+protocol.  A backend earns a seat behind the serving stack (and the HA
+tier, and the simulator, and the benchmarks) by honouring five clauses:
+
+* **Timestamps** — ``begin()`` returns strictly increasing start
+  timestamps from the engine's ``timestamp_oracle``; an optional
+  ``lease(n)`` reserves a contiguous block for the frontend's
+  begin-lease amortization (expose ``lease = None`` to opt out, as the
+  SSI engine does — its prune horizon needs to see every active
+  transaction).
+* **Decisions** — ``commit(request) -> CommitResult`` and
+  ``abort(start_ts)`` decide one request; ``_decide_batch(batch,
+  payload_commits, payload_aborts, errors, results=None)`` decides a
+  whole flush *with outcomes identical to the sequential calls in batch
+  order* — the load-bearing clause, pinned per engine by the hypothesis
+  equivalence suite.  The inherited ``decide_batch`` template owns the
+  WAL group record and error re-raise around it.
+* **Durability** — ``apply_wal_record(record)`` and
+  ``seal_recovery(max_ts)`` let ``recover_from(wal)`` (inherited)
+  rebuild the engine from the shared log; the timestamp floor re-seeds
+  above everything durable so no timestamp is ever reused.
+* **Observability** — ``stats`` (an ``OracleStats``), ``commit_table``,
+  and ``level`` tell sessions, checkers, and benches what happened.
+* **Routing hints** — ``naive_read_only`` declares whether read-only
+  requests with read sets are free (the frontend fast-path) or must
+  reach the engine (SSI's rw-antidependency tracking).
+
+Three engines ship against the contract:
+:class:`~repro.core.status_oracle.StatusOracle` (the paper's lock-free
+SI/WSI oracle, the reference implementation),
+:class:`~repro.percolator.PercolatorEngine` (lock-column 2PC with
+batched prewrite/finalize and crash-orphan lock cleanup), and
+:class:`~repro.ssi.SSIEngine` (Cahill SSI with a bulk per-batch
+rw-antidependency pass).  :func:`~repro.core.engine.make_engine`
+(``REPRO_ENGINE``) selects one by name; benchmark E23 races all three
+through this very frontend.
+
 The hot path: where a commit decision's time goes
 =================================================
 
@@ -230,7 +271,12 @@ from repro.server.frontend import (
     FrontendStats,
     OracleFrontend,
 )
-from repro.server.ha import FrontendHost, HAFuture, ReplicatedFrontend
+from repro.server.ha import (
+    FrontendHost,
+    HAFuture,
+    ReplicatedFrontend,
+    ReplicatedOracleFacade,
+)
 from repro.server.retry import RetryPolicy, call_with_retry
 from repro.server.session import ClientSession
 
@@ -241,6 +287,7 @@ __all__ = [
     "FlushedBatch",
     "FrontendStats",
     "ReplicatedFrontend",
+    "ReplicatedOracleFacade",
     "FrontendHost",
     "HAFuture",
     "RetryPolicy",

@@ -36,12 +36,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.core.engine import CommitEngine
 from repro.core.errors import DecisionPending, OracleClosed, Overloaded
 from repro.core.status_oracle import (
     CLIENT_ABORT,
     CommitRequest,
     CommitResult,
-    StatusOracle,
 )
 from repro.wal.bookkeeper import BookKeeperWAL
 
@@ -280,13 +280,18 @@ class FrontendStats:
 
 
 class OracleFrontend:
-    """Batches begin/commit/abort traffic in front of a status oracle.
+    """Batches begin/commit/abort traffic in front of a commit engine.
 
     Args:
-        backend: the oracle that owns the conflict-detection state — a
-            plain SI/WSI :class:`StatusOracle`, a
-            :class:`~repro.core.status_oracle.BoundedStatusOracle`, or a
-            :class:`~repro.core.partitioned.PartitionedOracle`.
+        backend: the engine that owns the conflict-detection state — any
+            :class:`~repro.core.engine.CommitEngine`: a plain SI/WSI
+            :class:`~repro.core.status_oracle.StatusOracle`, a
+            :class:`~repro.core.status_oracle.BoundedStatusOracle`, a
+            :class:`~repro.core.partitioned.PartitionedOracle`, a
+            :class:`~repro.percolator.engine.PercolatorEngine`, or an
+            :class:`~repro.ssi.engine.SSIEngine`.  The frontend touches
+            only the engine contract (see :mod:`repro.core.engine`), so
+            foreign backends that duck-type it also work.
         max_batch: flush as soon as this many decisions are pending.
         flush_interval: flush a non-empty batch this many (injected-time)
             seconds after it opened — drive via ``clock``+``tick()`` or
@@ -333,11 +338,12 @@ class OracleFrontend:
             that owns a WAL appends per-record inside ``commit()``, so the
             frontend then skips its group record to avoid double logging.
 
-    Backends that implement the batch-decide engine
-    (:meth:`~repro.core.status_oracle.StatusOracle.decide_batch` — plain
-    SI/WSI, bounded, partitioned) decide the whole batch in one bulk pass
-    with locally-bound state and batched stats accounting; that is where
-    the group-commit speed-ups (benchmarks E17/E18) come from.
+    Backends that implement the batch-decide engine hook
+    (:meth:`~repro.core.engine.CommitEngine._decide_batch` — plain
+    SI/WSI, bounded, partitioned, Percolator, SSI) decide the whole
+    batch in one bulk pass with locally-bound state and batched stats
+    accounting; that is where the group-commit speed-ups (benchmarks
+    E17/E18, and E23's per-engine shootout) come from.
     """
 
     def __init__(
@@ -397,24 +403,28 @@ class OracleFrontend:
                 frontend_wal.flush()
 
             tso.attach_wal(_log_reservation)
-        # The backend's batch-decide engine (StatusOracle subclasses and
-        # PartitionedOracle); foreign backends fall back to per-request.
+        # The backend's batch-decide engine hook (every CommitEngine
+        # supplies one); foreign backends fall back to per-request.
         self._engine = (
             None if per_request else getattr(backend, "_decide_batch", None)
         )
         self._per_request = self._engine is None
-        # In per-request mode a StatusOracle backend that owns a WAL
+        # In per-request mode a CommitEngine backend that owns a WAL
         # already appends one record per decision inside commit(); the
         # frontend must not also write a group record for the same batch.
         self._backend_logs_wal = (
             self._per_request
-            and isinstance(backend, StatusOracle)
+            and isinstance(backend, CommitEngine)
             and getattr(backend, "_wal", None) is not None
         )
         # §4.1 condition 3: an empty write set commits immediately at
         # submit time — unless the backend runs the E16 naive ablation,
         # in which case only fully-empty footprints take the fast path.
         self._ro_exempt = not getattr(backend, "naive_read_only", False)
+        # Backends that track active transactions (SSI's prune horizon)
+        # must learn when a fast-path request ends, or the bypassed
+        # start pins their active set forever.
+        self._release_start = getattr(backend, "release_start", None)
         # Batch items: a raw CommitRequest (nowait commit), a raw int
         # (nowait client abort), or a (CommitRequest | int, CommitFuture)
         # pair for future-style submissions.
@@ -535,6 +545,8 @@ class OracleFrontend:
             backend_stats.commits += 1
             backend_stats.read_only_commits += 1
             self.stats.read_only_fast_path += 1
+            if self._release_start is not None:
+                self._release_start(request.start_ts)
             future._committed = True
             future._done = True
             return future
@@ -569,6 +581,8 @@ class OracleFrontend:
             backend_stats.commits += 1
             backend_stats.read_only_commits += 1
             self.stats.read_only_fast_path += 1
+            if self._release_start is not None:
+                self._release_start(request.start_ts)
             return
         if self._max_queue_depth is not None:
             self._admit()

@@ -44,8 +44,9 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.errors import OracleClosed, Overloaded
-from repro.core.status_oracle import CommitRequest
-from repro.coord.failover import OracleHost
+from repro.core.status_oracle import CommitRequest, CommitResult
+from repro.coord.failover import CatchUpCadence, OracleHost
+from repro.core.engine import default_engine_kind
 from repro.coord.zookeeper import ZooKeeper
 from repro.server.frontend import CommitFuture, FlushedBatch, OracleFrontend
 from repro.server.retry import RetryPolicy
@@ -130,6 +131,7 @@ class FrontendHost(OracleHost):
         wal: BookKeeperWAL,
         level: str = "wsi",
         warm: bool = True,
+        engine: str = "oracle",
         frontend_config: Optional[Dict[str, Any]] = None,
         on_promoted: Optional[Callable[["FrontendHost"], None]] = None,
     ) -> None:
@@ -138,7 +140,9 @@ class FrontendHost(OracleHost):
         self.frontend: Optional[OracleFrontend] = None
         self._frontend_config = dict(frontend_config or {})
         self._on_promoted = on_promoted
-        super().__init__(host_id, zookeeper, wal, level=level, warm=warm)
+        super().__init__(
+            host_id, zookeeper, wal, level=level, warm=warm, engine=engine
+        )
 
     def _on_active(self) -> None:
         self.frontend = OracleFrontend(
@@ -176,10 +180,24 @@ class ReplicatedFrontend:
     Args:
         num_hosts: candidate frontends (the leader serves; the rest
             stand by).
-        level: conflict-detection level for the oracles ("si"/"wsi").
+        level: conflict-detection level for the oracle engine
+            ("si"/"wsi"; ignored by the non-oracle engines).
+        engine: which commit protocol each host runs —
+            :func:`~repro.core.engine.make_engine` kind ("oracle",
+            "percolator", "ssi"; ``None`` resolves through
+            ``REPRO_ENGINE`` — the ``make check`` axis).  The whole
+            tier is protocol-agnostic: hosts recover through the
+            engine's own WAL hooks.
         warm: run standbys with WAL tails (True, the point of the
             tier); False forces cold full-replay takeovers — the E22
             baseline.
+        catch_up_interval: when set, drive warm-standby catch-up from
+            ``clock`` — once the interval elapses, the next submit or
+            :meth:`flush` syncs the WAL and polls every standby tail
+            (the PR-6 commit-count modulus, replaced by a time policy;
+            see :class:`~repro.coord.failover.CatchUpCadence`).
+        clock: time source for the cadence (wall clock by default;
+            pass the simulator's clock in a simulation).
         retry_policy: pacing/bounds for post-failover resubmission; a
             request still not durable after ``max_attempts`` submissions
             fails its future with the last crash error.
@@ -194,17 +212,29 @@ class ReplicatedFrontend:
         num_hosts: int = 3,
         level: str = "wsi",
         warm: bool = True,
+        engine: Optional[str] = None,
         retry_policy: Optional[RetryPolicy] = None,
         sleep: Optional[Callable[[float], None]] = None,
         max_batch: Optional[int] = None,
         flush_interval: Optional[float] = None,
         begin_lease: Optional[int] = None,
         max_queue_depth: Optional[int] = None,
+        catch_up_interval: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if num_hosts < 1:
             raise ValueError("num_hosts must be >= 1")
+        if engine is None:
+            engine = default_engine_kind()
         self.zookeeper = ZooKeeper()
         self.wal = BookKeeperWAL()
+        self._cadence: Optional[CatchUpCadence] = None
+        if catch_up_interval is not None:
+            import time as _time
+
+            self._cadence = CatchUpCadence(
+                catch_up_interval, clock or _time.monotonic
+            )
         self._retry_policy = retry_policy or RetryPolicy()
         self._sleep = sleep
         self._inflight: Dict[int, _InFlight] = {}
@@ -236,6 +266,7 @@ class ReplicatedFrontend:
                 self.wal,
                 level=level,
                 warm=warm,
+                engine=engine,
                 frontend_config=frontend_config,
                 on_promoted=self._on_promoted,
             )
@@ -340,6 +371,13 @@ class ReplicatedFrontend:
         if entry.durable:
             # The WAL sync raced the submit (already deregistered).
             entry.future._settle_from(inner)
+        self._maybe_catch_up()
+
+    def _maybe_catch_up(self) -> None:
+        """Clock-driven warm-standby catch-up (see ``catch_up_interval``)."""
+        if self._cadence is not None and self._cadence.due():
+            self.wal.flush()
+            self.standby_catch_up()
 
     def session(self, name: Optional[str] = None, begin_lease: int = 1,
                 retry_policy: Optional[RetryPolicy] = None,
@@ -370,6 +408,7 @@ class ReplicatedFrontend:
         if host.frontend is not None:
             host.frontend.flush()
         self.wal.flush()
+        self._maybe_catch_up()
 
     def close(self) -> None:
         """Flush everything out and stop accepting requests."""
@@ -481,3 +520,113 @@ class ReplicatedFrontend:
                 # silently dropping the request from the retry set.
                 entry.future._settle_error(exc)
                 self.failed_after_retries += 1
+
+
+class _ActiveCommitStatus:
+    """Commit-status source that queries the *current* leader per lookup.
+
+    §2.2 lists three homes for the start->commit mapping; this is the
+    "stored in the status oracle" one — readers pay a (simulated) round
+    trip per visibility check but are never stale.  It is the right
+    source for a replicated deployment: a client-side replica
+    (:class:`~repro.core.commit_table.ClientCommitView`) subscribes to
+    one oracle's broadcast stream and goes silent at failover, making
+    every post-takeover commit invisible; this source re-routes to the
+    new leader's recovered table automatically.
+    """
+
+    def __init__(self, replicated: "ReplicatedFrontend") -> None:
+        self._replicated = replicated
+
+    def _table(self):
+        return self._replicated.active_host().oracle.commit_table
+
+    # CommitStatusSource protocol -------------------------------------
+    def commit_timestamp(self, start_ts: int) -> Optional[int]:
+        return self._table().commit_timestamp(start_ts)
+
+    def is_aborted(self, start_ts: int) -> bool:
+        return self._table().is_aborted(start_ts)
+
+    def is_committed(self, start_ts: int) -> bool:
+        return self._table().is_committed(start_ts)
+
+
+class ReplicatedOracleFacade:
+    """A synchronous oracle-shaped view over a :class:`ReplicatedFrontend`.
+
+    :class:`~repro.core.transaction.TransactionManager` (and anything
+    else written against the sequential
+    :class:`~repro.core.engine.CommitEngine` call surface) expects
+    ``begin()`` / ``commit(request) -> CommitResult`` / ``abort(start)``
+    to return decisions inline.  The replicated tier instead hands out
+    futures that settle at WAL durability.  The facade bridges the two:
+    each ``commit``/``abort`` submits, drives :meth:`ReplicatedFrontend.
+    flush` until the future settles, and unwraps the result — so every
+    decision it returns is already durable on the ledger quorum.
+
+    The price is batching: a single synchronous caller serializes on its
+    own requests, so batches only form across *concurrent* facade users
+    (e.g. several :class:`~repro.core.transaction.Transaction` objects
+    committed by interleaved application threads in the real system).
+    The facade is the convenience path ``create_system(replicated=N)``
+    exposes; latency-sensitive clients should speak futures directly.
+    """
+
+    def __init__(self, replicated: "ReplicatedFrontend") -> None:
+        self._replicated = replicated
+        #: Failover-proof commit-status source for snapshot readers —
+        #: pass as ``TransactionManager(..., commit_source=...)``.
+        self.commit_status = _ActiveCommitStatus(replicated)
+
+    # -- passthroughs the transaction layer reads --------------------
+    @property
+    def replicated(self) -> "ReplicatedFrontend":
+        return self._replicated
+
+    def _active_oracle(self):
+        return self._replicated.active_host().oracle
+
+    @property
+    def level(self) -> str:
+        return self._active_oracle().level
+
+    @property
+    def naive_read_only(self) -> bool:
+        return getattr(self._active_oracle(), "naive_read_only", False)
+
+    @property
+    def stats(self):
+        return self._active_oracle().stats
+
+    @property
+    def commit_table(self):
+        return self._active_oracle().commit_table
+
+    @property
+    def timestamp_oracle(self):
+        return self._active_oracle().timestamp_oracle
+
+    @property
+    def closed(self) -> bool:
+        return self._replicated.closed
+
+    # -- the sequential call surface ---------------------------------
+    def begin(self) -> int:
+        return self._replicated.begin()
+
+    def commit(self, request: CommitRequest) -> CommitResult:
+        future = self._replicated.submit_commit(request)
+        if not future.done:
+            self._replicated.flush()
+        return future.result()
+
+    def abort(self, start_ts: int) -> None:
+        future = self._replicated.submit_abort(start_ts)
+        if not future.done:
+            self._replicated.flush()
+        if future.error is not None:
+            raise future.error
+
+    def close(self) -> None:
+        self._replicated.close()

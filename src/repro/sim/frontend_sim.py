@@ -38,10 +38,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.core.engine import ENGINE_KINDS, default_engine_kind, make_engine
 from repro.core.errors import OracleClosed, Overloaded
 from repro.core.partitioned import PartitionedOracle
 from repro.core.sharding import ShardingPolicy
-from repro.core.status_oracle import make_oracle
 from repro.server.frontend import FlushedBatch, FrontendStats, OracleFrontend
 from repro.server.retry import RetryPolicy
 from repro.sim.engine import Engine, Resource
@@ -94,6 +94,15 @@ class GroupCommitSim:
     """Closed-loop clients submitting through an OracleFrontend.
 
     Args:
+        engine: which :class:`~repro.core.engine.CommitEngine` decides
+            commits — ``"oracle"`` (the paper's SI/WSI status oracle,
+            the default), ``"percolator"``, or ``"ssi"``.  The sim
+            drives whichever engine through the same frontend; batch
+            service time is priced by what the engine's critical
+            section loads per row (Percolator checks write sets only —
+            SI pricing; SSI loads read and write sets — WSI pricing).
+            Non-oracle engines are monolithic: combine with
+            ``num_partitions`` and the constructor raises.
         batch_size: the frontend's count trigger (``max_batch``).
         flush_interval: the frontend's time trigger, fired by the engine.
         num_clients / outstanding_per_client: closed-loop population, as
@@ -149,6 +158,7 @@ class GroupCommitSim:
     def __init__(
         self,
         level: str = "wsi",
+        engine: Optional[str] = None,
         batch_size: int = 32,
         num_clients: int = 4,
         outstanding_per_client: int = 25,
@@ -173,7 +183,25 @@ class GroupCommitSim:
             raise ValueError("executor must be 'serial' or 'parallel'")
         if offered_tps is not None and offered_tps <= 0:
             raise ValueError("offered_tps must be > 0 (or None)")
+        if engine is None:
+            engine = default_engine_kind()
+        if engine not in ENGINE_KINDS:
+            raise ValueError(
+                f"engine must be one of {ENGINE_KINDS}, got {engine!r}"
+            )
+        if engine != "oracle" and num_partitions:
+            raise ValueError(
+                "the partitioned backend is oracle-only; "
+                "non-oracle engines are monolithic"
+            )
         self.level = level
+        self.engine_kind = engine
+        # What the engine's critical section loads per row: Percolator's
+        # ww check reads write sets only (SI-shaped cost); SSI loads
+        # read and write footprints (WSI-shaped cost).
+        self._pricing_level = {"percolator": "si", "ssi": "wsi"}.get(
+            engine, level
+        )
         self.batch_size = batch_size
         self.num_clients = num_clients
         self.outstanding = outstanding_per_client
@@ -200,7 +228,8 @@ class GroupCommitSim:
                 executor="serial",
             )
         else:
-            self.oracle = make_oracle(level)
+            self.oracle = make_engine(engine, level=level)
+            self.level = self.oracle.level
         self._flush_interval = flush_interval
         self._per_request = per_request
         self._begin_lease = begin_lease
@@ -250,7 +279,10 @@ class GroupCommitSim:
     def _batch_timing(self, batch: FlushedBatch, owner: OracleFrontend):
         lat = self.latency
         service = lat.oracle_service_batch(
-            self.level, batch.size, batch.rows_checked, batch.rows_updated
+            self._pricing_level,
+            batch.size,
+            batch.rows_checked,
+            batch.rows_updated,
         )
         rounds = batch.protocol_rounds
         if rounds is not None:

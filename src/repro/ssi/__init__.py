@@ -4,8 +4,12 @@ Public surface:
 
 * :class:`SerializableSIOracle` — SI's write-write check plus
   commit-time dangerous-structure (pivot) detection.
+* :class:`SSIEngine` — the frontend-ready
+  :class:`~repro.core.engine.CommitEngine` adapter (readers routed to
+  the engine, begin leases disabled).
 """
 
 from repro.ssi.cahill import SerializableSIOracle
+from repro.ssi.engine import SSIEngine
 
-__all__ = ["SerializableSIOracle"]
+__all__ = ["SerializableSIOracle", "SSIEngine"]

@@ -1,0 +1,54 @@
+"""Cahill SSI as a frontend-ready :class:`~repro.core.engine.CommitEngine`.
+
+:class:`~repro.ssi.cahill.SerializableSIOracle` already implements the
+whole :class:`~repro.core.engine.CommitEngine` surface (it is a
+:class:`~repro.core.status_oracle.StatusOracle` subclass, and it
+supplies its own bulk ``_decide_batch`` with the per-flush
+rw-antidependency index).  What it cannot control from inside the class
+are two *routing* decisions the serving stack makes from class
+attributes — and both defaults are wrong for SSI behind a batched
+frontend:
+
+* **Read-only transactions with read sets must reach the engine.**
+  The frontend's read-only fast path settles an empty-write-set request
+  without consulting the backend.  Under SI/WSI that is exactly §4.1
+  condition 3; under SSI a reader is an rw-edge *source* — its read set
+  creates ``T → C`` edges that can complete a dangerous structure, it
+  can itself be aborted (``ssi-pivot-neighbour``), and committing it
+  consumes a commit timestamp and retains a footprint.  Setting
+  ``naive_read_only = True`` tells the frontend to exempt only
+  *empty-footprint* requests (Cahill's safe read-only optimization) and
+  route every reader with a read set through ``decide_batch``.
+* **Begins must be observed, so the begin-lease fast path is off.**
+  The prune horizon is the oldest *active* start timestamp; a frontend
+  serving begins out of a leased block would create transactions the
+  oracle never saw, letting it prune footprints those transactions are
+  still concurrent with.  Masking ``lease`` with ``None`` degrades the
+  frontend to per-call :meth:`begin`, which registers every start.
+
+``make_engine("ssi")`` builds this class, so the whole serving stack —
+:class:`~repro.server.frontend.OracleFrontend`,
+:class:`~repro.server.ha.ReplicatedFrontend`,
+:class:`~repro.sim.frontend_sim.GroupCommitSim`, the bench harness —
+runs Cahill SSI unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.ssi.cahill import SerializableSIOracle
+
+
+class SSIEngine(SerializableSIOracle):
+    """SerializableSIOracle with frontend routing set for correctness."""
+
+    #: Begin leases would hide begins from the prune horizon; mask the
+    #: inherited ``lease`` so the frontend degrades to per-call begins.
+    lease = None
+
+    def __init__(self, *args, **kwargs) -> None:
+        # Readers with read sets are rw-edge sources: the frontend must
+        # not fast-path them past the engine.  (Inside the oracle the
+        # flag changes nothing — SSI's own commit path never consults
+        # it — it only drives the frontend's routing decision.)
+        kwargs.setdefault("naive_read_only", True)
+        super().__init__(*args, **kwargs)

@@ -4,6 +4,8 @@ Public surface:
 
 * :class:`WorkloadGenerator`, :func:`complex_workload`,
   :func:`mixed_workload` — transaction-spec streams.
+* :class:`TPCCWorkload` / :func:`tpcc` — TPC-C-shaped structured
+  multi-row transactions (hot headers + cold detail rows).
 * :class:`TransactionSpec` / :class:`OperationSpec` — pure descriptions.
 * key distributions: :class:`UniformDistribution`,
   :class:`ZipfianDistribution` (+ scrambled), :class:`LatestDistribution`,
@@ -30,9 +32,12 @@ from repro.workload.generator import (
     complex_workload,
     mixed_workload,
 )
+from repro.workload.tpcc import TPCCWorkload, tpcc
 
 __all__ = [
     "WorkloadGenerator",
+    "TPCCWorkload",
+    "tpcc",
     "YCSBWorkload",
     "YCSBMix",
     "CORE_WORKLOADS",

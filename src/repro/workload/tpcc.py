@@ -1,0 +1,267 @@
+"""A TPC-C-like workload: structured multi-row transactions.
+
+The YCSB-style generators (:mod:`repro.workload.generator`) draw
+footprints uniformly (or Zipfian) over a flat keyspace — the paper's
+§6.1 setup.  Real OLTP footprints are *structured*: a handful of hot
+header rows (warehouse, district) co-accessed with many cold detail
+rows (stock, order lines), which stresses a conflict detector very
+differently — every NewOrder in a district races on one district row
+while its stock rows almost never collide.
+
+This module models the five TPC-C transaction profiles as
+:class:`~repro.workload.generator.TransactionSpec` streams, so every
+harness that consumes specs (the frontend microbench, the sim, the
+history checkers) can run them unchanged.  It is a *workload shape*,
+not a TPC-C implementation: no think times, no terminals, no
+consistency audits — just the footprint structure and the standard mix
+(45 % NewOrder, 43 % Payment, 4 % each OrderStatus / Delivery /
+StockLevel).
+
+Rows are integers (as everywhere else in the reproduction), carved
+into disjoint per-table ranges so a spec's footprint never aliases
+across tables.  Benchmark E23 runs this next to YCSB to show how the
+three commit engines price structured contention.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.workload.generator import OperationSpec, TransactionSpec
+
+#: The standard TPC-C mix (fractions of the five profiles).
+DEFAULT_MIX: Dict[str, float] = {
+    "new_order": 0.45,
+    "payment": 0.43,
+    "order_status": 0.04,
+    "delivery": 0.04,
+    "stock_level": 0.04,
+}
+
+# Disjoint table bases: each table's rows live in its own range.
+_WAREHOUSE_BASE = 0
+_DISTRICT_BASE = 10_000
+_CUSTOMER_BASE = 1_000_000
+_STOCK_BASE = 100_000_000
+_ORDER_BASE = 200_000_000
+_ORDER_LINE_BASE = 1_000_000_000
+_NEW_ORDER_BASE = 2_000_000_000
+_ITEM_BASE = 3_000_000_000
+
+
+class TPCCWorkload:
+    """TPC-C-shaped :class:`TransactionSpec` stream.
+
+    Mirrors the :class:`~repro.workload.generator.WorkloadGenerator`
+    surface (``next_transaction`` / ``stream`` / ``batch``), so it
+    drops into any spec-consuming harness.
+
+    Args:
+        warehouses: scale factor; contention concentrates on one
+            warehouse + district row per (w, d) pair, so fewer
+            warehouses means hotter headers.
+        districts: districts per warehouse (TPC-C: 10).
+        customers: customers per district (TPC-C: 3000; smaller here
+            by default to keep microbench working sets cache-friendly).
+        items: item-table cardinality (TPC-C: 100k).
+        mix: profile -> fraction overrides (normalized; defaults to
+            the standard mix).
+        seed: RNG seed; the stream is deterministic given it.
+    """
+
+    def __init__(
+        self,
+        warehouses: int = 4,
+        districts: int = 10,
+        customers: int = 300,
+        items: int = 10_000,
+        mix: Optional[Dict[str, float]] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if warehouses < 1 or districts < 1 or customers < 1 or items < 1:
+            raise ValueError("all TPC-C cardinalities must be >= 1")
+        self.warehouses = warehouses
+        self.districts = districts
+        self.customers = customers
+        self.items = items
+        self._rng = random.Random(seed)
+        chosen = dict(DEFAULT_MIX)
+        if mix:
+            unknown = set(mix) - set(DEFAULT_MIX)
+            if unknown:
+                raise ValueError(f"unknown TPC-C profiles: {sorted(unknown)}")
+            chosen.update(mix)
+        total = sum(chosen.values())
+        if total <= 0:
+            raise ValueError("mix fractions must sum to > 0")
+        self._profiles = list(chosen)
+        self._weights = [chosen[name] / total for name in self._profiles]
+        # Per-(warehouse, district) order counter: order/order-line/new-
+        # order rows are *inserts*, unique per order, so they never
+        # conflict — exactly TPC-C's insert-heavy tail.
+        self._next_order: Dict[int, int] = {}
+        #: Orders placed but not yet delivered, per (w, d) — Delivery
+        #: pops the oldest (TPC-C's deferred-execution queue).
+        self._undelivered: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # row addressing
+    # ------------------------------------------------------------------
+    def _w_row(self, w: int) -> int:
+        return _WAREHOUSE_BASE + w
+
+    def _d_row(self, w: int, d: int) -> int:
+        return _DISTRICT_BASE + w * self.districts + d
+
+    def _c_row(self, w: int, d: int, c: int) -> int:
+        return (
+            _CUSTOMER_BASE
+            + (w * self.districts + d) * self.customers
+            + c
+        )
+
+    def _stock_row(self, w: int, i: int) -> int:
+        return _STOCK_BASE + w * self.items + i
+
+    def _item_row(self, i: int) -> int:
+        return _ITEM_BASE + i
+
+    def _order_rows(self, w: int, d: int, o: int):
+        slot = (w * self.districts + d) * 10_000_000 + o
+        return _ORDER_BASE + slot, _NEW_ORDER_BASE + slot
+
+    def _order_line_row(self, w: int, d: int, o: int, line: int) -> int:
+        return (
+            _ORDER_LINE_BASE
+            + ((w * self.districts + d) * 10_000_000 + o) * 16
+            + line
+        )
+
+    # ------------------------------------------------------------------
+    # the five profiles
+    # ------------------------------------------------------------------
+    def _new_order(self, rng: random.Random) -> TransactionSpec:
+        w = rng.randrange(self.warehouses)
+        d = rng.randrange(self.districts)
+        c = rng.randrange(self.customers)
+        dd = w * self.districts + d
+        order_id = self._next_order.get(dd, 0)
+        self._next_order[dd] = order_id + 1
+        self._undelivered.setdefault(dd, []).append(order_id)
+        ops = [
+            OperationSpec("r", self._w_row(w)),          # tax rate
+            OperationSpec("r", self._d_row(w, d)),       # next order id
+            OperationSpec("w", self._d_row(w, d)),       # ... incremented
+            OperationSpec("r", self._c_row(w, d, c)),    # discount
+        ]
+        order_row, new_order_row = self._order_rows(w, d, order_id)
+        ops.append(OperationSpec("w", order_row))
+        ops.append(OperationSpec("w", new_order_row))
+        for line in range(rng.randint(5, 15)):
+            item = rng.randrange(self.items)
+            # 1 % of lines order from a remote warehouse (TPC-C §2.4.1).
+            supply_w = w
+            if self.warehouses > 1 and rng.random() < 0.01:
+                supply_w = rng.randrange(self.warehouses)
+            ops.append(OperationSpec("r", self._item_row(item)))
+            ops.append(OperationSpec("r", self._stock_row(supply_w, item)))
+            ops.append(OperationSpec("w", self._stock_row(supply_w, item)))
+            ops.append(
+                OperationSpec("w", self._order_line_row(w, d, order_id, line))
+            )
+        return TransactionSpec(tuple(ops), read_only=False)
+
+    def _payment(self, rng: random.Random) -> TransactionSpec:
+        w = rng.randrange(self.warehouses)
+        d = rng.randrange(self.districts)
+        # 15 % of payments hit a customer of a remote warehouse.
+        cw, cd = w, d
+        if self.warehouses > 1 and rng.random() < 0.15:
+            cw = rng.randrange(self.warehouses)
+            cd = rng.randrange(self.districts)
+        c = rng.randrange(self.customers)
+        ops = (
+            OperationSpec("r", self._w_row(w)),
+            OperationSpec("w", self._w_row(w)),          # ytd += amount
+            OperationSpec("r", self._d_row(w, d)),
+            OperationSpec("w", self._d_row(w, d)),       # ytd += amount
+            OperationSpec("r", self._c_row(cw, cd, c)),
+            OperationSpec("w", self._c_row(cw, cd, c)),  # balance -= amount
+        )
+        return TransactionSpec(ops, read_only=False)
+
+    def _order_status(self, rng: random.Random) -> TransactionSpec:
+        w = rng.randrange(self.warehouses)
+        d = rng.randrange(self.districts)
+        c = rng.randrange(self.customers)
+        dd = w * self.districts + d
+        last_order = self._next_order.get(dd, 0) - 1
+        ops = [OperationSpec("r", self._c_row(w, d, c))]
+        if last_order >= 0:
+            order_row, _ = self._order_rows(w, d, last_order)
+            ops.append(OperationSpec("r", order_row))
+            for line in range(rng.randint(5, 15)):
+                ops.append(
+                    OperationSpec(
+                        "r", self._order_line_row(w, d, last_order, line)
+                    )
+                )
+        return TransactionSpec(tuple(ops), read_only=True)
+
+    def _delivery(self, rng: random.Random) -> TransactionSpec:
+        w = rng.randrange(self.warehouses)
+        ops: List[OperationSpec] = []
+        # One batch delivers the oldest undelivered order of every
+        # district of the warehouse (TPC-C's deferred delivery txn).
+        for d in range(self.districts):
+            queue = self._undelivered.get(w * self.districts + d)
+            if not queue:
+                continue
+            order_id = queue.pop(0)
+            order_row, new_order_row = self._order_rows(w, d, order_id)
+            c = rng.randrange(self.customers)
+            ops.append(OperationSpec("r", new_order_row))
+            ops.append(OperationSpec("w", new_order_row))   # delete marker
+            ops.append(OperationSpec("w", order_row))       # carrier id
+            ops.append(OperationSpec("r", self._c_row(w, d, c)))
+            ops.append(OperationSpec("w", self._c_row(w, d, c)))
+        if not ops:
+            # Nothing queued anywhere in the warehouse: a no-op read of
+            # the warehouse row (keeps the stream total-ordered).
+            ops.append(OperationSpec("r", self._w_row(w)))
+            return TransactionSpec(tuple(ops), read_only=True)
+        return TransactionSpec(tuple(ops), read_only=False)
+
+    def _stock_level(self, rng: random.Random) -> TransactionSpec:
+        w = rng.randrange(self.warehouses)
+        d = rng.randrange(self.districts)
+        ops = [OperationSpec("r", self._d_row(w, d))]
+        for _ in range(rng.randint(10, 20)):
+            ops.append(
+                OperationSpec("r", self._stock_row(w, rng.randrange(self.items)))
+            )
+        return TransactionSpec(tuple(ops), read_only=True)
+
+    # ------------------------------------------------------------------
+    # WorkloadGenerator surface
+    # ------------------------------------------------------------------
+    def next_transaction(self) -> TransactionSpec:
+        profile = self._rng.choices(self._profiles, weights=self._weights)[0]
+        return getattr(self, f"_{profile}")(self._rng)
+
+    def stream(self, count: int):
+        for _ in range(count):
+            yield self.next_transaction()
+
+    def batch(self, count: int) -> List[TransactionSpec]:
+        return list(self.stream(count))
+
+
+def tpcc(
+    warehouses: int = 4,
+    seed: Optional[int] = None,
+    **kwargs,
+) -> TPCCWorkload:
+    """Convenience constructor mirroring :func:`complex_workload`."""
+    return TPCCWorkload(warehouses=warehouses, seed=seed, **kwargs)

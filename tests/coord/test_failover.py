@@ -46,7 +46,8 @@ class TestFailover:
             rs.begin()
 
     def test_conflict_state_survives_failover(self):
-        rs = OracleReplicaSet(num_hosts=2)
+        # engine pinned: asserts the oracle's WSI rw-conflict outcome.
+        rs = OracleReplicaSet(num_hosts=2, engine="oracle")
         stale = rs.begin()
         writer = rs.begin()
         assert rs.commit(req(writer, writes={"x"})).committed
@@ -83,7 +84,8 @@ class TestFailover:
     def test_unflushed_commits_lost_consistently(self):
         # Records still in the leader's batch buffer die with it: the new
         # leader neither knows the commit nor the conflict it implied.
-        rs = OracleReplicaSet(num_hosts=2)
+        # engine pinned: the last_commit probe is oracle white-box.
+        rs = OracleReplicaSet(num_hosts=2, engine="oracle")
         ts = rs.begin()
         rs.commit(req(ts, writes={"x"}))  # buffered, never flushed
         rs.kill_active()
@@ -100,7 +102,8 @@ class TestFailover:
 
 class TestRecoveredServiceContinuity:
     def test_traffic_continues_after_failover(self):
-        rs = OracleReplicaSet(num_hosts=2, level="wsi")
+        # engine pinned: the last_commit probes are oracle white-box.
+        rs = OracleReplicaSet(num_hosts=2, level="wsi", engine="oracle")
         for i in range(10):
             ts = rs.begin()
             assert rs.commit(req(ts, writes={f"row{i}"})).committed

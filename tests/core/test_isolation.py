@@ -82,3 +82,63 @@ class TestCreateSystem:
     def test_manager_reports_level(self):
         assert create_system("si").manager.isolation_level == "si"
         assert create_system("wsi").manager.isolation_level == "wsi"
+
+
+class TestCreateSystemReplicated:
+    """``replicated=N`` assembles the HA serving tier behind the same
+    transaction API (satellite of the CommitEngine refactor: the
+    facade speaks the sequential engine surface)."""
+
+    def test_transactions_run_unchanged(self):
+        system = create_system("wsi", replicated=2)
+        txn = system.manager.begin()
+        txn.write("row1", "hello")
+        txn.commit()
+        assert system.manager.begin().read("row1") == "hello"
+
+    def test_decisions_are_durable_on_the_shared_wal(self):
+        system = create_system("wsi", replicated=2)
+        txn = system.manager.begin()
+        txn.write("x", 1)
+        txn.commit()
+        assert system.wal is system.frontend.wal
+        assert any(r.kind == "group-commit" for r in system.wal.replay())
+
+    def test_conflicts_still_abort(self):
+        system = create_system("wsi", replicated=2)
+        t1 = system.manager.begin()
+        t2 = system.manager.begin()
+        t1.read("x")
+        t2.write("x", "t2")
+        t1.write("y", "t1")
+        t2.commit()
+        with pytest.raises(Exception):
+            t1.commit()  # WSI: t2 committed what t1 read
+
+    def test_failover_is_transparent_to_transactions(self):
+        system = create_system("wsi", replicated=3)
+        before = system.manager.begin()
+        before.write("pre", "v0")
+        before.commit()
+        system.frontend.kill_active()
+        after = system.manager.begin()
+        assert after.read("pre") == "v0"  # commit status survived
+        after.write("post", "v1")
+        after.commit()
+        assert system.manager.begin().read("post") == "v1"
+        assert system.frontend.failovers == 1
+
+    def test_si_level_honoured_behind_the_tier(self):
+        system = create_system("si", replicated=2)
+        assert system.level is IsolationLevel.SNAPSHOT
+        t1 = system.manager.begin()
+        t2 = system.manager.begin()
+        t1.write("x", "t1")
+        t2.write("x", "t2")
+        t1.commit()
+        with pytest.raises(Exception):
+            t2.commit()  # first-committer-wins on the write set
+
+    def test_bounded_is_rejected(self):
+        with pytest.raises(ValueError, match="bounded"):
+            create_system("wsi", replicated=2, bounded=True)

@@ -1,0 +1,166 @@
+"""Hypothesis properties: ``decide_batch ≡ sequential`` for every engine.
+
+The batched frontend's load-bearing claim (see
+``tests/server/test_equivalence_properties.py``) extended to the whole
+engine family: for any random script of commit requests and client
+aborts over a small row alphabet, deciding it in bulk — any batch
+partitioning — must equal one ``commit()``/``abort()`` call per item in
+batch order:
+
+* every decision, commit timestamp, reason and conflict row;
+* the commit table, ``OracleStats``, and the timestamp oracle's
+  high-water marks;
+* engine-private state that future decisions depend on — the status
+  oracle's lastCommit map, Percolator's write column (and an empty lock
+  column: no batch lock may outlive its flush), SSI's retained
+  footprints with their conflict flags and ``pivot_aborts``.
+
+Both runs pre-begin the same block of start timestamps so the scripts
+see identical snapshots; SSI additionally needs those begins observed
+(its prune horizon is the oldest active start), which ``begin()`` does
+on both sides.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import ENGINE_KINDS, make_engine
+from repro.core.status_oracle import CommitRequest
+
+ROWS = ["r0", "r1", "r2", "r3", "r4", "r5", "r6"]
+
+
+@st.composite
+def scripts(draw):
+    """A list of (reads, writes, client_abort) steps."""
+    steps = []
+    num = draw(st.integers(min_value=1, max_value=28))
+    for _ in range(num):
+        reads = frozenset(draw(st.sets(st.sampled_from(ROWS), max_size=3)))
+        writes = frozenset(draw(st.sets(st.sampled_from(ROWS), max_size=3)))
+        client_abort = draw(st.booleans()) and draw(st.booleans())  # ~25 %
+        steps.append((reads, writes, client_abort))
+    return steps
+
+
+def build_items(engine, script):
+    """Begin one start per step on ``engine`` and materialize the items."""
+    items = []
+    for reads, writes, client_abort in script:
+        start = engine.begin()
+        if client_abort:
+            items.append(start)
+        else:
+            items.append(
+                CommitRequest(start_ts=start, write_set=writes, read_set=reads)
+            )
+    return items
+
+
+def run_sequential(engine, items):
+    results = []
+    for item in items:
+        if isinstance(item, int):
+            engine.abort(item)
+            results.append(("client-abort", item))
+        else:
+            r = engine.commit(item)
+            results.append((r.committed, r.commit_ts, r.reason, r.conflict_row))
+    return results
+
+
+def run_batched(engine, items, batch_bounds):
+    results = []
+    offset = 0
+    bounds = list(batch_bounds)
+    while offset < len(items):
+        size = bounds.pop(0) if bounds else len(items) - offset
+        chunk = items[offset:offset + max(1, size)]
+        offset += len(chunk)
+        for r in engine.decide_batch(chunk):
+            if r.reason == "client-abort":
+                results.append(("client-abort", r.start_ts))
+            else:
+                results.append((r.committed, r.commit_ts, r.reason, r.conflict_row))
+    return results
+
+
+def common_state(engine):
+    return (
+        dict(engine.commit_table._commits),
+        set(engine.commit_table._aborted),
+        dict(engine.stats.__dict__),
+        engine.timestamp_oracle._next,
+        engine.timestamp_oracle._issued,
+    )
+
+
+def private_state(kind, engine):
+    if kind == "percolator":
+        return dict(engine.store._writes), dict(engine.store._locks)
+    if kind == "ssi":
+        return (
+            [
+                (c.start_ts, c.commit_ts, c.read_set, c.write_set,
+                 c.in_conflict, c.out_conflict)
+                for c in engine._recent
+            ],
+            engine.pivot_aborts,
+            set(engine._active_starts),
+        )
+    return dict(engine._last_commit)
+
+
+@pytest.mark.parametrize("kind", ENGINE_KINDS)
+@settings(max_examples=120, deadline=None)
+@given(
+    script=scripts(),
+    batch_bounds=st.lists(
+        st.integers(min_value=1, max_value=9), max_size=6
+    ),
+)
+def test_decide_batch_equals_sequential(kind, script, batch_bounds):
+    seq_engine = make_engine(kind)
+    bat_engine = make_engine(kind)
+
+    seq_items = build_items(seq_engine, script)
+    bat_items = build_items(bat_engine, script)
+    assert [getattr(i, "start_ts", i) for i in seq_items] == [
+        getattr(i, "start_ts", i) for i in bat_items
+    ]
+
+    seq_results = run_sequential(seq_engine, seq_items)
+    bat_results = run_batched(bat_engine, bat_items, batch_bounds)
+
+    assert bat_results == seq_results
+    assert common_state(bat_engine) == common_state(seq_engine)
+    assert private_state(kind, bat_engine) == private_state(kind, seq_engine)
+    if kind == "percolator":
+        # No batch lock outlives its flush.
+        assert not bat_engine.store._locks
+
+
+@pytest.mark.parametrize("kind", ENGINE_KINDS)
+@settings(max_examples=40, deadline=None)
+@given(script=scripts())
+def test_duplicate_client_abort_is_isolated(kind, script):
+    """Protocol misuse inside a batch (aborting an already-committed
+    transaction) errors that request only; the rest still decides, and
+    the sequential path raises at the same call."""
+    engine = make_engine(kind)
+    start = engine.begin()
+    assert engine.commit(
+        CommitRequest(start_ts=start, write_set=frozenset(["r0"]))
+    ).committed
+
+    items = build_items(engine, script)
+    items.insert(len(items) // 2, start)  # abort-after-commit misuse
+    with pytest.raises(ValueError):
+        engine.decide_batch(items)
+    # Every other item was still decided: commits+aborts == len-1.
+    decided = (
+        engine.stats.commits + engine.stats.aborts - 1  # minus the seed commit
+    )
+    assert decided == len(items) - 1

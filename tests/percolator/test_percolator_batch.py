@@ -1,0 +1,144 @@
+"""PercolatorEngine's batched flush vs crash-orphaned locks (§2.1).
+
+The scenario the paper's critique of locking designs leads with: a
+client dies between prewrite and finalize, and its locks linger until
+someone resolves them.  The engine must resolve such orphans *inline*
+during a batched flush — rolling the crashed transaction back (primary
+intact, holder known dead) or forward (primary's write record exists) —
+so every blocked future settles with a real decision in the same flush
+instead of stalling or spuriously aborting forever.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.status_oracle import CommitRequest
+from repro.percolator.engine import PercolatorEngine
+from repro.server import OracleFrontend
+
+
+def req(start, writes=(), reads=()):
+    return CommitRequest(
+        start_ts=start, write_set=frozenset(writes), read_set=frozenset(reads)
+    )
+
+
+def crash_mid_prewrite(engine, rows, values=None):
+    """An interactive client prewrites ``rows`` then dies, leaving its
+    locks (primary included) in the store."""
+    txn = engine.manager.begin()
+    for i, row in enumerate(rows):
+        txn.write(row, (values or {}).get(row, f"v{i}"))
+    primary = sorted(rows, key=repr)[0]
+    txn.prewrite(primary)
+    for row in rows:
+        assert engine.store.lock_of(row) is not None
+    txn.crash()
+    return txn
+
+
+class TestCrashOrphanedLocks:
+    def test_batched_flush_rolls_back_orphans_and_commits(self):
+        engine = PercolatorEngine()
+        frontend = OracleFrontend(engine, max_batch=4)
+        crashed = crash_mid_prewrite(engine, ["a", "b"])
+
+        future = frontend.submit_commit(req(frontend.begin(), writes=["a", "b"]))
+        assert not future.done
+        frontend.flush()
+
+        # The orphaned locks were resolved (rolled back: the primary
+        # never got its write record), the blocked request committed.
+        result = future.result()
+        assert result.committed
+        assert engine.lock_cleanups == 2
+        assert not engine.store._locks
+        assert engine.store.lock_of("a") is None
+        # The crashed txn's buffered versions are gone too.
+        assert engine.store.write_record_for_start("a", crashed.start_ts) is None
+
+    def test_batched_flush_rolls_forward_finished_holder(self):
+        """Holder crashed *after* finalizing its primary: the engine
+        must roll the secondary forward, then the requester loses the
+        ww check against the newly-visible commit."""
+        engine = PercolatorEngine()
+        txn = engine.manager.begin()
+        txn.write("p", 1)
+        txn.write("s", 2)
+        txn.prewrite("p")
+        frontend = OracleFrontend(engine, max_batch=2)
+        # The requester's snapshot predates the holder's commit point...
+        requester_start = frontend.begin()
+        # ... then the holder finalizes its primary only and dies.
+        commit_ts = txn.finalize("p", rows=["p"])
+        assert engine.store.lock_of("s") is not None
+
+        future = frontend.submit_commit(req(requester_start, writes=["s"]))
+        frontend.flush()
+
+        result = future.result()
+        assert not result.committed
+        assert result.reason == "ww-conflict"
+        assert result.conflict_row == "s"
+        # Roll-forward installed the secondary's write record.
+        record = engine.store.write_record_for_start("s", txn.start_ts)
+        assert record is not None and record.commit_ts == commit_ts
+        assert engine.lock_cleanups == 1
+        assert not engine.store._locks
+
+    def test_live_holder_still_aborts_the_requester(self):
+        """ABORT_SELF policy: a lock whose holder is alive and active is
+        *not* an orphan — the batched requester aborts with lock-held."""
+        engine = PercolatorEngine()
+        txn = engine.manager.begin()
+        txn.write("row", 1)
+        txn.prewrite("row")  # alive, between prewrite and finalize
+
+        frontend = OracleFrontend(engine, max_batch=2)
+        future = frontend.submit_commit(req(frontend.begin(), writes=["row"]))
+        frontend.flush()
+
+        result = future.result()
+        assert not result.committed
+        assert result.reason == "lock-held"
+        assert result.conflict_row == "row"
+        assert engine.lock_cleanups == 0
+        # The live holder's lock survived the flush and it can finalize.
+        assert engine.store.lock_of("row") is not None
+        assert txn.finalize("row") > txn.start_ts
+
+    def test_orphans_resolve_mid_batch_for_every_blocked_mate(self):
+        """Several requests in one flush each hit a different orphan:
+        all futures settle, all orphans are cleaned, later batch-mates
+        still conflict with earlier ones on shared rows."""
+        engine = PercolatorEngine()
+        frontend = OracleFrontend(engine, max_batch=8)
+        for rows in (["a"], ["b"], ["c", "d"]):
+            crash_mid_prewrite(engine, rows)
+
+        futures = [
+            frontend.submit_commit(req(frontend.begin(), writes=["a"])),
+            frontend.submit_commit(req(frontend.begin(), writes=["b", "c"])),
+            frontend.submit_commit(req(frontend.begin(), writes=["b"])),  # mate loser
+        ]
+        frontend.flush()
+
+        results = [f.result() for f in futures]
+        assert [r.committed for r in results] == [True, True, False]
+        assert results[2].reason == "ww-conflict"
+        assert engine.lock_cleanups == 3  # a, b, c — nobody touched d
+        # Resolution is lazy, exactly Percolator's: the untouched
+        # orphan lock on d lingers until some request runs into it.
+        assert set(engine.store._locks) == {"d"}
+
+    def test_sequential_path_resolves_orphans_identically(self):
+        """The batched resolution is not a special power: the
+        sequential commit() path cleans the same orphan the same way
+        (the equivalence suite relies on this)."""
+        engine = PercolatorEngine()
+        crash_mid_prewrite(engine, ["x"])
+        result = engine.commit(req(engine.begin(), writes=["x"]))
+        assert result.committed
+        assert engine.lock_cleanups == 1
+        assert not engine.store._locks

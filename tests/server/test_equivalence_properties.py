@@ -1073,6 +1073,9 @@ def test_failover_history_equivalence(script, level):
         warm=True,
         max_batch=100,
         retry_policy=RetryPolicy(max_attempts=8, base_delay=0.0),
+        # pinned: the reference frontend above is the status oracle, so
+        # this side must not drift with the REPRO_ENGINE axis.
+        engine="oracle",
     )
     ha_drive = _drive_script(
         rf,

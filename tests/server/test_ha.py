@@ -103,7 +103,9 @@ class TestSteadyState:
 
 class TestCrashMidOpenBatch:
     def test_open_batch_requests_survive_via_retry(self):
-        rf = ReplicatedFrontend(num_hosts=3, max_batch=100)
+        # engine pinned: the last_commit probe is oracle white-box
+        # (TestEngineParameter covers retry durability per protocol).
+        rf = ReplicatedFrontend(num_hosts=3, max_batch=100, engine="oracle")
         f1 = rf.submit_commit(req(rf.begin(), writes={"x"}))
         f2 = rf.submit_commit(req(rf.begin(), writes={"y"}))
         assert not f1.done and not f2.done
@@ -152,8 +154,9 @@ class TestCrashMidOpenBatch:
     def test_retried_requests_re_decide_identically(self):
         # All begins precede all decisions, so the conflict comparisons
         # are order-determined and the retry must reproduce the victim's
-        # (never-durable) decisions exactly.
-        rf = ReplicatedFrontend(num_hosts=2, max_batch=100)
+        # (never-durable) decisions exactly.  WSI semantics: pin the
+        # engine so the rw-conflict abort holds under the axis.
+        rf = ReplicatedFrontend(num_hosts=2, max_batch=100, engine="oracle")
         t1, t2, t3 = rf.begin(), rf.begin(), rf.begin()
         f1 = rf.submit_commit(req(t1, writes={"x"}))
         f2 = rf.submit_commit(req(t2, writes={"y"}, reads={"x"}))  # rw-conflict
@@ -214,7 +217,10 @@ class TestWarmStandby:
         rf.flush()
 
     def test_warm_takeover_applies_only_the_delta(self):
-        rf = ReplicatedFrontend(num_hosts=2, warm=True, max_batch=4)
+        # engine pinned: last_commit probes are oracle white-box.
+        rf = ReplicatedFrontend(
+            num_hosts=2, warm=True, max_batch=4, engine="oracle"
+        )
         self._load(rf, 12, "pre")
         caught_up = rf.standby_catch_up()
         assert caught_up > 0
@@ -249,7 +255,10 @@ class TestWarmStandby:
         rows = {}
         oracles = {}
         for warm in (True, False):
-            rf = ReplicatedFrontend(num_hosts=2, warm=warm, max_batch=4)
+            # engine pinned: last_commit probes are oracle white-box.
+            rf = ReplicatedFrontend(
+                num_hosts=2, warm=warm, max_batch=4, engine="oracle"
+            )
             futures = []
             for i in range(10):
                 futures.append(rf.submit_commit(req(rf.begin(), writes={f"r{i}"})))
@@ -333,3 +342,50 @@ class TestAdmissionControl:
         assert session.backoff_seconds > 0
         rf.flush()
         assert session.commits == 2
+
+
+class TestEngineParameter:
+    """The replicated tier is protocol-agnostic: every CommitEngine
+    kind serves behind it with the same durability/failover story."""
+
+    @pytest.fixture(params=["oracle", "percolator", "ssi"])
+    def kind(self, request):
+        return request.param
+
+    def test_conflicting_pair_decides_per_protocol(self, kind):
+        rf = ReplicatedFrontend(num_hosts=2, max_batch=8, engine=kind)
+        winner = rf.submit_commit(req(rf.begin(), writes={"x"}))
+        loser = rf.submit_commit(req(rf.begin(), writes={"x"}, reads={"x"}))
+        rf.flush()
+        assert winner.outcome() == "committed"
+        assert loser.outcome() == "aborted"
+
+    def test_failover_preserves_decisions(self, kind):
+        rf = ReplicatedFrontend(num_hosts=2, max_batch=8, engine=kind)
+        future = rf.submit_commit(req(rf.begin(), writes={"a"}))
+        rf.flush()
+        start = future.start_ts
+        rf.kill_active()
+        # The promoted host replayed the shared WAL through the
+        # engine's own recovery hooks: the decision survives, and the
+        # tier keeps serving.
+        oracle = rf.active_host().frontend.backend
+        assert oracle.commit_table.is_committed(start)
+        after = rf.submit_commit(req(rf.begin(), writes={"b"}))
+        rf.flush()
+        assert after.outcome() == "committed"
+
+    def test_no_timestamp_reuse_across_failover(self, kind):
+        rf = ReplicatedFrontend(num_hosts=3, max_batch=4, engine=kind)
+        seen = set()
+        for i in range(6):
+            ts = rf.begin()
+            assert ts not in seen
+            seen.add(ts)
+            rf.submit_commit(req(ts, writes={f"r{i}"}))
+        rf.flush()
+        rf.kill_active()
+        for i in range(6):
+            ts = rf.begin()
+            assert ts not in seen
+            seen.add(ts)

@@ -132,3 +132,30 @@ class TestSimAdmissionControl:
         result = small_sim(measure=0.1).run()
         assert result.overload_rejections == 0
         assert result.shed_requests == 0
+
+
+class TestEngineParameter:
+    """``engine=`` swaps the commit protocol under the simulated
+    serving stack (the CommitEngine refactor's sim leg)."""
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            GroupCommitSim(engine="spanner")
+
+    def test_partitions_are_oracle_only(self):
+        with pytest.raises(ValueError, match="oracle-only"):
+            GroupCommitSim(engine="percolator", num_partitions=4)
+
+    def test_latency_pricing_follows_the_protocol(self):
+        # Percolator's ww check loads write sets only (SI-shaped cost);
+        # SSI loads both footprints (WSI-shaped); the oracle prices at
+        # its own level.
+        assert GroupCommitSim(engine="percolator")._pricing_level == "si"
+        assert GroupCommitSim(engine="ssi")._pricing_level == "wsi"
+        assert GroupCommitSim(engine="oracle", level="si")._pricing_level == "si"
+
+    @pytest.mark.parametrize("engine", ["oracle", "percolator", "ssi"])
+    def test_sim_runs_under_every_engine(self, engine):
+        result = small_sim(engine=engine).run()
+        assert result.throughput_tps > 0
+        assert result.commits > 0
