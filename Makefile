@@ -3,7 +3,14 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast bench bench-smoke check profile
+.PHONY: lint test test-fast bench bench-smoke check profile
+
+## Invariant lint: the five AST passes in repro.analysis (builtin-hash
+## routing, decision-path determinism, guarded-by lock discipline,
+## future settlement discipline, bare asserts) over the whole src tree.
+## A clean tree is a hard gate: first leg of `make check` and of CI.
+lint:
+	PYTHONPATH=src python -m repro.analysis
 
 ## Full tier-1 suite: unit + property + integration + figure benchmarks.
 test:
@@ -14,9 +21,13 @@ test:
 test-fast:
 	$(PYTEST) -m "not slow" -q
 
-## Figure benchmarks only, with their printed tables/charts.
+## Figure benchmarks only, with their printed tables/charts.  Full
+## runs also record() their headline ratios — to BENCH_full.json by
+## default (uncommitted, see .gitignore: full-run numbers are
+## hardware-bound; BENCH_smoke.json stays the committed drift guard).
 bench:
-	$(PYTEST) benchmarks -q -s
+	rm -f BENCH_full.json
+	REPRO_BENCH_SNAPSHOT=$${REPRO_BENCH_SNAPSHOT:-BENCH_full.json} $(PYTEST) benchmarks -q -s
 
 ## Fast perf sanity check: the E17-E23 hot-path/HA bars at tiny sizes
 ## (REPRO_BENCH_SMOKE relaxes the bars accordingly).  Writes the
@@ -55,6 +66,7 @@ bench-smoke:
 ## that assert oracle-specific semantics (last_commit probes, WSI
 ## conflict outcomes) pin engine="oracle" and ride along unchanged.
 check:
+	$(MAKE) lint
 	PYTHONHASHSEED=0 $(PYTEST) -m "not slow" -q
 	PYTHONHASHSEED=31337 $(PYTEST) -m "not slow" -q
 	REPRO_EXECUTOR=parallel PYTHONHASHSEED=0 $(PYTEST) -m "not slow" -q

@@ -1,0 +1,39 @@
+"""CLI: ``python -m repro.analysis [path ...]`` — run the invariant lint.
+
+With no arguments, lints the installed ``repro`` package source tree
+with path-scoped passes (what ``make lint`` runs).  Explicit paths may
+be files or directories; directories are linted as trees rooted at
+themselves.  Exit status 1 when any finding survives suppression.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List
+
+from repro.analysis.lint import ALL_PASSES, LintFinding, lint_file, lint_tree
+
+
+def main(argv: List[str]) -> int:
+    findings: List[LintFinding] = []
+    if argv:
+        for arg in argv:
+            if os.path.isdir(arg):
+                findings.extend(lint_tree(arg))
+            else:
+                findings.extend(lint_file(arg))
+    else:
+        findings.extend(lint_tree())
+    for finding in sorted(findings):
+        print(finding)
+    passes = ", ".join(p.name for p in ALL_PASSES)
+    if findings:
+        print(f"lint: {len(findings)} finding(s) [{passes}]")
+        return 1
+    print(f"lint: clean [{passes}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

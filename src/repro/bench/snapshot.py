@@ -17,6 +17,12 @@ Merging is read-modify-write per call, so it composes across separate
 pytest processes appending to the same snapshot file.  Without the
 environment variable :func:`record` is a no-op — the benchmarks stay
 usable standalone.
+
+Two snapshots exist by convention: ``make bench-smoke`` writes
+``BENCH_smoke.json`` (tiny sizes, *committed* — behaviour drift shows
+up as a diff), and full ``make bench`` runs write ``BENCH_full.json``
+(real figure sizes, uncommitted/.gitignored — the numbers are
+hardware-bound, the file is for local before/after comparisons).
 """
 
 from __future__ import annotations

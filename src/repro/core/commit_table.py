@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
+from repro.core.errors import InvariantViolation
+
 
 class CommitTable:
     """Authoritative commit/abort state, owned by the status oracle."""
@@ -116,7 +118,10 @@ class ClientCommitView:
     def apply(self, kind: str, start_ts: int, commit_ts: Optional[int]) -> None:
         """Apply one replication record."""
         if kind == "commit":
-            assert commit_ts is not None
+            if commit_ts is None:
+                raise InvariantViolation(
+                    f"commit record for txn {start_ts} carries no commit_ts"
+                )
             self._commits[start_ts] = commit_ts
         elif kind == "abort":
             self._aborted.add(start_ts)

@@ -57,6 +57,16 @@ class LockConflict(TransactionError):
         self.holder = holder
 
 
+class InvariantViolation(TransactionError):
+    """An internal protocol invariant did not hold — a bug, not a user error.
+
+    The typed replacement for bare ``assert`` in ``src/`` protocol code
+    (the ``no-bare-assert`` lint pass): asserts vanish under
+    ``python -O``, which is exactly when a production deployment would
+    run, so internal-consistency checks must raise a real exception.
+    """
+
+
 class InvalidTransactionState(TransactionError):
     """Operation attempted on a transaction in the wrong state.
 

@@ -103,6 +103,7 @@ from typing import (
     Tuple,
 )
 
+from repro.analysis.racecheck import active_checker, make_lock
 from repro.core.commit_table import CommitTable
 from repro.core.errors import OracleClosed
 from repro.core.executor import (
@@ -258,9 +259,16 @@ class PartitionedOracle:
         # freely (the parallel executor's licence), rounds on the same
         # partition serialize.  The coordinator itself (merge pass,
         # per-request commit()) stays single-threaded by construction.
+        # Locks come from repro.analysis.racecheck, so REPRO_RACECHECK=1
+        # runs lock-order/guard checking on the real protocol locks.
+        # guarded-by: _last_commit -> _shard_locks
         self._shard_locks: List[threading.Lock] = [
-            threading.Lock() for _ in range(num_partitions)
+            make_lock(f"shard[{i}]") for i in range(num_partitions)
         ]
+        rc = active_checker()
+        if rc is not None:
+            for i in range(num_partitions):
+                rc.register_state(f"shard[{i}].lastCommit", f"shard[{i}]")
         self.commit_table = CommitTable()
         self.stats = OracleStats()
         self.cross_partition_commits = 0
@@ -433,6 +441,8 @@ class PartitionedOracle:
             )
         commit_ts = self._tso.next()
         for row in request.write_set:
+            # lint: skip=guarded-by -- coordinator-only serial path; no
+            # shard rounds are in flight during a direct commit().
             lc[row] = commit_ts
         self.stats.rows_updated += len(request.write_set)
         self.commit_table.record_commit(start, commit_ts)
@@ -517,12 +527,16 @@ class PartitionedOracle:
         partition = self.partitions[pid]
         lock = self._shard_locks[pid]
         delay = self.round_latency
+        rc = active_checker()
+        shard_state = f"shard[{pid}].lastCommit"
 
         def validation_round() -> list:
             if delay:
                 time.sleep(delay)
             verdicts = []
             with lock:
+                if rc is not None:
+                    rc.access(shard_state)
                 lc = partition._last_commit
                 lc_get = lc.get
                 lc_isdisjoint = lc.keys().isdisjoint
@@ -547,11 +561,15 @@ class PartitionedOracle:
         partition = self.partitions[pid]
         lock = self._shard_locks[pid]
         delay = self.round_latency
+        rc = active_checker()
+        shard_state = f"shard[{pid}].lastCommit"
 
         def install_round() -> None:
             if delay:
                 time.sleep(delay)
             with lock:
+                if rc is not None:
+                    rc.access(shard_state)
                 partition._last_commit.update(staged)
 
         return install_round
@@ -571,9 +589,13 @@ class PartitionedOracle:
         partition = self.partitions[pid]
         lock = self._shard_locks[pid]
         wsi = self.level == "wsi"
+        rc = active_checker()
+        shard_state = f"shard[{pid}].lastCommit"
 
         def shard_round() -> None:
             with lock:
+                if rc is not None:
+                    rc.access(shard_state)
                 lc_get = partition._last_commit.get
                 pending: Set[RowKey] = set()
                 pending_update = pending.update
@@ -1025,6 +1047,8 @@ class PartitionedOracle:
                     inst = installs[pid]
                     if inst is not None:
                         install_rounds += 1
+                        # lint: skip=guarded-by -- serial_inline twin of
+                        # _install_round: single-threaded by its guard.
                         partitions[pid]._last_commit.update(inst)
                     occupancy = (
                         (shard_groups[pid] is not None) + (inst is not None)
@@ -1211,6 +1235,8 @@ class PartitionedOracle:
                     nxt += 1
                     issued += 1
                     ws = req.write_set
+                    # lint: skip=guarded-by -- coordinator flush after the
+                    # executor join: shard rounds have all completed.
                     partitions[pid]._last_commit.update(dict.fromkeys(ws, cts))
                     rows_updated += len(ws)
                     try:

@@ -91,7 +91,7 @@ def stable_hash(row: Hashable) -> int:
             return row
         # Huge or negative ints join the numeric-hash rule below so
         # they agree with any equal float/Decimal/Fraction key.
-        h = hash(row)
+        h = hash(row)  # lint: skip=no-builtin-hash -- numeric hash is unsalted
         return h if h >= 0 else -h
     if tp is str:
         return zlib.crc32(row.encode("utf-8"))
@@ -101,7 +101,7 @@ def stable_hash(row: Hashable) -> int:
         # Python's numeric hash is unsalted and equal across numeric
         # types for equal values (2 == 2.0 == Decimal(2) == Fraction(2)
         # share one hash) — the invariant shard routing depends on.
-        h = hash(row)
+        h = hash(row)  # lint: skip=no-builtin-hash -- numeric hash is unsalted
         return h if h >= 0 else -h
     if isinstance(row, tuple):
         # Recurse so equal tuples hash equal even when elements differ

@@ -32,6 +32,7 @@ from repro.core.errors import (
     AbortException,
     ConflictAbort,
     InvalidTransactionState,
+    InvariantViolation,
     TmaxAbort,
 )
 from repro.core.status_oracle import CommitRequest, StatusOracle
@@ -342,7 +343,8 @@ class TransactionManager:
             except AbortException as exc:
                 last = exc
                 continue
-        assert last is not None
+        if last is None:
+            raise InvariantViolation("retry loop exhausted without an abort")
         raise last
 
     @property

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.core.errors import InvariantViolation
 from repro.history.history import History
 
 
@@ -76,7 +77,8 @@ def find_fuzzy_reads(history: History) -> List[AnomalyWitness]:
         writer = history._physical_writer(op.item, idx)  # noqa: SLF001
         key = (op.txn, op.item)
         if key in seen and seen[key] != writer:
-            assert op.item is not None
+            if op.item is None:
+                raise InvariantViolation(f"read op by txn {op.txn} has no item")
             witnesses.append(
                 AnomalyWitness(
                     "fuzzy-read",

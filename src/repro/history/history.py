@@ -17,6 +17,8 @@ import re
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.core.errors import InvariantViolation
+
 
 @dataclass(frozen=True)
 class Operation:
@@ -216,7 +218,8 @@ class History:
             key = (op.txn, op.item)
             if key in result:
                 continue  # snapshot: repeated reads observe the same version
-            assert op.item is not None
+            if op.item is None:
+                raise InvariantViolation(f"read op by txn {op.txn} has no item")
             if snapshot_reads:
                 result[key] = self._snapshot_writer(op.txn, op.item, i)
             else:
@@ -259,7 +262,10 @@ class History:
         for writer in self.committed_transactions():
             if item in self.write_set(writer):
                 cpos = self.commit_position(writer)
-                assert cpos is not None
+                if cpos is None:
+                    raise InvariantViolation(
+                        f"committed txn {writer} has no commit position"
+                    )
                 if cpos > best_commit:
                     best, best_commit = writer, cpos
         return best

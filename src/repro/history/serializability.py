@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.core.errors import InvariantViolation
 from repro.history.history import History, Operation
 
 
@@ -141,7 +142,8 @@ def mvsg(history: History) -> Dict[int, Set[int]]:
     commit_pos: Dict[int, int] = {}
     for t in committed:
         pos = history.commit_position(t)
-        assert pos is not None
+        if pos is None:
+            raise InvariantViolation(f"committed txn {t} has no commit position")
         commit_pos[t] = pos
     # virtual initial txn 0 commits before everything
     INIT = 0
@@ -247,7 +249,10 @@ def serialize_by_commit_order(history: History) -> History:
             anchors.append((history.start_position(t), t))
         else:
             pos = history.commit_position(t)
-            assert pos is not None
+            if pos is None:
+                raise InvariantViolation(
+                    f"committed txn {t} has no commit position"
+                )
             anchors.append((pos, t))
     anchors.sort()
     ops: List[Operation] = []

@@ -17,6 +17,8 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Generic, Iterator, List, Optional, Sequence, TypeVar
 
+from repro.core.errors import InvariantViolation
+
 K = TypeVar("K")
 
 # Sentinels for the open ends of the keyspace.
@@ -142,16 +144,22 @@ class RegionMap(Generic[K]):
         return self._num_servers
 
     def check_invariants(self) -> None:
-        """Raise AssertionError if the region map is not a partition.
+        """Raise :class:`InvariantViolation` if the map is not a partition.
 
         Used by property-based tests: regions must tile the keyspace with
         no gaps or overlaps, first start and last end unbounded.
         """
-        assert self._regions, "region map must never be empty"
-        assert self._regions[0].start is None
-        assert self._regions[-1].end is None
+        if not self._regions:
+            raise InvariantViolation("region map must never be empty")
+        if self._regions[0].start is not None:
+            raise InvariantViolation("first region must start unbounded")
+        if self._regions[-1].end is not None:
+            raise InvariantViolation("last region must end unbounded")
         for left, right in zip(self._regions, self._regions[1:]):
-            assert left.end == right.start, f"gap/overlap at {left} | {right}"
-        assert len(self._starts) == len(self._regions) - 1
+            if left.end != right.start:
+                raise InvariantViolation(f"gap/overlap at {left} | {right}")
+        if len(self._starts) != len(self._regions) - 1:
+            raise InvariantViolation("split index out of sync with regions")
         for region, start in zip(self._regions[1:], self._starts):
-            assert region.start == start
+            if region.start != start:
+                raise InvariantViolation(f"split index disagrees at {region}")

@@ -259,10 +259,10 @@ class PercolatorEngine(CommitEngine):
         if self._closed:
             raise OracleClosed("percolator engine is closed")
         store = self._store
-        locks = store._locks
+        locks = store.lock_column
         lock_isdisjoint = locks.keys().isdisjoint
         lock_of = locks.get
-        writes = store._writes
+        writes = store.write_column
         writes_get = writes.get
         ct = self.commit_table
         # Replicas subscribed to the commit table must see every decision,
@@ -527,7 +527,7 @@ class PercolatorEngine(CommitEngine):
 
     def _apply_recovered_commit(self, start_ts: int, commit_ts: int, rows) -> int:
         self.commit_table.record_commit(start_ts, commit_ts)
-        writes = self._store._writes
+        writes = self._store.write_column
         for row in rows:
             records = writes.setdefault(row, [])
             if not records or commit_ts > records[-1].commit_ts:

@@ -84,6 +84,29 @@ class PercolatorStore:
         self._writes: Dict[RowKey, List[WriteRecord]] = {}  # sorted by commit_ts
 
     # ------------------------------------------------------------------
+    # bulk access (the batched engine's hook)
+    # ------------------------------------------------------------------
+    @property
+    def lock_column(self) -> Dict[RowKey, Lock]:
+        """The live lock column, keyed by row.
+
+        The supported surface for bulk readers (the batched
+        :class:`~repro.percolator.engine.PercolatorEngine` path binds
+        ``.get``/``.keys().isdisjoint`` locally) — mutate only through
+        :meth:`acquire_lock`/:meth:`release_lock`.
+        """
+        return self._locks
+
+    @property
+    def write_column(self) -> Dict[RowKey, List[WriteRecord]]:
+        """The live write column: per-row records sorted by commit_ts.
+
+        Bulk-read hook like :data:`lock_column`; WAL recovery also
+        appends through it (records arrive already in commit order).
+        """
+        return self._writes
+
+    # ------------------------------------------------------------------
     # lock column
     # ------------------------------------------------------------------
     def lock_of(self, row: RowKey) -> Optional[Lock]:

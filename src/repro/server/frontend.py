@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.analysis.racecheck import active_checker, make_lock
 from repro.core.engine import CommitEngine
 from repro.core.errors import DecisionPending, OracleClosed, Overloaded
 from repro.core.status_oracle import (
@@ -175,6 +176,8 @@ class CommitFuture:
             raise self._error
         result = self._result
         if result is None:
+            # lint: skip=future-discipline -- blessed: lazy result cache
+            # built from already-settled decision fields, not a settle.
             result = self._result = CommitResult(
                 self._committed,
                 self.start_ts,
@@ -427,8 +430,15 @@ class OracleFrontend:
         self._release_start = getattr(backend, "release_start", None)
         # Batch items: a raw CommitRequest (nowait commit), a raw int
         # (nowait client abort), or a (CommitRequest | int, CommitFuture)
-        # pair for future-style submissions.
-        self._pending: List[Any] = []
+        # pair for future-style submissions.  The open-batch *swap*
+        # (flush / fail_pending taking the batch) is the handoff point
+        # shared with whatever drives the drain, so it happens under
+        # _flush_lock; appends are single-writer on the submit side.
+        self._flush_lock = make_lock("frontend-flush")
+        self._rc = active_checker()
+        if self._rc is not None:
+            self._rc.register_state("frontend.pending", "frontend-flush")
+        self._pending: List[Any] = []  # guarded-by: _flush_lock
         self._open_cell: Optional[FlushedBatch] = None
         self._batch_opened_at: Optional[float] = None
         # Admission control: decisions admitted but not yet released
@@ -548,12 +558,14 @@ class OracleFrontend:
             if self._release_start is not None:
                 self._release_start(request.start_ts)
             future._committed = True
+            # lint: skip=future-discipline -- blessed: read-only fast path
+            # settles inline, before the future ever escapes the submit.
             future._done = True
             return future
         if self._max_queue_depth is not None:
             self._admit()
         pending = self._pending
-        pending.append((request, future))
+        pending.append((request, future))  # lint: skip=guarded-by -- single-writer submit side
         if len(pending) == 1:
             self._open_batch()
         cell = self._open_cell
@@ -587,7 +599,7 @@ class OracleFrontend:
         if self._max_queue_depth is not None:
             self._admit()
         pending = self._pending
-        pending.append(request)
+        pending.append(request)  # lint: skip=guarded-by -- single-writer submit side
         if len(pending) == 1:
             self._open_batch()
         if len(pending) >= self._max_batch:
@@ -602,7 +614,7 @@ class OracleFrontend:
             self._admit()
         future = CommitFuture(start_ts)
         pending = self._pending
-        pending.append((start_ts, future))
+        pending.append((start_ts, future))  # lint: skip=guarded-by -- single-writer submit side
         self.stats.client_aborts += 1
         if len(pending) == 1:
             self._open_batch()
@@ -620,7 +632,7 @@ class OracleFrontend:
         if self._max_queue_depth is not None:
             self._admit()
         pending = self._pending
-        pending.append(start_ts)
+        pending.append(start_ts)  # lint: skip=guarded-by -- single-writer submit side
         self.stats.client_aborts += 1
         if len(pending) == 1:
             self._open_batch()
@@ -720,13 +732,16 @@ class OracleFrontend:
         batches — this *is* the §6.3 critical section, entered once per
         batch instead of once per request.
         """
-        batch = self._pending
-        if not batch:
-            return None
-        self._pending = []
-        cell = self._open_cell
-        self._open_cell = None
-        self._batch_opened_at = None
+        with self._flush_lock:
+            if self._rc is not None:
+                self._rc.access("frontend.pending")
+            batch = self._pending
+            if not batch:
+                return None
+            self._pending = []
+            cell = self._open_cell
+            self._open_cell = None
+            self._batch_opened_at = None
         cell.requests = len(batch)
 
         payload_commits: List[Tuple[int, int, Any]] = []
@@ -865,13 +880,16 @@ class OracleFrontend:
         leader with their original start timestamps).  Returns how many
         requests were failed.
         """
-        batch = self._pending
-        if not batch:
-            return 0
-        self._pending = []
-        cell = self._open_cell
-        self._open_cell = None
-        self._batch_opened_at = None
+        with self._flush_lock:
+            if self._rc is not None:
+                self._rc.access("frontend.pending")
+            batch = self._pending
+            if not batch:
+                return 0
+            self._pending = []
+            cell = self._open_cell
+            self._open_cell = None
+            self._batch_opened_at = None
         cell.requests = len(batch)
         self.stats.crashed_requests += len(batch)
         self._abandon_batch(cell, exc)

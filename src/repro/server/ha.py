@@ -86,12 +86,12 @@ class HAFuture(CommitFuture):
         self._reason = inner._reason
         self._row = inner._row
         self._error = inner._error
-        self._done = True
+        self._done = True  # lint: skip=future-discipline -- blessed settle
         self._fire_callbacks()
 
     def _settle_error(self, exc: BaseException) -> None:
         self._error = exc
-        self._done = True
+        self._done = True  # lint: skip=future-discipline -- blessed settle
         self._fire_callbacks()
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, List, Optional, Tuple
 
+from repro.analysis.racecheck import active_checker, make_lock
 from repro.wal.ledger import Ledger, LedgerManager
 
 # Appendix A constants.
@@ -95,7 +96,17 @@ class BookKeeperWAL:
         if sync_callback is not None:
             self._sync_listeners.append(sync_callback)
 
-        self._pending: List[WALRecord] = []
+        # The batch buffer is the WAL's one piece of mutable hot state;
+        # every mutation happens under _wal_lock (ledger replication and
+        # sync listeners run *outside* it — append() may flush inline on
+        # the size trigger, so holding the lock across the ledger write
+        # would self-deadlock and order the WAL lock under every
+        # listener's own locks).
+        self._wal_lock = make_lock("wal")
+        self._rc = active_checker()
+        if self._rc is not None:
+            self._rc.register_state("wal.pending", "wal")
+        self._pending: List[WALRecord] = []  # guarded-by: _wal_lock
         self._pending_bytes = 0
         self._last_trigger = self._clock()
 
@@ -113,10 +124,14 @@ class BookKeeperWAL:
         Returns True if this append caused a flush (the record is durable
         on return), False if it is still buffered awaiting a trigger.
         """
-        self._pending.append(WALRecord(kind, payload, size))
-        self._pending_bytes += size
-        self.record_count += 1
-        if self._pending_bytes >= self._batch_bytes:
+        with self._wal_lock:
+            if self._rc is not None:
+                self._rc.access("wal.pending")
+            self._pending.append(WALRecord(kind, payload, size))
+            self._pending_bytes += size
+            self.record_count += 1
+            should_flush = self._pending_bytes >= self._batch_bytes
+        if should_flush:
             self.flush()
             return True
         return False
@@ -175,13 +190,16 @@ class BookKeeperWAL:
 
     def flush(self) -> int:
         """Force the pending batch out; returns number of records flushed."""
-        if not self._pending:
+        with self._wal_lock:
+            if self._rc is not None:
+                self._rc.access("wal.pending")
+            if not self._pending:
+                self._last_trigger = self._clock()
+                return 0
+            batch = self._pending
+            self._pending = []
+            self._pending_bytes = 0
             self._last_trigger = self._clock()
-            return 0
-        batch = self._pending
-        self._pending = []
-        self._pending_bytes = 0
-        self._last_trigger = self._clock()
         self._ledger.append(batch, size=sum(r.size for r in batch))
         self.flush_count += 1
         self.flushed_record_count += len(batch)
@@ -210,10 +228,13 @@ class BookKeeperWAL:
         they were never acknowledged, so losing them is correct.
         Returns the number of records dropped.
         """
-        dropped = len(self._pending)
-        self._pending = []
-        self._pending_bytes = 0
-        self._last_trigger = self._clock()
+        with self._wal_lock:
+            if self._rc is not None:
+                self._rc.access("wal.pending")
+            dropped = len(self._pending)
+            self._pending = []
+            self._pending_bytes = 0
+            self._last_trigger = self._clock()
         return dropped
 
     # ------------------------------------------------------------------

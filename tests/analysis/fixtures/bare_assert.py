@@ -1,0 +1,20 @@
+"""Fixture for the ``no-bare-assert`` pass.
+
+Bare asserts vanish under ``python -O``; protocol code raises typed
+errors instead.
+"""
+
+
+def apply_commit(table, start_ts, commit_ts):
+    assert commit_ts is not None  # EXPECT: no-bare-assert
+    table[start_ts] = commit_ts
+
+
+def typed_check(commit_ts):
+    if commit_ts is None:
+        raise ValueError("typed error instead of assert")
+    return commit_ts
+
+
+def reviewed(flag):
+    assert flag  # lint: skip=no-bare-assert -- fixture suppression

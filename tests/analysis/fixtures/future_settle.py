@@ -1,0 +1,26 @@
+"""Fixture for the ``future-discipline`` pass.
+
+Direct stores to ``._result``/``._done`` settle a future outside the
+blessed resolve paths; reviewed settle sites carry a skip.
+"""
+
+
+class MiniFuture:
+    def __init__(self, start_ts):
+        self.start_ts = start_ts
+
+    def resolve(self, result):
+        self._result = result  # EXPECT: future-discipline
+        self._done = True  # EXPECT: future-discipline
+
+
+def settle_inline(future, result):
+    future._result = result  # EXPECT: future-discipline
+
+
+def read_only(future):
+    return future.start_ts
+
+
+def blessed_settle(future):
+    future._done = True  # lint: skip=future-discipline -- fixture blessed

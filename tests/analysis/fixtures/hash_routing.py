@@ -1,0 +1,30 @@
+"""Fixture for the ``no-builtin-hash`` pass.
+
+Not collected by pytest (no ``test_`` prefix) and outside ``src/``, so
+``make lint`` never sees it; ``tests/analysis/test_lint_passes.py``
+lints it explicitly and asserts the ``# EXPECT:`` lines.
+"""
+
+
+def route(row, num_partitions):
+    return hash(row) % num_partitions  # EXPECT: no-builtin-hash
+
+
+def salted_bucket(key):
+    bucket = hash(key) & 0xFF  # EXPECT: no-builtin-hash
+    return bucket
+
+
+class Key:
+    def __init__(self, raw):
+        self.raw = raw
+
+    def __hash__(self):
+        return hash(self.raw)  # exempt: __hash__ implementations may delegate
+
+    def __eq__(self, other):
+        return isinstance(other, Key) and other.raw == self.raw
+
+
+def reviewed(row):
+    return hash(row)  # lint: skip=no-builtin-hash -- fixture suppression

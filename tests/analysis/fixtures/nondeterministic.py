@@ -1,0 +1,31 @@
+"""Fixture for the ``deterministic-protocol`` pass.
+
+Wall-clock reads, randomness, and hash-order iteration in what poses as
+a decision path; ``time.sleep``/``time.monotonic`` stay legal.
+"""
+
+import random  # EXPECT: deterministic-protocol
+import time
+
+
+def decide(requests):
+    deadline = time.time() + 1.0  # EXPECT: deterministic-protocol
+    jitter = random.random()  # EXPECT: deterministic-protocol
+    order = []
+    for row in {"a", "b", "c"}:  # EXPECT: deterministic-protocol
+        order.append(row)
+    winners = [r for r in set(requests)]  # EXPECT: deterministic-protocol
+    return deadline, jitter, order, winners
+
+
+def allowed_latency_modeling(delay):
+    time.sleep(delay)
+    return time.monotonic(), time.perf_counter()
+
+
+def allowed_sorted_iteration(rows):
+    return [row for row in sorted(set(rows))]
+
+
+def reviewed():
+    return time.time()  # lint: skip=deterministic-protocol -- fixture

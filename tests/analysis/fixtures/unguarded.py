@@ -1,0 +1,42 @@
+"""Fixture for the ``guarded-by`` pass.
+
+``_pending`` is declared hot state owned by ``_lock`` (trailing form);
+mutations outside ``with _lock:`` — including through a local alias —
+are violations.  Reads and lock-holding mutations are fine.
+"""
+
+import threading
+
+
+class Buffered:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = []  # guarded-by: _lock
+
+    def good_append(self, item):
+        with self._lock:
+            self._pending.append(item)
+
+    def good_alias_lock(self, item):
+        lock = self._lock
+        with lock:
+            self._pending.append(item)
+
+    def good_read(self):
+        return len(self._pending)
+
+    def bad_append(self, item):
+        self._pending.append(item)  # EXPECT: guarded-by
+
+    def bad_rebind(self):
+        self._pending = []  # EXPECT: guarded-by
+
+    def bad_subscript(self, idx, item):
+        self._pending[idx] = item  # EXPECT: guarded-by
+
+    def bad_alias(self, item):
+        pending = self._pending
+        pending.append(item)  # EXPECT: guarded-by
+
+    def reviewed(self, item):
+        self._pending.append(item)  # lint: skip=guarded-by -- fixture

@@ -1,0 +1,138 @@
+"""racecheck over the real paths: ParallelExecutor rounds + HA failover.
+
+The acceptance stress: with checking active, the partitioned oracle's
+three-phase protocol fans its rounds over a real thread pool (shard
+locks taken from pool threads), the serving tier batches and flushes
+(frontend swap lock, WAL buffer lock), and a leader crash drives the
+failover path (``fail_pending`` under the dead host's flush lock, WAL
+``drop_pending``) — and the whole run must end with an acyclic lock
+order and zero unguarded accesses.
+"""
+
+import pytest
+
+from repro.analysis.racecheck import checking
+from repro.core.executor import ParallelExecutor
+from repro.core.partitioned import PartitionedOracle
+from repro.core.status_oracle import CommitRequest
+from repro.server import ReplicatedFrontend
+from repro.server.frontend import OracleFrontend
+
+PARTS = 4
+
+
+def cross_requests(oracle, n, tag):
+    """n commit requests whose write sets straddle partitions."""
+    return [
+        CommitRequest(
+            oracle.begin(),
+            write_set=frozenset({f"{tag}-a{i}", f"{tag}-b{i}", f"{tag}-c{i}"}),
+        )
+        for i in range(n)
+    ]
+
+
+def test_parallel_executor_protocol_rounds_run_clean():
+    executor = ParallelExecutor(max_workers=PARTS)
+    try:
+        with checking() as rc:
+            oracle = PartitionedOracle(
+                num_partitions=PARTS,
+                executor=executor,
+                round_latency=0.0002,  # forces the executor fan-out
+            )
+            for batch in range(6):
+                results = oracle.decide_batch(
+                    cross_requests(oracle, 16, f"b{batch}")
+                )
+                assert len(results) == 16
+        # checking() already asserted clean; prove the instrumentation
+        # actually saw the shard locks from the pool threads.
+        assert rc.acquisitions > 0
+        assert not rc.violations
+    finally:
+        executor.shutdown()
+
+
+def test_frontend_over_parallel_partitioned_backend_runs_clean():
+    executor = ParallelExecutor(max_workers=PARTS)
+    try:
+        with checking() as rc:
+            oracle = PartitionedOracle(
+                num_partitions=PARTS,
+                executor=executor,
+                round_latency=0.0002,
+            )
+            frontend = OracleFrontend(oracle, max_batch=8)
+            futures = []
+            for i in range(32):
+                futures.append(
+                    frontend.submit_commit(
+                        CommitRequest(
+                            frontend.begin(),
+                            write_set=frozenset({f"x{i}", f"y{i}"}),
+                        )
+                    )
+                )
+            frontend.flush()
+            assert all(f.done for f in futures)
+        assert rc.acquisitions > 0
+    finally:
+        executor.shutdown()
+
+
+def test_ha_failover_paths_run_clean():
+    with checking() as rc:
+        rf = ReplicatedFrontend(num_hosts=3, max_batch=100)
+        # Steady state: decided + durable before any crash.
+        durable = [
+            rf.submit_commit(CommitRequest(rf.begin(), write_set=frozenset({f"d{i}"})))
+            for i in range(8)
+        ]
+        rf.flush()
+        assert all(f.done for f in durable)
+        # Crash the leader mid-open-batch, twice: fail_pending +
+        # drop_pending + promotion + retry all run under the checker.
+        for round_no in range(2):
+            caught = rf.submit_commit(
+                CommitRequest(rf.begin(), write_set=frozenset({f"mid{round_no}"}))
+            )
+            rf.kill_active()
+            rf.flush()
+            assert caught.done and caught.outcome() == "committed"
+        assert rf.failovers == 2
+    assert rc.acquisitions > 0
+    assert not rc.violations
+
+
+def test_seeded_inversion_in_protocol_shaped_code_is_caught():
+    # The repro the detector exists for: two code paths touching two
+    # shards in opposite orders (the classic cross-partition deadlock).
+    with pytest.raises(Exception) as excinfo:
+        with checking() as rc:
+            shard_a, shard_b = rc.lock("shard[0]"), rc.lock("shard[1]")
+
+            def transfer(src, dst):
+                with src:
+                    with dst:
+                        pass
+
+            transfer(shard_a, shard_b)
+            transfer(shard_b, shard_a)  # opposite order: potential deadlock
+    assert "lock-order cycle" in str(excinfo.value)
+
+
+def test_fixed_ordering_in_protocol_shaped_code_is_accepted():
+    # The fix: always lock shards in index order, as the partitioned
+    # oracle's coordinator does by construction.
+    with checking() as rc:
+        shard_a, shard_b = rc.lock("shard[0]"), rc.lock("shard[1]")
+
+        def transfer_ordered():
+            with shard_a:
+                with shard_b:
+                    pass
+
+        for _ in range(4):
+            transfer_ordered()
+    assert not rc.violations
