@@ -29,7 +29,7 @@ bench:
 	rm -f BENCH_full.json
 	REPRO_BENCH_SNAPSHOT=$${REPRO_BENCH_SNAPSHOT:-BENCH_full.json} $(PYTEST) benchmarks -q -s
 
-## Fast perf sanity check: the E17-E23 hot-path/HA bars at tiny sizes
+## Fast perf sanity check: the E17-E24 hot-path/HA bars at tiny sizes
 ## (REPRO_BENCH_SMOKE relaxes the bars accordingly).  Writes the
 ## headline ratios per experiment to BENCH_smoke.json (the snapshot is
 ## committed, so behaviour drifts show up as a diff).  Runs in a few
@@ -45,6 +45,8 @@ bench-smoke:
 		benchmarks/test_e21_parallel_partitions.py::test_e21_parallel_executor_speedup \
 		benchmarks/test_e22_failover.py \
 		benchmarks/test_e23_engine_shootout.py \
+		benchmarks/test_e24_array_lastcommit.py::test_e24_array_backend_speedup \
+		benchmarks/test_e24_array_lastcommit.py::test_e24_memory_footprint \
 		-q -s
 
 ## The fast suite twice under two different hash salts: routing (shard
@@ -65,10 +67,17 @@ bench-smoke:
 ## that defaults engine=None resolves through the variable.  Tests
 ## that assert oracle-specific semantics (last_commit probes, WSI
 ## conflict outcomes) pin engine="oracle" and ride along unchanged.
+## The REPRO_LASTCOMMIT=array leg runs the whole fast suite with every
+## oracle built without an explicit lastcommit= re-backed onto the
+## interned-array store (repro.core.lastcommit) — representation is
+## performance policy, never semantics, so the suite must stay green
+## verbatim (the hypothesis pins in test_equivalence_properties.py
+## additionally require bit-identical decisions and replay).
 check:
 	$(MAKE) lint
 	PYTHONHASHSEED=0 $(PYTEST) -m "not slow" -q
 	PYTHONHASHSEED=31337 $(PYTEST) -m "not slow" -q
+	REPRO_LASTCOMMIT=array PYTHONHASHSEED=0 $(PYTEST) -m "not slow" -q
 	REPRO_EXECUTOR=parallel PYTHONHASHSEED=0 $(PYTEST) -m "not slow" -q
 	REPRO_EXECUTOR=parallel PYTHONHASHSEED=31337 $(PYTEST) -m "not slow" -q
 	REPRO_ENGINE=percolator PYTHONHASHSEED=0 $(PYTEST) -m "not slow" -q \
@@ -83,6 +92,10 @@ check:
 		tests/coord/test_failover.py tests/server/test_ha.py
 
 ## cProfile the batch-decide frontend microbench and print the top-20
-## functions by cumulative time (where the critical section spends it).
+## functions by cumulative time (where the critical section spends it),
+## then the E24-shaped batch-128 attribution of the array lastCommit
+## backend: cumulative time per phase (intern / gather / compare /
+## install) plus the measured bytes/entry of both backends.
 profile:
 	PYTHONPATH=src python -m repro.bench.frontend_bench --profile
+	PYTHONPATH=src python -m repro.bench.frontend_bench --profile-e24

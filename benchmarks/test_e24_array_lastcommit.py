@@ -1,0 +1,173 @@
+"""E24 — array-backed lastCommit vs dict on a warmed, scan-heavy workload.
+
+Not a paper figure: this isolates the conflict-*check* cost inside the
+critical section §6.3 bounds.  E18 amortized the per-request overhead
+around the check; E24 attacks the check itself.  On a warmed keyspace
+the dict backend's ``isdisjoint`` prefilter always fails and every
+checked row degrades to an interpreted dict probe; the array backend
+(``REPRO_LASTCOMMIT=array``) interns rows to dense ids once and turns
+the whole scan into two vectorized gathers plus one ``max`` (the int
+lane — see ``repro.core.keyspace``).
+
+The workload is deliberately low-conflict (keyspace 2^18, 256-row read
+sets, 2-row write sets, fresh starts per batch): a suspected conflict
+always re-verifies through the scalar rescan, so high abort rates make
+both backends pay the same interpreted loop and mask the effect being
+measured.  Tiny smoke sizes keep this exact shape and only shrink the
+request count.
+
+Acceptance: the array backend sustains >= 2x the dict backend's
+batch-decide throughput at batch size 128 (WSI, warmed keyspace, median
+of paired runs — E17's protocol).  A second table sweeps batch sizes,
+and a footprint leg measures real bytes/entry against the documented
+~32 B/entry dict estimate — honestly: the array backend buys CPU with
+*more* memory, not less.
+
+Set ``REPRO_BENCH_SMOKE=1`` (the ``make bench-smoke`` target) for a
+tiny-sized sanity run with correspondingly relaxed bars.
+"""
+
+import os
+
+import pytest
+
+from repro.bench import format_table
+from repro.bench.snapshot import record
+from repro.bench.frontend_bench import (
+    E24_KEYSPACE,
+    bench_lastcommit,
+    make_scan_specs,
+    measure_lastcommit_footprints,
+    median_speedup,
+    paired_lastcommit_speedups,
+    sweep_lastcommit_batches,
+)
+from repro.core.status_oracle import BYTES_PER_LASTCOMMIT_ENTRY
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+NUM_REQUESTS = 512 if SMOKE else 2_560
+PAIRS = 2 if SMOKE else 5
+REPEATS = 1 if SMOKE else 2
+#: tiny smoke runs are noisy; the full run must clear the real bar.
+SPEEDUP_BAR = 1.5 if SMOKE else 2.0
+BATCH_SIZES = (8, 32, 128) if SMOKE else (8, 32, 128, 512)
+FOOTPRINT_ENTRIES = 20_000 if SMOKE else 100_000
+
+
+@pytest.mark.figure("e24")
+def test_e24_array_backend_speedup(benchmark, print_header):
+    # The ≥2x claim is about the vectorized int lane; without numpy the
+    # store runs its scalar fallback (correct, but no speedup to assert).
+    pytest.importorskip("numpy")
+    ratios = benchmark.pedantic(
+        lambda: paired_lastcommit_speedups(
+            level="wsi",
+            batch_size=128,
+            pairs=PAIRS,
+            num_requests=NUM_REQUESTS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_header("E24 — array vs dict lastCommit, warmed scan-heavy decide")
+    print(
+        f"  shape: keyspace {E24_KEYSPACE}, 256 checked rows/request, "
+        f"batch 128, {NUM_REQUESTS} requests"
+    )
+    print("paired WSI speedups at batch 128 (array vs dict backend):")
+    print("  " + "  ".join(f"{r:.2f}x" for r in ratios))
+    print(
+        f"  median: {median_speedup(ratios):.2f}x "
+        f"(acceptance bar: {SPEEDUP_BAR}x)"
+    )
+
+    # Acceptance: array backend >= 2x dict at batch 128 (WSI, warmed
+    # keyspace), median of paired runs.
+    assert median_speedup(ratios) >= SPEEDUP_BAR
+    record("e24", median_speedup=median_speedup(ratios), bar=SPEEDUP_BAR)
+
+
+@pytest.mark.figure("e24")
+def test_e24_batch_size_sweep(print_header):
+    print_header("E24b — batch size sweep, both backends")
+    results = sweep_lastcommit_batches(
+        "wsi",
+        batch_sizes=BATCH_SIZES,
+        num_requests=NUM_REQUESTS,
+        repeats=REPEATS,
+    )
+    print(
+        format_table(
+            ["level", "backend", "batch", "ops/s", "us/op", "commits", "aborts"],
+            [r.as_row() for r in results],
+            title=(
+                f"warmed keyspace {E24_KEYSPACE}, 256-row read sets, "
+                f"{NUM_REQUESTS} commit requests"
+            ),
+        )
+    )
+    # The representation must never change what is decided: at every
+    # batch size the (dict, array) pair agrees on every decision.
+    for dict_res, array_res in zip(results[::2], results[1::2]):
+        assert dict_res.batch_size == array_res.batch_size
+        assert array_res.commits == dict_res.commits
+        assert array_res.aborts == dict_res.aborts
+
+
+@pytest.mark.figure("e24")
+def test_e24_decisions_identical_across_backends(print_header):
+    """Zero-tolerance leg at the acceptance shape: dict and array runs
+    of the identical warmed workload produce identical decision counts
+    (the hypothesis suite pins full state; this pins it at benchmark
+    scale)."""
+    print_header("E24c — decision equality, dict vs array backend")
+    specs = make_scan_specs(NUM_REQUESTS)
+    dict_res = bench_lastcommit("wsi", specs, "dict", batch_size=128, repeats=1)
+    array_res = bench_lastcommit("wsi", specs, "array", batch_size=128, repeats=1)
+    assert array_res.commits == dict_res.commits
+    assert array_res.aborts == dict_res.aborts
+    print(
+        f"  wsi: {dict_res.commits} commits / {dict_res.aborts} aborts "
+        f"on both backends"
+    )
+
+
+@pytest.mark.figure("e24")
+def test_e24_memory_footprint(print_header):
+    """Measured bytes/entry vs the documented ~32 B/entry dict estimate
+    (Appendix A's amortized slot cost, which excludes the key and value
+    objects the measurement here includes).  The array backend trades
+    memory *up* for scan speed — it keeps the dict backend's key->id map
+    plus the timestamp array, reverse table and int lane — so the
+    honest assertion is array > dict, not the reverse."""
+    print_header("E24d — lastCommit memory footprint (measured)")
+    fp = measure_lastcommit_footprints(num_entries=FOOTPRINT_ENTRIES)
+    print(
+        format_table(
+            ["backend", "entries", "bytes/entry"],
+            [
+                ("dict (measured)", fp["entries"],
+                 f"{fp['dict_bytes_per_entry']:.1f}"),
+                ("array (measured)", fp["entries"],
+                 f"{fp['array_bytes_per_entry']:.1f}"),
+                ("dict (Appendix A estimate)", "-",
+                 f"{BYTES_PER_LASTCOMMIT_ENTRY:.1f}"),
+            ],
+            title="int-keyed entries, sys.getsizeof over every reachable piece",
+        )
+    )
+    # The estimate is an amortized lower bound on the real dict cost.
+    assert fp["dict_bytes_per_entry"] >= BYTES_PER_LASTCOMMIT_ENTRY
+    # Representation honesty: the array backend costs MORE memory per
+    # entry than the dict it replaces (within 8x — a regression guard).
+    assert (
+        fp["dict_bytes_per_entry"]
+        < fp["array_bytes_per_entry"]
+        < 8 * fp["dict_bytes_per_entry"]
+    )
+    record(
+        "e24_footprint",
+        dict_bytes_per_entry=round(fp["dict_bytes_per_entry"], 1),
+        array_bytes_per_entry=round(fp["array_bytes_per_entry"], 1),
+        estimate=BYTES_PER_LASTCOMMIT_ENTRY,
+    )

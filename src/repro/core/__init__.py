@@ -11,6 +11,10 @@ Public surface:
   :class:`BoundedStatusOracle` (Alg. 3), :func:`make_oracle`.
 * :class:`TimestampOracle` — batched-durability timestamp server.
 * :class:`CommitTable`, :class:`ClientCommitView` — commit-state replicas.
+* :class:`LastCommitStore` backends — :class:`ArrayLastCommit` /
+  :class:`BoundedArrayLastCommit` over :class:`KeyInterner` dense ids,
+  selected per oracle via ``lastcommit=`` or globally via
+  ``REPRO_LASTCOMMIT`` (:func:`make_lastcommit`).
 * :class:`PartitionedOracle` with pluggable
   :class:`~repro.core.executor.PartitionExecutor` round drivers
   (:class:`SerialExecutor` / :class:`ParallelExecutor`) and
@@ -58,6 +62,13 @@ from repro.core.executor import (
     make_executor,
 )
 from repro.core.isolation import IsolationLevel, TransactionalSystem, create_system
+from repro.core.keyspace import KeyInterner
+from repro.core.lastcommit import (
+    ArrayLastCommit,
+    BoundedArrayLastCommit,
+    LastCommitStore,
+    make_lastcommit,
+)
 from repro.core.partitioned import BatchRounds, PartitionedOracle
 from repro.core.sharding import (
     DirectorySharding,
@@ -102,6 +113,11 @@ __all__ = [
     "CommitRequest",
     "CommitResult",
     "OracleStats",
+    "KeyInterner",
+    "LastCommitStore",
+    "ArrayLastCommit",
+    "BoundedArrayLastCommit",
+    "make_lastcommit",
     "PartitionedOracle",
     "BatchRounds",
     "PartitionExecutor",

@@ -1,0 +1,193 @@
+"""Dense, process-independent key interning for the array lastCommit.
+
+The array-backed conflict-detection store (:mod:`repro.core.lastcommit`)
+replaces the per-row dict probe with a flat ``array('q')`` of commit
+timestamps indexed by a *dense integer slot id*.  :class:`KeyInterner`
+owns that id space: it maps each row key seen by an oracle (or by one
+shard of a partitioned oracle — interners are never shared across
+shards) to the next free slot, and remembers the reverse mapping so the
+store can still iterate as a ``Mapping``.
+
+**Slot 0 is reserved** — no key is ever assigned it, and the store
+keeps its timestamp permanently 0 (the absent sentinel).  Ids therefore
+start at 1, which lets the vectorised lookup lane below use 0 for
+"unseen" with no masking.
+
+Ids must be **stable across processes** for the same reason shard
+routing must be (see :mod:`repro.core.sharding`): a replayed WAL or a
+warm standby re-interning the same workload must land every key on the
+same slot, or any id-keyed artifact (epoch snapshots, debug dumps,
+cross-process comparisons in tests) silently diverges.  Builtin
+``hash()`` salting makes *set iteration order* of ``str`` keys differ
+per process, and write/read sets arrive as ``frozenset``\\ s — so
+:meth:`KeyInterner.intern_many` orders the unseen keys of each batch by
+``(stable_hash(key), repr(key))`` before assigning ids.  Given the same
+sequence of key-*sets*, every process assigns identical ids regardless
+of ``PYTHONHASHSEED`` (pinned by subprocess tests in
+``tests/core/test_keyspace.py``).
+
+Single-key :meth:`intern` is first-come-first-served — callers on
+deterministic paths (install loops over a batch's write sets) reach it
+only through :meth:`intern_many` or in an order they already control.
+
+Equal keys intern equal: the id table is a dict, so the numeric
+cross-type equality ``2 == 2.0 == Decimal(2)`` collapses to one id,
+exactly as the dict backend collapses them to one ``lastCommit`` entry.
+
+**The int lane.**  Conflict checks are bound by one random dict probe
+per row — probing ``lastCommit`` directly (dict backend) or probing the
+id table (array backend) costs the same, so interning alone buys
+nothing.  For the dominant case of plain non-negative ``int`` row keys,
+the interner therefore also maintains ``_int_table``: a flat
+``array('q')`` mapping key -> slot id (0 = unseen), which numpy can
+gather from *without any per-row Python work*.  The lane is valid while
+every interned key is an exact ``int`` (``_int_lane`` flag; any other
+key type disables it permanently).  Safety note for the store's
+vectorised check: a *checked* key of another numeric type may truncate
+into the wrong table cell, but while the lane is on no such key can be
+interned, so the gathered maximum can only over-report (a suspected
+conflict is always re-verified scalar-wise against the authoritative
+dict) and never under-report — no false negatives, and false positives
+are filtered by the rescan.  Interned int keys at or above
+:data:`INT_LANE_BOUND` are simply not recorded; the store's bounds
+guard (checked max >= table length) routes any request that could see
+them to the scalar path.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from .sharding import stable_hash
+
+__all__ = ["INT_LANE_BOUND", "KeyInterner"]
+
+#: Largest int key recorded in the vectorised lookup lane.  The table
+#: is direct-addressed (8 bytes per possible key below the largest seen)
+#: so the bound caps its worst-case footprint at 16 MB.
+INT_LANE_BOUND = 1 << 21
+
+
+def _intern_order(key: Hashable) -> Tuple[int, str]:
+    """Process-independent total order for id assignment.
+
+    ``stable_hash`` does the heavy lifting; ``repr`` breaks the rare
+    CRC-32 tie deterministically (canonical for the scalar row keys
+    this repository uses — the same caveat as ``stable_hash`` itself).
+    """
+    return (stable_hash(key), repr(key))
+
+
+class KeyInterner:
+    """Stable key -> dense int slot id (one per store, one per shard).
+
+    Slot ids are 1-based; slot 0 is the reserved absent sentinel.
+    """
+
+    __slots__ = ("_ids", "_keys", "_int_table", "_int_lane")
+
+    def __init__(self) -> None:
+        #: key -> slot id.  Dict equality semantics make cross-type-equal
+        #: numeric keys share a slot, matching the dict backend.
+        self._ids: Dict[Hashable, int] = {}
+        #: slot id -> key; index 0 is the reserved sentinel.
+        self._keys: List[Optional[Hashable]] = [None]
+        #: int key -> slot id, 0 = unseen: the numpy-gatherable lane.
+        self._int_table: array = array("q")
+        #: lane validity: False once any non-``int`` key is interned.
+        self._int_lane = True
+
+    def __len__(self) -> int:
+        """Number of interned keys (the reserved slot doesn't count)."""
+        return len(self._keys) - 1
+
+    @property
+    def slot_capacity(self) -> int:
+        """Slots a backing array must provide (reserved slot included)."""
+        return len(self._keys)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._ids
+
+    def id_of(self, key: Hashable) -> int:
+        """The slot of an already-interned key (KeyError when unseen)."""
+        return self._ids[key]
+
+    def get(self, key: Hashable, default: Optional[int] = None) -> Optional[int]:
+        return self._ids.get(key, default)
+
+    def key_of(self, kid: int) -> Hashable:
+        """Reverse lookup: the key occupying slot ``kid`` (1-based)."""
+        return self._keys[kid]
+
+    def _note(self, key: Hashable, kid: int) -> None:
+        """Record a fresh interning in the int lane (or invalidate it)."""
+        if self._int_lane:
+            if key.__class__ is int:
+                if 0 <= key < INT_LANE_BOUND:
+                    table = self._int_table
+                    size = len(table)
+                    if key >= size:
+                        # Doubling growth: zero-fill (0 == unseen) so a
+                        # straight ascending intern stays amortised O(n).
+                        grown = max(key + 1, 2 * size)
+                        table.frombytes(bytes((grown - size) << 3))
+                    table[key] = kid
+                elif key < 0:
+                    # A negative interned key would dodge the store's
+                    # checked-max bounds guard (numpy fancy indexing
+                    # wraps negatives), so it could be *missed* by the
+                    # gather — the one alias direction the rescan can't
+                    # repair.  End the lane.
+                    self._int_lane = False
+                # Int keys at/above the bound are *not* recorded: the
+                # store's checked-max >= len(table) guard falls back to
+                # the scalar path whenever such a key could matter.
+            else:
+                # Any non-int key (str, float, bool, tuple...) ends the
+                # lane for good: vectorised casts could alias it.
+                self._int_lane = False
+
+    def intern(self, key: Hashable) -> int:
+        """Slot of ``key``, assigning the next free one on first sight."""
+        ids = self._ids
+        kid = ids.get(key)
+        if kid is None:
+            keys = self._keys
+            kid = len(keys)
+            ids[key] = kid
+            keys.append(key)
+            self._note(key, kid)
+        return kid
+
+    def intern_many(self, keys: Iterable[Hashable]) -> List[int]:
+        """Slots for ``keys`` (in input order), interning unseen ones.
+
+        Unseen keys are assigned ids in ``(stable_hash, repr)`` order,
+        not input order, so a ``frozenset`` input (whose iteration
+        order is salt-dependent for strings) yields the same ids in
+        every process.
+        """
+        ids = self._ids
+        missing = [key for key in keys if key not in ids]
+        if missing:
+            missing.sort(key=_intern_order)
+            table = self._keys
+            for key in missing:
+                if key not in ids:  # duplicates inside one batch
+                    kid = len(table)
+                    ids[key] = kid
+                    table.append(key)
+                    self._note(key, kid)
+        return [ids[key] for key in keys]
+
+    @property
+    def int_lane_ok(self) -> bool:
+        """True while the vectorised int lane is usable."""
+        return self._int_lane
+
+    @property
+    def int_table(self) -> array:
+        """The int-key lookup lane (key -> slot, 0 = unseen)."""
+        return self._int_table

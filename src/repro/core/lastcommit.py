@@ -1,0 +1,461 @@
+"""Pluggable ``lastCommit`` conflict-detection stores.
+
+The status oracle's hot state is one logical table: row key -> commit
+timestamp of the last transaction that wrote the row (``lastCommit`` in
+the paper's Algorithms 1-3).  Two representations back it:
+
+``dict`` (the default)
+    A plain dict keyed by row — simple, insertion-ordered, and fast for
+    point probes.  ``BoundedStatusOracle`` uses an ``OrderedDict`` for
+    its LRU eviction.  ~32 B/entry was the Appendix-A planning figure;
+    benchmark E24's footprint leg measures the real number (see
+    ROADMAP.md).
+
+``array`` (:class:`ArrayLastCommit`)
+    Keys are interned to dense int ids (:class:`~repro.core.keyspace.
+    KeyInterner`), timestamps live in a flat ``array('q')`` indexed by
+    id, and 0 is the *absent* sentinel (commit timestamps are always
+    >= 1; recovery already treats 0 as "never written").  The win is
+    in the batch decide loop: one C-level id gather
+    (``itemgetter(*rows)``) plus one C-level timestamp gather plus one
+    ``max(...) > start_ts`` compare replaces N interpreted dict-probe
+    iterations per request — and an optional numpy path vectorises the
+    compare for large row sets.  Benchmark E24 pins the >= 2x batch-128
+    speedup; the hypothesis equivalence suites pin array == dict
+    decisions bit-for-bit.
+
+Both stores speak the ``MutableMapping`` protocol, so every consumer
+that treats ``_last_commit`` as a mapping — the generic decide path,
+recovery, analytics, the equivalence tests' ``dict(...)`` comparisons —
+works on either backend unchanged.  The extra array-only surface
+(:meth:`ArrayLastCommit.install`, :meth:`ArrayLastCommit.scan_conflict`,
+:meth:`ArrayLastCommit.bulk_reset`) is what the vectorised decide loop
+binds.
+
+Backend selection mirrors the ``REPRO_ENGINE`` idiom
+(:mod:`repro.core.engine`): ``make_lastcommit()`` resolves the
+``REPRO_LASTCOMMIT`` environment variable (``dict`` | ``array``), and
+``make_oracle(..., lastcommit=...)`` threads an explicit choice
+through, per shard, for partitioned deployments.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from collections import OrderedDict
+from collections.abc import Mapping, MutableMapping
+from operator import itemgetter
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple, Union
+
+from .keyspace import KeyInterner
+
+try:  # numpy is optional: the itemgetter path is the mandatory fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+__all__ = [
+    "LASTCOMMIT_ENV",
+    "NUMPY_MIN_ROWS",
+    "LastCommitStore",
+    "ArrayLastCommit",
+    "BoundedArrayLastCommit",
+    "default_lastcommit_kind",
+    "make_lastcommit",
+    "np_peak",
+]
+
+#: Environment variable selecting the default backend (``dict``/``array``).
+LASTCOMMIT_ENV = "REPRO_LASTCOMMIT"
+
+#: Row-set size at which the numpy gather+max beats N itemgetter hops.
+#: Below it the fixed cost of building the index array and the
+#: ``frombuffer`` view dominates; typical read sets (<= ~16 rows) stay
+#: on the pure-python path even when numpy is installed.
+NUMPY_MIN_ROWS = 32
+
+
+def _np_peak(ts: array, kids) -> int:
+    """Max timestamp over slot ids ``kids``, vectorised.
+
+    The ``frombuffer`` view is zero-copy and *transient*: it is created
+    and dropped inside this call because a live view pins the buffer
+    and the next ``array`` grow would raise ``BufferError``.
+    """
+    return int(_np.frombuffer(ts, dtype=_np.int64)[list(kids)].max())
+
+
+#: Vectorised gather+max, or ``None`` when numpy is unavailable — the
+#: decide loops bind this once and fall back to ``itemgetter`` chains.
+np_peak = _np_peak if _np is not None else None
+
+
+class LastCommitStore(MutableMapping):
+    """Interface contract for pluggable ``lastCommit`` backends.
+
+    A backend is any ``MutableMapping`` from row key to positive commit
+    timestamp whose equality, iteration and ``dict(...)`` conversions
+    match the plain-dict backend.  Array-style backends additionally
+    expose the bulk hooks the vectorised decide loop binds:
+
+    * :meth:`install` — intern + store a whole write set at one
+      timestamp (one call per committed transaction);
+    * :meth:`scan_conflict` — side-effect-free first-conflict scan with
+      the dict backend's exact row order and rows-examined count;
+    * :meth:`bulk_reset` — epoch/watermark reset without rebuilding the
+      interner.
+
+    The plain ``dict`` default does not subclass this ABC — the decide
+    loop type-switches on the concrete class, and everything else goes
+    through the shared mapping protocol.
+    """
+
+    __slots__ = ()
+
+    #: Factory kind string this backend answers to.
+    kind = "abstract"
+
+    def install(self, keys: Iterable[Hashable], commit_ts: int) -> None:
+        raise NotImplementedError
+
+    def scan_conflict(
+        self, rows: Iterable[Hashable], start_ts: int
+    ) -> Tuple[Optional[Hashable], int]:
+        raise NotImplementedError
+
+    def bulk_reset(self, watermark: Optional[int] = None) -> None:
+        raise NotImplementedError
+
+
+class ArrayLastCommit(LastCommitStore):
+    """Flat ``array('q')`` of commit timestamps indexed by interned slot.
+
+    Zero-valued slots are absent (commit timestamps are >= 1), and slot
+    0 — which the interner never assigns — stays permanently 0 so the
+    vectorised check can route "unseen" lookups there without masking.
+    The array grows monotonically with the interner — keys deleted from
+    the *mapping* keep their slot, so re-installs never re-intern and
+    ids stay stable for the store's lifetime (and across processes, per
+    the interner's contract).
+    """
+
+    __slots__ = ("_interner", "_ts", "_live")
+
+    kind = "array"
+
+    def __init__(self, interner: Optional[KeyInterner] = None) -> None:
+        self._interner = interner if interner is not None else KeyInterner()
+        #: commit timestamp per slot; 0 == absent.  Grown (never shrunk)
+        #: to the interner's slot capacity on demand.
+        self._ts: array = array("q", bytes(8 * self._interner.slot_capacity))
+        #: live (non-zero) entry count: the mapping's len().
+        self._live = 0
+
+    # -- growth ----------------------------------------------------------
+
+    def _grow(self) -> array:
+        """Extend the slot array to the interner's current capacity.
+
+        numpy views are never cached across calls precisely because of
+        this method: a live ``frombuffer`` view pins the buffer and
+        ``array.extend`` would raise ``BufferError``.
+        """
+        ts = self._ts
+        short = self._interner.slot_capacity - len(ts)
+        if short > 0:
+            ts.frombytes(bytes(8 * short))
+        return ts
+
+    # -- mapping protocol ------------------------------------------------
+
+    def __getitem__(self, key: Hashable) -> int:
+        kid = self._interner._ids.get(key)
+        if kid is not None and kid < len(self._ts):
+            ts = self._ts[kid]
+            if ts:
+                return ts
+        raise KeyError(key)
+
+    def get(self, key: Hashable, default=None):
+        kid = self._interner._ids.get(key)
+        if kid is not None and kid < len(self._ts):
+            ts = self._ts[kid]
+            if ts:
+                return ts
+        return default
+
+    def __setitem__(self, key: Hashable, commit_ts: int) -> None:
+        if commit_ts <= 0:
+            raise ValueError(
+                f"ArrayLastCommit timestamps must be positive (0 is the "
+                f"absent sentinel); got {commit_ts!r} for {key!r}"
+            )
+        kid = self._interner.intern(key)
+        ts = self._ts
+        if kid >= len(ts):
+            ts = self._grow()
+        if ts[kid] == 0:
+            self._live += 1
+            self._record_insert(kid)
+        ts[kid] = commit_ts
+
+    def __delitem__(self, key: Hashable) -> None:
+        kid = self._interner._ids.get(key)
+        if kid is None or kid >= len(self._ts) or self._ts[kid] == 0:
+            raise KeyError(key)
+        self._ts[kid] = 0
+        self._live -= 1
+        self._record_delete(kid)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        # Id (= deterministic intern) order; callers needing LRU order
+        # use BoundedArrayLastCommit.
+        keys = self._interner._keys
+        ts = self._ts
+        for kid in range(len(ts)):
+            if ts[kid]:
+                yield keys[kid]
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __contains__(self, key: Hashable) -> bool:
+        kid = self._interner._ids.get(key)
+        return kid is not None and kid < len(self._ts) and self._ts[kid] != 0
+
+    def __eq__(self, other: object) -> bool:
+        # Mapping-value equality against *any* mapping (dict included),
+        # so backend-crossed comparisons in tests behave like dict==dict.
+        if isinstance(other, Mapping):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    # MutableMapping sets __hash__ = None; keep it that way.
+    __hash__ = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({dict(self)!r})"
+
+    # -- LRU-order hooks (no-ops here; BoundedArrayLastCommit overrides) --
+
+    def _record_insert(self, kid: int) -> None:
+        pass
+
+    def _record_delete(self, kid: int) -> None:
+        pass
+
+    # -- bulk hooks the vectorised decide loop binds ----------------------
+
+    def install(self, keys: Iterable[Hashable], commit_ts: int) -> None:
+        """Intern + store a whole write set at ``commit_ts``.
+
+        One ``intern_many`` (deterministic id order for unseen keys),
+        one grow, one store sweep — the per-commit install cost the
+        batch loop pays instead of ``len(ws)`` dict stores.
+        """
+        if commit_ts <= 0:
+            raise ValueError(
+                f"ArrayLastCommit timestamps must be positive (0 is the "
+                f"absent sentinel); got {commit_ts!r}"
+            )
+        kids = self._interner.intern_many(keys)
+        ts = self._grow()
+        fresh = 0
+        for kid in kids:
+            if ts[kid] == 0:
+                fresh += 1
+                self._record_insert(kid)
+            ts[kid] = commit_ts
+        self._live += fresh
+
+    def scan_conflict(
+        self, rows, start_ts: int
+    ) -> Tuple[Optional[Hashable], int]:
+        """First conflicting row and rows-examined count, dict-identically.
+
+        Three regimes, fastest first:
+
+        * **int lane** (numpy present, >= :data:`NUMPY_MIN_ROWS` rows,
+          every interned key an exact int): one ``fromiter`` over the
+          row set, one vectorised slot gather from the interner's int
+          table (0 routes to the reserved always-0 slot), one
+          vectorised timestamp gather + ``max`` — zero per-row Python
+          work.  The gathered max can only over-report (see
+          :mod:`repro.core.keyspace` on checked-key aliasing), so a
+          value above ``start_ts`` is a *suspicion*, not a verdict.
+        * **itemgetter chain**: one C-level id gather + one C-level
+          timestamp gather + one ``max`` — no per-row bytecode, but
+          still a dict probe per row inside the C call.
+        * **scalar probe**: the dict backend's faithful early-stop scan,
+          used as the rescan for any suspected conflict and as the
+          fallback when a row was never interned — so the reported
+          conflict row and the examined count match the dict backend's
+          scan exactly in every case.
+        """
+        rows = tuple(rows) if not isinstance(rows, (tuple, frozenset)) else rows
+        n = len(rows)
+        if n == 0:
+            return None, 0
+        interner = self._interner
+        ids_map = interner._ids
+        ts = self._ts
+        peak = -1  # -1: gather impossible, go scalar
+        try:
+            if n == 1:
+                row = next(iter(rows))
+                kid = ids_map[row]
+                if kid < len(ts) and ts[kid] > start_ts:
+                    return row, 1
+                return None, 1
+            if _np is not None and n >= NUMPY_MIN_ROWS and interner._int_lane:
+                try:
+                    keys_np = _np.fromiter(rows, _np.int64, n)
+                except (TypeError, ValueError, OverflowError):
+                    keys_np = None
+                if keys_np is not None:
+                    table = interner._int_table
+                    if len(table) and int(keys_np.max()) < len(table):
+                        kids_np = _np.frombuffer(table, dtype=_np.int64)[keys_np]
+                        peak = int(
+                            _np.frombuffer(ts, dtype=_np.int64)[kids_np].max()
+                        )
+            if peak < 0:
+                kids = itemgetter(*rows)(ids_map)
+                peak = max(itemgetter(*kids)(ts))
+        except (KeyError, IndexError):
+            # Some row was never interned (or its slot predates the
+            # last grow): no gather possible, probe row by row.
+            peak = -1
+        if 0 <= peak <= start_ts:
+            return None, n
+        ids_get = ids_map.get
+        examined = 0
+        for row in rows:
+            examined += 1
+            kid = ids_get(row)
+            if kid is not None and kid < len(ts) and ts[kid] > start_ts:
+                return row, examined
+        return None, examined
+
+    def bulk_reset(self, watermark: Optional[int] = None) -> None:
+        """Epoch reset: drop all entries, or those at/below ``watermark``.
+
+        The interner (and therefore every id) survives — the point of
+        an epoch flip is to reuse the keyspace without re-interning.
+        """
+        ts = self._ts
+        if watermark is None:
+            self._ts = array("q", bytes(8 * len(ts)))
+            self._live = 0
+            self._order_clear()
+            return
+        live = self._live
+        for kid in range(len(ts)):
+            stamp = ts[kid]
+            if stamp and stamp <= watermark:
+                ts[kid] = 0
+                live -= 1
+                self._record_delete(kid)
+        self._live = live
+
+    def clear(self) -> None:
+        self.bulk_reset()
+
+    def _order_clear(self) -> None:
+        pass
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def interner(self) -> KeyInterner:
+        return self._interner
+
+    def slot_count(self) -> int:
+        """Allocated slots (interned keys), live or not."""
+        return len(self._ts)
+
+
+class BoundedArrayLastCommit(ArrayLastCommit):
+    """LRU-ordered array store backing ``BoundedStatusOracle``.
+
+    Adds the ``OrderedDict`` surface the bounded decide loop uses —
+    insertion-ordered iteration, ``pop(row)``, ``popitem(last=False)``
+    — on top of the flat timestamp array.  Order lives in an
+    insertion-ordered ``dict`` of ids; evicted keys keep their interner
+    slot (the array never shrinks), so a bounded store's footprint is
+    bounded in *live entries* while the slot array tracks total keys
+    ever seen — the documented trade-off for id stability.
+    """
+
+    __slots__ = ("_order",)
+
+    def __init__(self, interner: Optional[KeyInterner] = None) -> None:
+        super().__init__(interner)
+        #: id -> None, in LRU order (dict preserves insertion order).
+        self._order: Dict[int, None] = {}
+
+    def _record_insert(self, kid: int) -> None:
+        self._order[kid] = None
+
+    def _record_delete(self, kid: int) -> None:
+        del self._order[kid]
+
+    def _order_clear(self) -> None:
+        self._order.clear()
+
+    def __iter__(self) -> Iterator[Hashable]:
+        keys = self._interner._keys
+        for kid in self._order:
+            yield keys[kid]
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def popitem(self, last: bool = True) -> Tuple[Hashable, int]:
+        """(key, ts) from the LRU (``last=False``) or MRU end."""
+        order = self._order
+        if not order:
+            raise KeyError("popitem(): store is empty")
+        kid = next(reversed(order)) if last else next(iter(order))
+        key = self._interner._keys[kid]
+        ts = self._ts[kid]
+        del order[kid]
+        self._ts[kid] = 0
+        self._live -= 1
+        return key, ts
+
+
+def default_lastcommit_kind() -> str:
+    """Backend selected by ``REPRO_LASTCOMMIT`` (``dict`` when unset)."""
+    return os.environ.get(LASTCOMMIT_ENV, "dict").strip().lower() or "dict"
+
+
+def make_lastcommit(
+    kind: Union[str, MutableMapping, None] = None,
+    *,
+    bounded: bool = False,
+    interner: Optional[KeyInterner] = None,
+):
+    """Build a ``lastCommit`` store.
+
+    ``kind`` is a backend name (``"dict"`` | ``"array"``), an existing
+    store instance (returned as-is, for tests injecting a pre-seeded
+    store), or ``None`` to resolve ``REPRO_LASTCOMMIT``.  ``bounded``
+    selects the LRU-ordered variant each backend provides
+    (``OrderedDict`` / :class:`BoundedArrayLastCommit`).
+    """
+    if kind is None:
+        kind = default_lastcommit_kind()
+    if not isinstance(kind, str):
+        return kind
+    name = kind.strip().lower()
+    if name == "dict":
+        return OrderedDict() if bounded else {}
+    if name == "array":
+        cls = BoundedArrayLastCommit if bounded else ArrayLastCommit
+        return cls(interner)
+    raise ValueError(
+        f"unknown lastcommit backend {kind!r} (expected 'dict' or 'array'; "
+        f"set {LASTCOMMIT_ENV} or pass lastcommit= explicitly)"
+    )

@@ -117,6 +117,7 @@ from repro.core.sharding import (
     ShardingPolicy,
     stable_hash,
 )
+from repro.core.lastcommit import ArrayLastCommit
 from repro.core.status_oracle import (
     CLIENT_ABORT,
     CommitRequest,
@@ -221,6 +222,7 @@ class PartitionedOracle:
         sharding: Optional[ShardingPolicy] = None,
         executor: Any = None,
         round_latency: float = 0.0,
+        lastcommit: Any = None,
     ) -> None:
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
@@ -228,6 +230,14 @@ class PartitionedOracle:
             raise ValueError("pass hash_fn= or sharding=, not both")
         if round_latency < 0:
             raise ValueError("round_latency must be >= 0")
+        if lastcommit is not None and not isinstance(lastcommit, str):
+            # A concrete store instance would be *shared* across shards,
+            # which breaks the per-shard interner premise — only a kind
+            # string (resolved per shard) is meaningful here.
+            raise ValueError(
+                "PartitionedOracle takes a lastcommit kind string "
+                "('dict'/'array'), not a store instance"
+            )
         self.level = level
         self._tso = timestamp_oracle or TimestampOracle()
         self._sharding = sharding or HashSharding(hash_fn)
@@ -249,9 +259,14 @@ class PartitionedOracle:
         # Every partition shares the TSO (one global commit order) and
         # gets its own lastCommit + stats; their private commit tables
         # are unused — the partitioned deployment keeps one authoritative
-        # commit table, like the monolithic oracle.
+        # commit table, like the monolithic oracle.  Under the array
+        # backend each shard gets its *own* interner (ids are per-shard
+        # dense, never shared — the shared-nothing premise of the
+        # partition-server design), built fresh per shard by
+        # make_lastcommit inside make_oracle.
         self.partitions: List[StatusOracle] = [
-            make_oracle(level, timestamp_oracle=self._tso)
+            make_oracle(level, timestamp_oracle=self._tso,
+                        lastcommit=lastcommit)
             for _ in range(num_partitions)
         ]
         # One lock per shard, held for the duration of that shard's
@@ -269,6 +284,14 @@ class PartitionedOracle:
         if rc is not None:
             for i in range(num_partitions):
                 rc.register_state(f"shard[{i}].lastCommit", f"shard[{i}]")
+                # The array backend's interner mutates on install (a new
+                # row key assigns a slot id), so it shares the shard
+                # lock's discipline and is checked as its own state.
+                if isinstance(self.partitions[i]._last_commit,
+                              ArrayLastCommit):
+                    rc.register_state(
+                        f"shard[{i}].interner", f"shard[{i}]"
+                    )
         self.commit_table = CommitTable()
         self.stats = OracleStats()
         self.cross_partition_commits = 0
@@ -538,6 +561,15 @@ class PartitionedOracle:
                 if rc is not None:
                     rc.access(shard_state)
                 lc = partition._last_commit
+                if lc.__class__ is ArrayLastCommit:
+                    # Vectorised share scan: same first-conflict-in-
+                    # share-order verdict as the probe loop below.
+                    scan = lc.scan_conflict
+                    for entry, share, start in group:
+                        row, _ = scan(share, start)
+                        if row is not None:
+                            verdicts.append((entry, pid, row))
+                    return verdicts
                 lc_get = lc.get
                 lc_isdisjoint = lc.keys().isdisjoint
                 for entry, share, start in group:

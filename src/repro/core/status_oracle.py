@@ -32,17 +32,51 @@ decides one request at a time (one WAL record per decision), and
 single bulk pass persisted as one group-commit record — the hot path the
 :mod:`repro.server` frontend flushes through (see that package's
 docstring for where the time goes).
+
+**Hot path.**  The batch decide loop is the single-node ceiling, and it
+exists in two representations behind the same decisions (selected by
+``REPRO_LASTCOMMIT`` / ``make_oracle(..., lastcommit=...)``; see
+:mod:`repro.core.lastcommit`):
+
+* ``dict`` (default) — :meth:`StatusOracle._decide_batch_fast`: one
+  C-speed ``keys().isdisjoint`` sweep per request filters the common
+  never-written case; only requests whose checked rows intersect
+  ``lastCommit`` pay the per-row probe scan.  Installs are one
+  ``dict.update(dict.fromkeys(ws, Tc))``.  Weakness: under a *warmed*
+  keyspace (every checked row present), the prefilter always fails and
+  each request degrades to N interpreted probe iterations.
+* ``array`` — :meth:`StatusOracle._decide_batch_fast_array`: row keys
+  are interned to dense ids (:class:`~repro.core.keyspace.KeyInterner`)
+  and timestamps live in a flat ``array('q')``.  Each conflict check is
+  one :meth:`~repro.core.lastcommit.ArrayLastCommit.scan_conflict`
+  call: for plain non-negative int row keys (the interner's *int lane*)
+  a fully vectorised numpy sweep — key array -> slot-id gather ->
+  timestamp gather -> one ``max(...) > Ts`` compare, zero per-row
+  interpreted work; otherwise a C-level ``itemgetter`` double gather
+  over the id map and timestamp array.  Only a *suspected* conflict
+  rescans scalar-wise (in the same frozenset order, so the reported
+  conflict row and ``rows_checked`` match the dict backend
+  bit-for-bit).  Installs intern the write set once and store into
+  flat slots.
+
+Benchmark E18 pins the batching win itself; E24 pins the array backend
+at >= 2x the dict backend on warmed batch-128 decides and measures the
+per-entry footprint of both; the hypothesis equivalence suites pin
+array == dict across decisions, commit timestamps, WAL replay and
+recovery.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Any, Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
 from repro.core.commit_table import CommitTable
 from repro.core.engine import CommitEngine
 from repro.core.errors import OracleClosed, RecoveryError
+from repro.core.lastcommit import ArrayLastCommit, make_lastcommit
 from repro.core.timestamps import TimestampOracle
 from repro.wal.bookkeeper import GROUP_COMMIT_RECORD, BookKeeperWAL
 
@@ -132,6 +166,7 @@ class StatusOracle(CommitEngine):
         timestamp_oracle: Optional[TimestampOracle] = None,
         wal: Optional[BookKeeperWAL] = None,
         naive_read_only: bool = False,
+        lastcommit=None,
     ) -> None:
         #: Ablation switch (benchmark E16): when True, a read-only request
         #: that submitted a non-empty read set is checked like any other —
@@ -146,7 +181,11 @@ class StatusOracle(CommitEngine):
             wal_hook = self._log_ts_reservation if wal is not None else None
             timestamp_oracle = TimestampOracle(wal_append=wal_hook)
         self._tso = timestamp_oracle
-        self._last_commit: Dict[RowKey, int] = {}
+        #: lastCommit store: plain dict (default), an ArrayLastCommit, or
+        #: any backend ``make_lastcommit`` resolves — "dict"/"array"
+        #: strings, a pre-built store instance, or None for the
+        #: REPRO_LASTCOMMIT environment default.
+        self._last_commit = make_lastcommit(lastcommit)
         self.commit_table = CommitTable()
         self.stats = OracleStats()
         self._closed = False
@@ -277,17 +316,23 @@ class StatusOracle(CommitEngine):
 
         The per-outcome bookkeeping (commit-table error isolation,
         payload/future/result fills) is deliberately inlined in every
-        engine — this loop, the bounded override, the partitioned
-        engine, and the frontend's per-request fallback — because a
-        shared helper costs a Python call per decision on the measured
-        hot path (benchmark E18).  Change one, change all; the
-        hypothesis equivalence suite pins decisions and stats across
-        all of them.
+        engine — this loop, the array-backed twin below, the bounded
+        override, the partitioned engine, and the frontend's
+        per-request fallback — because a shared helper costs a Python
+        call per decision on the measured hot path (benchmark E18).
+        Change one, change all; the hypothesis equivalence suite pins
+        decisions and stats across all of them.
         """
         if type(self) in (SnapshotIsolationOracle, WriteSnapshotIsolationOracle):
-            return self._decide_batch_fast(
-                batch, payload_commits, payload_aborts, errors, results
-            )
+            lc = self._last_commit
+            if lc.__class__ is dict:
+                return self._decide_batch_fast(
+                    batch, payload_commits, payload_aborts, errors, results
+                )
+            if lc.__class__ is ArrayLastCommit:
+                return self._decide_batch_fast_array(
+                    batch, payload_commits, payload_aborts, errors, results
+                )
         return self._decide_batch_generic(
             batch, payload_commits, payload_aborts, errors, results
         )
@@ -492,6 +537,215 @@ class StatusOracle(CommitEngine):
             rows_updated,
         )
 
+    def _decide_batch_fast_array(self, batch, payload_commits, payload_aborts,
+                                 errors, results):
+        """Inlined decision loop over an :class:`ArrayLastCommit` store.
+
+        The third copy of the inlined bookkeeping (see
+        :meth:`_decide_batch` — change one, change all): identical
+        decisions, state, stats and reservation behaviour to
+        :meth:`_decide_batch_fast`, but each conflict check delegates
+        to :meth:`ArrayLastCommit.scan_conflict` — one bulk id gather
+        + one timestamp gather + one ``max`` compare (the int lane or
+        itemgetter chain) instead of a per-row dict probe scan — and
+        installs intern the write set once and store into flat slots.
+        ``scan_conflict`` guarantees the reported conflict row and the
+        examined-row count match the dict loop exactly (first conflict
+        in frozenset order; full count on a clean sweep), so the stats
+        stay pinned by the equivalence suite.
+        """
+        if self._closed:
+            raise OracleClosed("status oracle is closed")
+        tso = self._tso
+        if tso._closed:
+            raise OracleClosed("timestamp oracle is closed")
+        lc = self._last_commit
+        interner = lc._interner
+        ids_map = interner._ids
+        intern_many = interner.intern_many
+        keys_table = interner._keys
+        scan = lc.scan_conflict
+        ts_arr = lc._ts  # grows in place (frombytes): binding stays valid
+        getter = itemgetter
+        ct = self.commit_table
+        # Replicas subscribed to the commit table must see every decision,
+        # so only bypass its record methods when nobody is listening.
+        fast_ct = not ct._subscribers
+        ct_commits = ct._commits
+        ct_aborted = ct._aborted
+        check_reads = self.level == "wsi"
+        # §4.1 condition 3 short-circuit, unless the E16 ablation is on.
+        exempt_ro = not self.naive_read_only
+        reason_tag = "rw-conflict" if check_reads else "ww-conflict"
+        pc_append = payload_commits.append
+        pa_append = payload_aborts.append
+        res_append = results.append if results is not None else None
+        nxt = tso._next
+        reserved = tso._reserved_until
+        commits = conflict_aborts = client_aborts = ro_commits = issued = 0
+        rows_checked = rows_updated = fresh = 0
+        try:
+            for item in batch:
+                if item.__class__ is CommitRequest:
+                    req = item  # nowait commit: no future to fill in
+                    fut = None
+                else:
+                    if item.__class__ is tuple:
+                        req, fut = item
+                    else:
+                        req, fut = item, None
+                    if req.__class__ is not CommitRequest:
+                        # client-initiated abort; req is the start timestamp
+                        start = req
+                        try:
+                            if fast_ct:
+                                if start in ct_commits:
+                                    raise ValueError(
+                                        f"txn {start} already committed; "
+                                        "cannot abort"
+                                    )
+                                ct_aborted.add(start)
+                            else:
+                                ct.record_abort(start)
+                        except Exception as exc:
+                            errors.append((start, exc))
+                            if fut is not None:
+                                fut._error = exc
+                            if res_append is not None:
+                                res_append(None)
+                            continue
+                        client_aborts += 1
+                        pa_append(start)
+                        if fut is not None:
+                            fut._reason = CLIENT_ABORT
+                        if res_append is not None:
+                            res_append(
+                                CommitResult(False, start, reason=CLIENT_ABORT)
+                            )
+                        continue
+                start = req.start_ts
+                ws = req.write_set
+                if not ws and (exempt_ro or not req.read_set):
+                    # §4.1 condition 3: an empty write set never aborts —
+                    # no check, no commit timestamp, no WAL payload.
+                    ro_commits += 1
+                    if fut is not None:
+                        fut._committed = True
+                    if res_append is not None:
+                        res_append(CommitResult(True, start, commit_ts=None))
+                    continue
+                rows = req.read_set if check_reads else ws
+                conflict_row = None
+                if rows:
+                    conflict_row, examined = scan(rows, start)
+                    rows_checked += examined
+                if conflict_row is not None:
+                    try:
+                        if fast_ct:
+                            if start in ct_commits:
+                                raise ValueError(
+                                    f"txn {start} already committed; "
+                                    "cannot abort"
+                                )
+                            ct_aborted.add(start)
+                        else:
+                            ct.record_abort(start)
+                    except Exception as exc:
+                        errors.append((start, exc))
+                        if fut is not None:
+                            fut._error = exc
+                        if res_append is not None:
+                            res_append(None)
+                        continue
+                    conflict_aborts += 1
+                    pa_append(start)
+                    if fut is not None:
+                        fut._reason = reason_tag
+                        fut._row = conflict_row
+                    if res_append is not None:
+                        res_append(
+                            CommitResult(
+                                False, start,
+                                reason=reason_tag, conflict_row=conflict_row,
+                            )
+                        )
+                    continue
+                # commit: assign Tc (inlined tso.next with the same
+                # reservation protocol), intern + install the write set.
+                if nxt > reserved:
+                    tso._next = nxt
+                    tso._reserve()
+                    reserved = tso._reserved_until
+                cts = nxt
+                nxt += 1
+                issued += 1
+                try:
+                    kids = getter(*ws)(ids_map)
+                except KeyError:
+                    # Unseen write rows: intern (deterministic id order
+                    # for the new ones) and grow the slot array in place.
+                    kids = intern_many(ws)
+                    short = len(keys_table) - len(ts_arr)
+                    if short > 0:
+                        ts_arr.frombytes(bytes(short << 3))
+                if kids.__class__ is tuple or kids.__class__ is list:
+                    for kid in kids:
+                        if ts_arr[kid] == 0:
+                            fresh += 1
+                        ts_arr[kid] = cts
+                else:  # single-row write set: itemgetter returned the id
+                    if ts_arr[kids] == 0:
+                        fresh += 1
+                    ts_arr[kids] = cts
+                rows_updated += len(ws)
+                try:
+                    if fast_ct:
+                        if cts <= start:
+                            raise ValueError(
+                                f"commit_ts {cts} must exceed start_ts {start}"
+                            )
+                        if start in ct_aborted:
+                            raise ValueError(
+                                f"txn {start} already aborted; cannot commit"
+                            )
+                        ct_commits[start] = cts
+                    else:
+                        ct.record_commit(start, cts)
+                except Exception as exc:
+                    errors.append((start, exc))
+                    if fut is not None:
+                        fut._error = exc
+                    if res_append is not None:
+                        res_append(None)
+                    continue
+                commits += 1
+                pc_append((start, cts, ws))
+                if fut is not None:
+                    fut._committed = True
+                    fut._commit_ts = cts
+                if res_append is not None:
+                    res_append(CommitResult(True, start, commit_ts=cts))
+        finally:
+            # Keep oracle-visible state consistent even on a mid-batch
+            # protocol error: timestamps consumed so far stay consumed,
+            # and the store's live-entry count reflects every install.
+            lc._live += fresh
+            tso._next = nxt
+            tso._issued += issued
+            st = self.stats
+            st.commits += commits + ro_commits
+            st.read_only_commits += ro_commits
+            st.aborts += conflict_aborts + client_aborts
+            st.conflict_aborts += conflict_aborts
+            st.rows_checked += rows_checked
+            st.rows_updated += rows_updated
+        return (
+            commits + ro_commits,
+            conflict_aborts + client_aborts,
+            rows_checked,
+            rows_updated,
+        )
+
     def _decide_batch_generic(self, batch, payload_commits, payload_aborts,
                               errors, results):
         """Hook-faithful loop for StatusOracle subclasses that refine
@@ -579,8 +833,17 @@ class StatusOracle(CommitEngine):
         # ``rows_checked`` counts rows actually examined (a conflict stops
         # the scan) and is bumped once per request, not once per row.
         reason = "rw-conflict" if self.level == "wsi" else "ww-conflict"
-        lc_get = self._last_commit.get
+        lc = self._last_commit
         start = request.start_ts
+        if lc.__class__ is ArrayLastCommit:
+            # Bulk gather + compare; scalar rescan on suspected conflict
+            # keeps the examined count and conflict row dict-identical.
+            row, examined = lc.scan_conflict(self.rows_to_check(request), start)
+            self.stats.rows_checked += examined
+            if row is not None:
+                return reason, row
+            return None
+        lc_get = lc.get
         checked = 0
         for row in self.rows_to_check(request):
             checked += 1
@@ -615,8 +878,15 @@ class StatusOracle(CommitEngine):
         caller's level-dependent choice.  The bounded oracle's Tmax
         refinement is not modelled here — conflict partitions are plain
         SI/WSI oracles.
+
+        On an array store the scan is the bulk gather+compare
+        (:meth:`~repro.core.lastcommit.ArrayLastCommit.scan_conflict`),
+        with the same first-conflict row and examined count.
         """
-        lc_get = self._last_commit.get
+        lc = self._last_commit
+        if lc.__class__ is ArrayLastCommit:
+            return lc.scan_conflict(rows, start_ts)
+        lc_get = lc.get
         checked = 0
         for row in rows:
             checked += 1
@@ -626,8 +896,12 @@ class StatusOracle(CommitEngine):
         return None, checked
 
     def _install(self, rows: Iterable[RowKey], commit_ts: int) -> None:
+        lc = self._last_commit
+        if lc.__class__ is ArrayLastCommit:
+            lc.install(rows, commit_ts)
+            return
         for row in rows:
-            self._last_commit[row] = commit_ts
+            lc[row] = commit_ts
 
     def last_commit(self, row: RowKey) -> Optional[int]:
         """Expose lastCommit(r) for tests and checkers."""
@@ -803,6 +1077,7 @@ class BoundedStatusOracle(StatusOracle):
         timestamp_oracle: Optional[TimestampOracle] = None,
         wal: Optional[BookKeeperWAL] = None,
         naive_read_only: bool = False,
+        lastcommit=None,
     ) -> None:
         if policy not in ("si", "wsi"):
             raise ValueError(f"policy must be 'si' or 'wsi', not {policy!r}")
@@ -815,7 +1090,10 @@ class BoundedStatusOracle(StatusOracle):
         )
         self.level = policy
         self._max_rows = max_rows
-        self._last_commit = OrderedDict()  # LRU order: oldest first
+        # LRU order, oldest first: OrderedDict for the dict backend,
+        # BoundedArrayLastCommit for the array backend — both speak the
+        # pop/popitem(last=False) surface the decide loops use.
+        self._last_commit = make_lastcommit(lastcommit, bounded=True)
         self.tmax = 0
 
     def rows_to_check(self, request: CommitRequest) -> FrozenSet[RowKey]:
@@ -1027,8 +1305,14 @@ def make_oracle(
     timestamp_oracle: Optional[TimestampOracle] = None,
     wal: Optional[BookKeeperWAL] = None,
     naive_read_only: bool = False,
+    lastcommit=None,
 ) -> StatusOracle:
-    """Factory: build a status oracle for ``level`` in {"si", "wsi"}."""
+    """Factory: build a status oracle for ``level`` in {"si", "wsi"}.
+
+    ``lastcommit`` selects the conflict-detection backend ("dict",
+    "array", a store instance, or None for the ``REPRO_LASTCOMMIT``
+    default; see :mod:`repro.core.lastcommit`).
+    """
     if bounded:
         return BoundedStatusOracle(
             policy=level,
@@ -1036,17 +1320,20 @@ def make_oracle(
             timestamp_oracle=timestamp_oracle,
             wal=wal,
             naive_read_only=naive_read_only,
+            lastcommit=lastcommit,
         )
     if level == "si":
         return SnapshotIsolationOracle(
             timestamp_oracle=timestamp_oracle,
             wal=wal,
             naive_read_only=naive_read_only,
+            lastcommit=lastcommit,
         )
     if level == "wsi":
         return WriteSnapshotIsolationOracle(
             timestamp_oracle=timestamp_oracle,
             wal=wal,
             naive_read_only=naive_read_only,
+            lastcommit=lastcommit,
         )
     raise ValueError(f"unknown isolation level {level!r}")

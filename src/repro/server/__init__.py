@@ -269,6 +269,7 @@ from repro.server.frontend import (
     CommitFuture,
     FlushedBatch,
     FrontendStats,
+    FutureArena,
     OracleFrontend,
 )
 from repro.server.ha import (
@@ -286,6 +287,7 @@ __all__ = [
     "CommitFuture",
     "FlushedBatch",
     "FrontendStats",
+    "FutureArena",
     "ReplicatedFrontend",
     "ReplicatedOracleFacade",
     "FrontendHost",

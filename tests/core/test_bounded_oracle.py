@@ -162,3 +162,65 @@ class TestWSIPolicy:
         result = oracle.commit(req(stale, writes={"w"}, reads={"unknown"}))
         assert not result.committed
         assert result.reason == "tmax"
+
+
+class TestArrayBackendEquivalence:
+    """The bounded oracle's eviction machinery (LRU reinsertion, Tmax,
+    popitem-from-the-cold-end) must behave identically on the array
+    backend — same decisions, same Tmax trajectory, same surviving
+    entries in the same LRU order."""
+
+    @staticmethod
+    def _run(lastcommit, policy="si", batched=False):
+        import random
+
+        oracle = BoundedStatusOracle(
+            policy=policy, max_rows=16, lastcommit=lastcommit
+        )
+        rng = random.Random(7)
+        trace = []
+        pending = []
+        for step in range(400):
+            start = oracle.begin()
+            writes = frozenset(rng.sample(range(64), rng.randint(1, 4)))
+            reads = frozenset(rng.sample(range(64), rng.randint(0, 3)))
+            request = req(start, writes=writes, reads=reads)
+            if batched:
+                pending.append(request)
+                if len(pending) >= 8:
+                    for result in oracle.decide_batch(pending):
+                        trace.append(
+                            (result.committed, result.commit_ts,
+                             result.reason, result.conflict_row)
+                        )
+                    pending = []
+            else:
+                result = oracle.commit(request)
+                trace.append(
+                    (result.committed, result.commit_ts,
+                     result.reason, result.conflict_row)
+                )
+            trace.append(oracle.tmax)
+        if pending:
+            for result in oracle.decide_batch(pending):
+                trace.append(
+                    (result.committed, result.commit_ts,
+                     result.reason, result.conflict_row)
+                )
+        return (
+            trace,
+            oracle.tmax,
+            list(oracle._last_commit.items()),
+            oracle.stats.rows_checked,
+            oracle.stats.tmax_aborts,
+        )
+
+    @pytest.mark.parametrize("policy", ["si", "wsi"])
+    def test_per_request_eviction_matches_dict(self, policy):
+        assert self._run("array", policy) == self._run("dict", policy)
+
+    @pytest.mark.parametrize("policy", ["si", "wsi"])
+    def test_batched_eviction_matches_dict(self, policy):
+        assert self._run("array", policy, batched=True) == self._run(
+            "dict", policy, batched=True
+        )

@@ -1,0 +1,154 @@
+"""KeyInterner: dense ids, determinism across processes, the int lane.
+
+The array ``lastCommit`` backend leans on two interner contracts: ids
+assigned from *key sets* are identical in every process regardless of
+``PYTHONHASHSEED`` (``intern_many`` orders unseen keys by
+``stable_hash``), and the int-lane table can only ever make the
+vectorised conflict scan *over*-report, never under-report (see
+``repro.core.keyspace`` docstring).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.keyspace import INT_LANE_BOUND, KeyInterner
+
+
+class TestInternerBasics:
+    def test_ids_are_dense_and_one_based(self):
+        interner = KeyInterner()
+        assert len(interner) == 0
+        assert interner.slot_capacity == 1  # the reserved sentinel slot
+        ids = [interner.intern(key) for key in ("a", "b", "c")]
+        assert ids == [1, 2, 3]
+        assert len(interner) == 3
+        assert interner.slot_capacity == 4
+
+    def test_intern_is_idempotent(self):
+        interner = KeyInterner()
+        first = interner.intern("row")
+        assert interner.intern("row") == first
+        assert len(interner) == 1
+
+    def test_reverse_lookup_and_membership(self):
+        interner = KeyInterner()
+        kid = interner.intern(("compound", 7))
+        assert interner.key_of(kid) == ("compound", 7)
+        assert ("compound", 7) in interner
+        assert "missing" not in interner
+        assert interner.get("missing") is None
+        assert interner.id_of(("compound", 7)) == kid
+        with pytest.raises(KeyError):
+            interner.id_of("missing")
+
+    def test_cross_type_equal_keys_share_a_slot(self):
+        # Same collapse the dict backend performs: 2 == 2.0 -> one entry.
+        interner = KeyInterner()
+        assert interner.intern(2) == interner.intern(2.0)
+        assert len(interner) == 1
+
+    def test_intern_many_returns_ids_in_input_order(self):
+        interner = KeyInterner()
+        keys = [5, 3, 9, 3, 5]
+        ids = interner.intern_many(keys)
+        assert [interner.key_of(kid) for kid in ids] == keys
+        assert len(interner) == 3
+
+    def test_intern_many_assigns_unseen_in_stable_hash_order(self):
+        # Two interners fed the same *set* through differently-ordered
+        # iterables agree on every id — the frozenset-input contract.
+        a, b = KeyInterner(), KeyInterner()
+        a.intern_many(["x", "y", "z"])
+        b.intern_many(["z", "x", "y"])
+        assert all(a.id_of(k) == b.id_of(k) for k in "xyz")
+
+
+class TestIntLane:
+    def test_int_keys_populate_the_lane(self):
+        interner = KeyInterner()
+        kid = interner.intern(40)
+        assert interner.int_lane_ok
+        table = interner.int_table
+        assert len(table) >= 41
+        assert table[40] == kid
+        assert table[0] == 0  # unseen routes to the reserved slot
+
+    def test_non_int_key_disables_the_lane_for_good(self):
+        interner = KeyInterner()
+        interner.intern(1)
+        interner.intern("row")
+        assert not interner.int_lane_ok
+        interner.intern(2)  # later ints don't resurrect it
+        assert not interner.int_lane_ok
+
+    def test_bool_is_not_int_for_the_lane(self):
+        # bool would vector-cast to 0/1 and alias real int keys.
+        interner = KeyInterner()
+        interner.intern(True)
+        assert not interner.int_lane_ok
+
+    def test_negative_int_disables_the_lane(self):
+        # Negative keys dodge the checked-max bounds guard (numpy fancy
+        # indexing wraps them), so they must kill the lane.
+        interner = KeyInterner()
+        interner.intern(-3)
+        assert not interner.int_lane_ok
+
+    def test_huge_int_is_unrecorded_but_lane_survives(self):
+        interner = KeyInterner()
+        kid = interner.intern(INT_LANE_BOUND + 10)
+        assert interner.int_lane_ok
+        # Not in the table -- the store's bounds guard routes any scan
+        # that could see this key to the scalar path instead.
+        assert len(interner.int_table) <= INT_LANE_BOUND
+        assert interner.id_of(INT_LANE_BOUND + 10) == kid
+
+    def test_lane_table_growth_is_zero_filled(self):
+        interner = KeyInterner()
+        interner.intern(100)
+        table = interner.int_table
+        assert table[100] == 1
+        assert all(table[i] == 0 for i in range(100))
+
+
+def _interner_fingerprint():
+    """Ids of a fixed key workload, interned via frozensets (whose str
+    iteration order is hash-salt-dependent) — as one string."""
+    interner = KeyInterner()
+    interner.intern_many(frozenset({"alpha", "beta", "gamma", "delta"}))
+    interner.intern_many(frozenset({"epsilon", "beta", 17, 4096, "zeta"}))
+    interner.intern_many(frozenset({(1, "a"), (2, "b"), "alpha", 17}))
+    keys = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta",
+            17, 4096, (1, "a"), (2, "b")]
+    return ",".join(str(interner.id_of(key)) for key in keys)
+
+
+SUBPROCESS_SNIPPET = """
+import sys
+sys.path.insert(0, {src!r})
+from tests.core.test_keyspace import _interner_fingerprint
+sys.stdout.write(_interner_fingerprint())
+"""
+
+
+class TestInternerIsProcessIndependent:
+    @pytest.mark.parametrize("hashseed", ["0", "1", "31337"])
+    def test_same_ids_under_any_pythonhashseed(self, hashseed):
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        src = os.path.join(repo_root, "src")
+        env = dict(os.environ, PYTHONHASHSEED=hashseed)
+        env["PYTHONPATH"] = repo_root + os.pathsep + src
+        out = subprocess.run(
+            [sys.executable, "-c", SUBPROCESS_SNIPPET.format(src=src)],
+            env=env,
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout == _interner_fingerprint()

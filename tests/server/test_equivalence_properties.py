@@ -1105,3 +1105,154 @@ def test_failover_history_equivalence(script, level):
     seen = ha_starts + commit_ts
     assert len(seen) == len(set(seen))
     assert rf.failovers == 1
+
+
+# ----------------------------------------------------------------------
+# array backend ≡ dict backend (the representation-change pin)
+# ----------------------------------------------------------------------
+#
+# The array lastCommit store (repro.core.lastcommit) must be a pure
+# representation change: for any workload, an array-backed oracle and a
+# dict-backed oracle decide identically — decisions, commit timestamps,
+# reasons, conflict rows, stats (rows_checked included), final
+# lastCommit content and LRU order — and their WALs replay to the same
+# state on either backend.
+
+
+@given(
+    batches=decision_batches(),
+    level=st.sampled_from(["si", "wsi"]),
+    bounded=st.booleans(),
+)
+@settings(max_examples=100, deadline=None)
+def test_decide_batch_array_equals_dict_backend(batches, level, bounded):
+    kwargs = {"bounded": True, "max_rows": 4} if bounded else {}
+    array_oracle = make_oracle(level, lastcommit="array", **kwargs)
+    dict_oracle = make_oracle(level, lastcommit="dict", **kwargs)
+    assert run_batched(array_oracle, batches) == run_batched(
+        dict_oracle, batches
+    )
+    assert_same_final_state(array_oracle, dict_oracle, check_lru=bounded)
+
+
+@st.composite
+def wide_int_batches(draw):
+    """Batches whose read sets are wide enough (>= NUMPY_MIN_ROWS) and
+    purely int-keyed to drive the interner's vectorised int lane inside
+    the batch decide loop, with enough key reuse to produce conflicts."""
+    from repro.core.lastcommit import NUMPY_MIN_ROWS
+
+    keyspace = st.integers(min_value=0, max_value=200)
+    batches = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        batch = []
+        for _ in range(draw(st.integers(min_value=1, max_value=6))):
+            reads = draw(
+                st.sets(
+                    keyspace,
+                    min_size=NUMPY_MIN_ROWS,
+                    max_size=NUMPY_MIN_ROWS + 16,
+                )
+            )
+            writes = draw(st.sets(keyspace, min_size=1, max_size=4))
+            batch.append((frozenset(reads), frozenset(writes), False))
+        batches.append(batch)
+    return batches
+
+
+@given(batches=wide_int_batches(), level=st.sampled_from(["si", "wsi"]))
+@settings(max_examples=60, deadline=None)
+def test_decide_batch_array_equals_dict_vectorised_lane(batches, level):
+    array_oracle = make_oracle(level, lastcommit="array")
+    dict_oracle = make_oracle(level, lastcommit="dict")
+    assert run_batched(array_oracle, batches) == run_batched(
+        dict_oracle, batches
+    )
+    assert_same_final_state(array_oracle, dict_oracle)
+    # the lane stayed valid: every key in this workload is a plain int
+    assert array_oracle._last_commit.interner.int_lane_ok
+
+
+@given(
+    script=workload_scripts(),
+    max_batch=st.integers(min_value=1, max_value=12),
+    level=st.sampled_from(["si", "wsi"]),
+)
+@settings(max_examples=80, deadline=None)
+def test_frontend_array_backend_equals_dict_reference(
+    script, max_batch, level
+):
+    # The full frontend path (batching, client aborts, read-only fast
+    # path) over an array-backed oracle, replayed on a dict-backed
+    # reference in frontend decision order.
+    oracle = make_oracle(level, lastcommit="array", wal=BookKeeperWAL())
+    trace = drive_frontend(oracle, script, max_batch, set())
+    reference = make_oracle(level, lastcommit="dict")
+    replay_on_reference(reference, trace)
+    assert_same_final_state(oracle, reference)
+
+
+@given(
+    batches=decision_batches(),
+    level=st.sampled_from(["si", "wsi"]),
+    recover_backend=st.sampled_from(["dict", "array"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_array_backend_wal_replay_equivalence(
+    batches, level, recover_backend
+):
+    # An array-backed run's group-commit WAL must replay — onto *either*
+    # backend — to the state a dict-backed run's WAL replays to.
+    array_wal, dict_wal = BookKeeperWAL(), BookKeeperWAL()
+    array_oracle = make_oracle(level, lastcommit="array", wal=array_wal)
+    dict_oracle = make_oracle(level, lastcommit="dict", wal=dict_wal)
+    assert run_batched(array_oracle, batches) == run_batched(
+        dict_oracle, batches
+    )
+    array_wal.flush()
+    dict_wal.flush()
+    from_array = make_oracle(level, lastcommit=recover_backend)
+    from_array.recover_from(array_wal)
+    from_dict = make_oracle(level, lastcommit="dict")
+    from_dict.recover_from(dict_wal)
+    assert dict(from_array._last_commit) == dict(from_dict._last_commit)
+    assert (
+        from_array.commit_table._commits == from_dict.commit_table._commits
+    )
+    assert (
+        from_array.commit_table._aborted == from_dict.commit_table._aborted
+    )
+    assert from_array.begin() == from_dict.begin()
+
+
+@given(
+    batches=mixed_partition_batches(),
+    num_partitions=st.sampled_from([1, 2, PARTS]),
+    level=st.sampled_from(["si", "wsi"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_partitioned_array_equals_dict_backend(
+    batches, num_partitions, level
+):
+    array_oracle = PartitionedOracle(
+        level=level, num_partitions=num_partitions, lastcommit="array"
+    )
+    dict_oracle = PartitionedOracle(
+        level=level, num_partitions=num_partitions, lastcommit="dict"
+    )
+    assert run_batched(array_oracle, batches) == run_batched(
+        dict_oracle, batches
+    )
+    for array_part, dict_part in zip(
+        array_oracle.partitions, dict_oracle.partitions
+    ):
+        assert array_part._last_commit == dict_part._last_commit
+    assert (
+        array_oracle.commit_table._commits
+        == dict_oracle.commit_table._commits
+    )
+    assert (
+        array_oracle.commit_table._aborted
+        == dict_oracle.commit_table._aborted
+    )
+    assert array_oracle.stats == dict_oracle.stats
